@@ -1,0 +1,142 @@
+// Package pstore's root benchmark suite regenerates every table and figure
+// of the paper's evaluation (run with `go test -bench=. -benchmem`), plus
+// micro-benchmarks of the core components. Each BenchmarkFig*/BenchmarkTable*
+// target prints the same rows/series the paper reports; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+package pstore_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pstore/internal/experiments"
+	"pstore/internal/migration"
+	"pstore/internal/planner"
+	"pstore/internal/predictor"
+)
+
+// runExperiment executes one experiment per benchmark iteration and reports
+// its headline values as benchmark metrics.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(id, experiments.Options{Quick: true, Seed: 1})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r.Text())
+			for k, v := range r.Values {
+				b.ReportMetric(v, k)
+			}
+		}
+	}
+}
+
+func BenchmarkFig1Load(b *testing.B)            { runExperiment(b, "fig1") }
+func BenchmarkFig2Capacity(b *testing.B)        { runExperiment(b, "fig2") }
+func BenchmarkFig4EffCap(b *testing.B)          { runExperiment(b, "fig4") }
+func BenchmarkTable1Schedule(b *testing.B)      { runExperiment(b, "table1") }
+func BenchmarkFig5SPARB2W(b *testing.B)         { runExperiment(b, "fig5") }
+func BenchmarkFig6SPARWikipedia(b *testing.B)   { runExperiment(b, "fig6") }
+func BenchmarkSec5ModelComparison(b *testing.B) { runExperiment(b, "sec5") }
+func BenchmarkFig7Saturation(b *testing.B)      { runExperiment(b, "fig7") }
+func BenchmarkFig8ChunkSize(b *testing.B)       { runExperiment(b, "fig8") }
+func BenchmarkFig9Elasticity(b *testing.B)      { runExperiment(b, "fig9") }
+func BenchmarkFig10CDF(b *testing.B)            { runExperiment(b, "fig10") }
+func BenchmarkTable2Violations(b *testing.B)    { runExperiment(b, "table2") }
+func BenchmarkFig11SpikeResponse(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12CostCurves(b *testing.B)     { runExperiment(b, "fig12") }
+func BenchmarkFig13BlackFriday(b *testing.B)    { runExperiment(b, "fig13") }
+
+// --- component micro-benchmarks -------------------------------------------
+
+// BenchmarkPlannerDP measures one full dynamic-programming planning pass
+// over a 36-interval horizon with a ten-machine ceiling — the work P-Store's
+// controller does every monitoring cycle.
+func BenchmarkPlannerDP(b *testing.B) {
+	model := migration.Model{Q: 285, QMax: 350, D: 15.4, P: 6}
+	rng := rand.New(rand.NewSource(4))
+	load := make([]float64, 36)
+	for i := range load {
+		load[i] = 200 + 2500*rng.Float64()
+	}
+	load[0] = 100
+	pl := planner.Planner{Model: model}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.BestMoves(load, 1); err != nil && err != planner.ErrInfeasible {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSPARFit measures fitting SPAR on four weeks of five-minute data.
+func BenchmarkSPARFit(b *testing.B) {
+	const period = 288
+	rng := rand.New(rand.NewSource(5))
+	trace := make([]float64, 28*period)
+	for i := range trace {
+		trace[i] = 1000 + 100*rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := predictor.NewSPAR(period, 7, 6)
+		if err := s.Fit(trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSPARForecast measures a single 36-interval forecast series.
+func BenchmarkSPARForecast(b *testing.B) {
+	const period = 288
+	rng := rand.New(rand.NewSource(6))
+	trace := make([]float64, 28*period)
+	for i := range trace {
+		trace[i] = 1000 + 100*rng.NormFloat64()
+	}
+	s := predictor.NewSPAR(period, 7, 6)
+	if err := s.Fit(trace); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := predictor.ForecastSeries(s, trace, 36); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildSchedule measures three-phase schedule construction for a
+// large scale-out.
+func BenchmarkBuildSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := migration.BuildSchedule(7, 30, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAvgMachAlloc measures the Algorithm 4 cost model across the
+// whole (B, A) plane the planner touches.
+func BenchmarkAvgMachAlloc(b *testing.B) {
+	m := migration.Model{Q: 285, QMax: 350, D: 15.4, P: 6}
+	b.ResetTimer()
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		for from := 1; from <= 20; from++ {
+			for to := 1; to <= 20; to++ {
+				sum += m.AvgMachAlloc(from, to)
+			}
+		}
+	}
+	if sum < 0 {
+		b.Fatal(fmt.Sprint(sum))
+	}
+}

@@ -1,0 +1,141 @@
+// Quickstart: bring up the storage engine, run the B2W retail benchmark on
+// it, and let P-Store's predictive controller scale the cluster through one
+// compressed day of diurnal load — the core loop of the paper in ~150 lines.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstore"
+)
+
+func main() {
+	// 1. A small cluster: up to 5 machines, 4 partitions each.
+	cfg := pstore.EngineConfig{
+		MaxMachines:          5,
+		PartitionsPerMachine: 4,
+		Buckets:              400,
+		ServiceTime:          3 * time.Millisecond,
+		QueueCapacity:        1 << 14,
+		InitialMachines:      1,
+	}
+	eng, err := pstore.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pstore.RegisterB2W(eng); err != nil {
+		log.Fatal(err)
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	spec := pstore.B2WLoadSpec{Carts: 2000, Checkouts: 500, Stocks: 1000, LinesPerCart: 3, Seed: 1}
+	if err := pstore.LoadB2W(eng, spec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d rows across %d machines\n", eng.TotalRows(), eng.ActiveMachines())
+
+	// 2. A live migration executor (Squall) over the engine.
+	sq, err := pstore.NewSquall(eng, pstore.DefaultSquallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A one-day diurnal trace, compressed so one trace-minute lasts
+	// 8 ms: the whole day replays in about 12 seconds.
+	trace, err := pstore.SyntheticB2W(pstore.DefaultB2WConfig(7, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const minutePerSlot = 8 * time.Millisecond
+	// Scale the trace so its peak needs ~4 of our 5 machines.
+	perMachine := 0.8 * float64(cfg.PartitionsPerMachine) / cfg.ServiceTime.Seconds()
+	rateScale := 4 * perMachine * minutePerSlot.Seconds() / trace.Max()
+
+	// 4. P-Store's predictive controller. For a short demo we use an
+	// oracle predictor (the paper's upper bound); swap in NewSPAR with
+	// four weeks of history for real forecasting. The controller observes
+	// the load once per five trace-minutes, so the oracle's trace must be
+	// at the same five-minute granularity.
+	model := pstore.MigrationModel{
+		Q:    0.65 * perMachine * minutePerSlot.Seconds() / rateScale,
+		QMax: 0.8 * perMachine * minutePerSlot.Seconds() / rateScale,
+		D:    4, // full-DB migration time, in 5-minute planning intervals
+		P:    cfg.PartitionsPerMachine,
+	}
+	fiveMin, err := trace.Resample(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := pstore.NewOnlinePredictor(pstore.NewOracle(fiveMin.Values), 0, 0)
+	if err := oracle.ObserveAll(nil); err != nil {
+		log.Fatal(err)
+	}
+	ctrl := &pstore.PredictiveController{
+		Model:       model,
+		Predictor:   oracle,
+		Horizon:     24,
+		Inflation:   0.10,
+		MaxMachines: cfg.MaxMachines,
+	}
+
+	// 5. Control loop: every 5 trace-minutes, observe load and maybe move.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(5 * minutePerSlot)
+		defer ticker.Stop()
+		last, _, _ := eng.Counters()
+		var moving atomic.Bool
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			sub, _, _ := eng.Counters()
+			load := float64(sub-last) / rateScale / 5 // requests per trace-minute
+			last = sub
+			busy := moving.Load() || sq.InProgress()
+			dec, err := ctrl.Tick(eng.ActiveMachines(), busy, load)
+			if err != nil || dec == nil || busy {
+				continue
+			}
+			from := eng.ActiveMachines()
+			fmt.Printf("t+%5.1fs  load %7.0f req/min -> reconfigure %d -> %d machines\n",
+				time.Since(start).Seconds(), load, from, dec.Target)
+			moving.Store(true)
+			go func(to int, rate float64) {
+				defer moving.Store(false)
+				if err := sq.Reconfigure(from, to, rate); err != nil {
+					log.Printf("reconfigure: %v", err)
+				}
+			}(dec.Target, dec.RateFactor)
+		}
+	}()
+
+	// 6. Replay the day.
+	driver := &pstore.B2WDriver{Eng: eng, Spec: spec, Seed: 2}
+	stats, err := driver.Run(ctx, trace, minutePerSlot, rateScale)
+	cancel()
+	wg.Wait()
+	if err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+	_, completed, errored := eng.Counters()
+	fmt.Printf("\nday replayed: %d transactions executed (%d business errors), %d completed OK\n",
+		stats.Executed, stats.Failed, completed)
+	fmt.Printf("final cluster size: %d machines, %d rows intact\n",
+		eng.ActiveMachines(), eng.TotalRows())
+	_ = errored
+}
+
+var start = time.Now()

@@ -1,0 +1,181 @@
+// Retail: a head-to-head of P-Store against an E-Store-like reactive
+// provisioner on the live storage engine, through a compressed retail day
+// that ends with an unannounced evening flash sale. Both runs use the same
+// engine configuration, the same B2W transaction mix and the same trace;
+// the difference is purely when each controller decides to move data.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstore"
+)
+
+const (
+	minutePerSlot = 10 * time.Millisecond
+	cycleMinutes  = 5
+)
+
+func main() {
+	// One training month plus the replayed day, with a 1.8x flash sale at
+	// 19:30 that is absent from the training data.
+	cfg := pstore.DefaultB2WConfig(99, 29)
+	full, err := pstore.SyntheticB2W(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	day := full.Slice(28*24*60, full.Len())
+	day, err = applyFlashSale(day)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainFive, err := full.Slice(0, 28*24*60).Resample(cycleMinutes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("replaying one retail day (flash sale at 19:30) under two provisioning policies")
+	for _, policy := range []string{"P-Store", "Reactive"} {
+		v50, v99, avgMach, moves, err := runPolicy(policy, day, trainFive)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s p50 violations %2d, p99 violations %2d, avg machines %.2f, moves %d\n",
+			policy, v50, v99, avgMach, moves)
+	}
+	fmt.Println("\nthe paper's Table 2 shows the same pattern: P-Store provisions ahead of demand and")
+	fmt.Println("absorbs surprises with emergency scaling, while the reactive system migrates at peak.")
+}
+
+func applyFlashSale(day pstore.Series) (pstore.Series, error) {
+	out := day.Clone()
+	start := 19*60 + 30
+	for i := 0; i < 120 && start+i < out.Len(); i++ {
+		boost := 1.8
+		if i < 10 {
+			boost = 1 + 0.8*float64(i)/10
+		}
+		out.Values[start+i] *= boost
+	}
+	return out, nil
+}
+
+func runPolicy(policy string, day, trainFive pstore.Series) (v50, v99 int, avgMach float64, moves int, err error) {
+	engCfg := pstore.EngineConfig{
+		MaxMachines:          8,
+		PartitionsPerMachine: 4,
+		Buckets:              640,
+		ServiceTime:          3 * time.Millisecond,
+		QueueCapacity:        1 << 15,
+		InitialMachines:      2,
+	}
+	eng, err := pstore.NewEngine(engCfg)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if err := pstore.RegisterB2W(eng); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	eng.Start()
+	defer eng.Stop()
+	spec := pstore.B2WLoadSpec{Carts: 2400, Checkouts: 600, Stocks: 1200, LinesPerCart: 3, Seed: 5}
+	if err := pstore.LoadB2W(eng, spec); err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	// Capacity in paper units (requests per trace minute per machine).
+	perMachine := 0.8 * float64(engCfg.PartitionsPerMachine) / engCfg.ServiceTime.Seconds()
+	rateScale := 6 * perMachine * minutePerSlot.Seconds() / day.Max()
+	qMax := perMachine * minutePerSlot.Seconds() / rateScale
+	model := pstore.MigrationModel{Q: 0.65 / 0.8 * qMax, QMax: qMax, D: 10, P: engCfg.PartitionsPerMachine}
+
+	var ctrl pstore.Controller
+	switch policy {
+	case "P-Store":
+		spar := pstore.NewSPAR(trainFive.Len()/28, 7, 6)
+		online := pstore.NewOnlinePredictor(spar, 0, 9*trainFive.Len()/28)
+		// Rescale training history into this run's paper units.
+		hist := make([]float64, trainFive.Len())
+		copy(hist, trainFive.Values)
+		if err := online.ObserveAll(hist); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		ctrl = &pstore.PredictiveController{
+			Model: model, Predictor: online,
+			Horizon: 36, Inflation: 0.15, MaxMachines: engCfg.MaxMachines,
+			OnSpike: pstore.SpikeFastRate,
+		}
+	case "Reactive":
+		ctrl = &pstore.ReactiveController{Model: model, MaxMachines: engCfg.MaxMachines}
+	}
+
+	rec, err := pstore.NewRecorder(time.Now(), 300*time.Millisecond)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	eng.SetRecorder(rec)
+	rec.RecordMachines(time.Now(), engCfg.InitialMachines)
+	sq, err := pstore.NewSquall(eng, pstore.DefaultSquallConfig())
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	sq.SetRecorder(rec)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	var moveCount atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(cycleMinutes * minutePerSlot)
+		defer ticker.Stop()
+		last, _, _ := eng.Counters()
+		var moving atomic.Bool
+		var moveWG sync.WaitGroup
+		defer moveWG.Wait()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			sub, _, _ := eng.Counters()
+			load := float64(sub-last) / rateScale / cycleMinutes
+			last = sub
+			busy := moving.Load() || sq.InProgress()
+			dec, err := ctrl.Tick(eng.ActiveMachines(), busy, load)
+			if err != nil || dec == nil || busy {
+				continue
+			}
+			from := eng.ActiveMachines()
+			moveCount.Add(1)
+			moving.Store(true)
+			moveWG.Add(1)
+			go func(to int, rate float64) {
+				defer moveWG.Done()
+				defer moving.Store(false)
+				if err := sq.Reconfigure(from, to, rate); err != nil {
+					log.Printf("%s reconfigure: %v", policy, err)
+				}
+			}(dec.Target, dec.RateFactor)
+		}
+	}()
+
+	driver := &pstore.B2WDriver{Eng: eng, Spec: spec, Seed: 6}
+	if _, err := driver.Run(ctx, day, minutePerSlot, rateScale); err != nil && ctx.Err() == nil {
+		return 0, 0, 0, 0, err
+	}
+	cancel()
+	wg.Wait()
+	eng.SetRecorder(nil)
+
+	const sloMs = 40
+	return rec.SLAViolations(50, sloMs), rec.SLAViolations(99, sloMs),
+		rec.AverageMachines(), int(moveCount.Load()), nil
+}

@@ -1,0 +1,71 @@
+// Wikipedia: compares the load predictors of the paper's Section 5 on two
+// hourly page-view workloads of different predictability — the
+// highly periodic English-Wikipedia-like trace and the noisier
+// German-Wikipedia-like trace (Figure 6) — and shows how forecast accuracy
+// decays with the forecasting period for SPAR, AR and ARMA.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pstore"
+)
+
+func main() {
+	for _, lang := range []string{"english", "german"} {
+		trace, err := syntheticWiki(lang)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train := trace.Values[:4*7*24] // four weeks of hourly data
+		test := trace.Values
+
+		fmt.Printf("%s-Wikipedia-like trace (%d days, hourly)\n", lang, trace.Len()/24)
+		fmt.Printf("%8s %10s %10s %10s\n", "tau (h)", "SPAR", "AR", "ARMA")
+		for tau := 1; tau <= 6; tau++ {
+			spar := pstore.NewSPAR(24, 7, 6)
+			if err := spar.FitHorizons(train, tau); err != nil {
+				log.Fatal(err)
+			}
+			ar := pstore.NewAR(12)
+			if err := ar.Fit(train); err != nil {
+				log.Fatal(err)
+			}
+			arma := pstore.NewARMA(12, 6)
+			if err := arma.Fit(train); err != nil {
+				log.Fatal(err)
+			}
+			row := fmt.Sprintf("%8d", tau)
+			for _, p := range []pstore.Predictor{spar, ar, arma} {
+				var actual, pred []float64
+				for now := len(train); now+tau < len(test); now++ {
+					v, err := p.Forecast(test[:now+1], tau)
+					if err != nil {
+						log.Fatal(err)
+					}
+					pred = append(pred, v)
+					actual = append(actual, test[now+tau])
+				}
+				mre, err := pstore.MRE(actual, pred)
+				if err != nil {
+					log.Fatal(err)
+				}
+				row += fmt.Sprintf("   %6.2f%%", mre*100)
+			}
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper reference (Figure 6): SPAR keeps the English trace under ~10% MRE through")
+	fmt.Println("six hours and the German trace under ~13%; AR-family baselines decay faster.")
+}
+
+// syntheticWiki builds a six-week synthetic hourly trace.
+func syntheticWiki(lang string) (pstore.Series, error) {
+	const days = 42
+	if lang == "english" {
+		return pstore.SyntheticWikipediaEnglish(3, days)
+	}
+	return pstore.SyntheticWikipediaGerman(3, days)
+}

@@ -1,0 +1,3 @@
+module pstore
+
+go 1.22

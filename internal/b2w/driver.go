@@ -1,0 +1,221 @@
+package b2w
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/store"
+	"pstore/internal/workload"
+)
+
+// Mix assigns a relative weight to every transaction type; the driver draws
+// each arrival's type proportionally. DefaultMix approximates an online
+// retail flow: browsing and cart edits dominate, a fraction of sessions
+// proceed through reservation and checkout.
+type Mix map[string]float64
+
+// DefaultMix returns the standard benchmark mix.
+func DefaultMix() Mix {
+	return Mix{
+		TxnGetCart:                22,
+		TxnAddLineToCart:          16,
+		TxnDeleteLineFromCart:     3,
+		TxnDeleteCart:             2,
+		TxnReserveCart:            3,
+		TxnGetStockQuantity:       14,
+		TxnGetStock:               5,
+		TxnReserveStock:           5,
+		TxnPurchaseStock:          3,
+		TxnCancelStockReservation: 1,
+		TxnCreateStockTransaction: 3,
+		TxnGetStockTransaction:    2,
+		TxnUpdateStockTransaction: 2,
+		TxnCreateCheckout:         4,
+		TxnCreateCheckoutPayment:  3,
+		TxnAddLineToCheckout:      4,
+		TxnGetCheckout:            4,
+		TxnDeleteLineFromCheckout: 2,
+		TxnDeleteCheckout:         2,
+	}
+}
+
+// Driver replays a load trace against the engine, converting each slot's
+// request count into Poisson transaction arrivals (Section 7: the paper
+// replays B2W's production logs; here the trace is synthetic but the
+// request mix and keys mimic the production flow).
+type Driver struct {
+	// Eng is the target engine.
+	Eng *store.Engine
+	// Spec sizes the key pools (must match what Load created).
+	Spec LoadSpec
+	// Mix weights the transaction types; nil uses DefaultMix.
+	Mix Mix
+	// Seed makes the replay reproducible.
+	Seed int64
+
+	inFlight sync.WaitGroup
+	executed atomic.Int64
+	failed   atomic.Int64
+}
+
+// Stats reports what the driver executed.
+type Stats struct {
+	// Executed is the number of completed transactions.
+	Executed int64
+	// Failed is the number of transactions that returned an error
+	// (including expected business errors like insufficient stock).
+	Failed int64
+}
+
+// Run replays the trace: slot i of series lasts slotDur of wall time and
+// produces series[i]*rateScale Poisson arrivals. It blocks until the trace
+// and all in-flight transactions finish, or ctx is cancelled.
+func (d *Driver) Run(ctx context.Context, series workload.Series, slotDur time.Duration, rateScale float64) (Stats, error) {
+	if d.Eng == nil {
+		return Stats{}, errors.New("b2w: driver has no engine")
+	}
+	arrivals, err := workload.NewArrivals(series, slotDur, rateScale, d.Seed)
+	if err != nil {
+		return Stats{}, err
+	}
+	mix := d.Mix
+	if mix == nil {
+		mix = DefaultMix()
+	}
+	chooser, err := newChooser(mix)
+	if err != nil {
+		return Stats{}, err
+	}
+	rng := rand.New(rand.NewSource(d.Seed + 1))
+
+	start := time.Now()
+	for {
+		at, ok := arrivals.Next()
+		if !ok {
+			break
+		}
+		if err := sleepUntil(ctx, start.Add(at)); err != nil {
+			break // context cancelled: stop issuing, wait for in-flight
+		}
+		name := chooser.pick(rng)
+		key, args := d.keyAndArgs(rng, name)
+		d.inFlight.Add(1)
+		go func(name, key string, args any) {
+			defer d.inFlight.Done()
+			if _, err := d.Eng.Execute(name, key, args); err != nil {
+				d.failed.Add(1)
+				return
+			}
+			d.executed.Add(1)
+		}(name, key, args)
+	}
+	d.inFlight.Wait()
+	return Stats{Executed: d.executed.Load(), Failed: d.failed.Load()}, ctx.Err()
+}
+
+func sleepUntil(ctx context.Context, t time.Time) error {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// keyAndArgs draws the routing key and arguments for one transaction.
+func (d *Driver) keyAndArgs(rng *rand.Rand, name string) (string, any) {
+	carts := max(d.Spec.Carts, 1)
+	checkouts := max(d.Spec.Checkouts, 1)
+	stocks := max(d.Spec.Stocks, 1)
+	cart := CartKey(rng.Intn(carts))
+	checkout := CheckoutKey(rng.Intn(checkouts))
+	sku := StockKey(rng.Intn(stocks))
+	line := LineArgs{
+		SKU:       sku,
+		Quantity:  1 + rng.Intn(3),
+		UnitPrice: int64(500 + rng.Intn(100000)),
+		Customer:  fmt.Sprintf("customer-%06d", rng.Intn(1_000_000)),
+	}
+	switch name {
+	case TxnAddLineToCart, TxnDeleteLineFromCart:
+		return cart, line
+	case TxnGetCart, TxnDeleteCart, TxnReserveCart:
+		return cart, nil
+	case TxnGetStock, TxnGetStockQuantity:
+		return sku, nil
+	case TxnReserveStock, TxnPurchaseStock, TxnCancelStockReservation:
+		return sku, QuantityArgs{Quantity: 1 + rng.Intn(2)}
+	case TxnCreateStockTransaction:
+		return StockTxKey(rng.Intn(stocks * 4)), StockTxArgs{CartID: cart, SKU: sku, Quantity: 1}
+	case TxnGetStockTransaction:
+		return StockTxKey(rng.Intn(stocks * 4)), nil
+	case TxnUpdateStockTransaction:
+		status := StockTxPurchased
+		if rng.Intn(3) == 0 {
+			status = StockTxCancelled
+		}
+		return StockTxKey(rng.Intn(stocks * 4)), StatusArgs{Status: status}
+	case TxnCreateCheckout:
+		return checkout, CheckoutArgs{CartID: cart, Lines: []CartLine{{SKU: sku, Quantity: 1, UnitPrice: line.UnitPrice}}}
+	case TxnCreateCheckoutPayment:
+		return checkout, Payment{Method: "credit", Amount: line.UnitPrice}
+	case TxnAddLineToCheckout, TxnDeleteLineFromCheckout:
+		return checkout, line
+	case TxnGetCheckout, TxnDeleteCheckout:
+		return checkout, nil
+	default:
+		return cart, nil
+	}
+}
+
+// chooser draws transaction names proportionally to their weights.
+type chooser struct {
+	names []string
+	cumul []float64
+	total float64
+}
+
+func newChooser(mix Mix) (*chooser, error) {
+	c := &chooser{}
+	// Deterministic order: iterate the canonical name list.
+	for _, name := range AllTxns {
+		w, ok := mix[name]
+		if !ok {
+			continue
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("b2w: negative weight for %s", name)
+		}
+		if w == 0 {
+			continue
+		}
+		c.total += w
+		c.names = append(c.names, name)
+		c.cumul = append(c.cumul, c.total)
+	}
+	if c.total <= 0 {
+		return nil, errors.New("b2w: mix has no positive weights")
+	}
+	return c, nil
+}
+
+func (c *chooser) pick(rng *rand.Rand) string {
+	x := rng.Float64() * c.total
+	for i, cm := range c.cumul {
+		if x < cm {
+			return c.names[i]
+		}
+	}
+	return c.names[len(c.names)-1]
+}

@@ -1,0 +1,132 @@
+package b2w
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pstore/internal/store"
+)
+
+// LoadSpec sizes the initial database. The paper's experiments run against
+// roughly 1.1 GB of active carts and checkouts (Section 8.1); here sizes are
+// row counts on the scaled substrate.
+type LoadSpec struct {
+	// Carts is the number of pre-created shopping carts.
+	Carts int
+	// Checkouts is the number of pre-created checkout objects.
+	Checkouts int
+	// Stocks is the number of SKUs in inventory.
+	Stocks int
+	// LinesPerCart is the mean number of lines per pre-created cart.
+	LinesPerCart int
+	// Seed makes loading reproducible.
+	Seed int64
+	// Loaders is the number of concurrent loading clients (defaults to 8).
+	Loaders int
+}
+
+// DefaultLoadSpec returns a small database suitable for scaled experiments.
+func DefaultLoadSpec() LoadSpec {
+	return LoadSpec{Carts: 4000, Checkouts: 1000, Stocks: 2000, LinesPerCart: 3, Seed: 1, Loaders: 8}
+}
+
+// CartKey returns the cart id for index i.
+func CartKey(i int) string { return fmt.Sprintf("cart-%08d", i) }
+
+// CheckoutKey returns the checkout id for index i.
+func CheckoutKey(i int) string { return fmt.Sprintf("checkout-%08d", i) }
+
+// StockKey returns the SKU for index i.
+func StockKey(i int) string { return fmt.Sprintf("sku-%08d", i) }
+
+// StockTxKey returns the stock-transaction id for index i.
+func StockTxKey(i int) string { return fmt.Sprintf("stocktx-%08d", i) }
+
+// Load populates the engine with the initial carts, checkouts and stock
+// through the regular transaction API. The engine must be started.
+func Load(eng *store.Engine, spec LoadSpec) error {
+	if spec.Carts < 0 || spec.Checkouts < 0 || spec.Stocks < 0 {
+		return fmt.Errorf("b2w: negative load sizes")
+	}
+	loaders := spec.Loaders
+	if loaders < 1 {
+		loaders = 8
+	}
+	lines := max(spec.LinesPerCart, 1)
+
+	type job struct {
+		txn  string
+		key  string
+		args any
+	}
+	jobs := make(chan job, 1024)
+	var wg sync.WaitGroup
+	errCh := make(chan error, loaders)
+	for w := 0; w < loaders; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if _, err := eng.Execute(j.txn, j.key, j.args); err != nil {
+					select {
+					case errCh <- fmt.Errorf("b2w: loading %s %s: %w", j.txn, j.key, err):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	for i := 0; i < spec.Stocks; i++ {
+		jobs <- job{txn: txnLoadStock, key: StockKey(i), args: StockItem{
+			SKU:       StockKey(i),
+			Available: 50 + rng.Intn(200),
+		}}
+	}
+	for i := 0; i < spec.Carts; i++ {
+		n := 1 + rng.Intn(2*lines-1)
+		cart := Cart{Customer: fmt.Sprintf("customer-%06d", rng.Intn(1_000_000))}
+		for l := 0; l < n; l++ {
+			line := CartLine{
+				SKU:       StockKey(rng.Intn(max(spec.Stocks, 1))),
+				Quantity:  1 + rng.Intn(3),
+				UnitPrice: int64(500 + rng.Intn(100000)),
+			}
+			cart.Lines = append(cart.Lines, line)
+			cart.Total += int64(line.Quantity) * line.UnitPrice
+		}
+		jobs <- job{txn: txnLoadCart, key: CartKey(i), args: cart}
+	}
+	for i := 0; i < spec.Checkouts; i++ {
+		line := CartLine{
+			SKU:       StockKey(rng.Intn(max(spec.Stocks, 1))),
+			Quantity:  1,
+			UnitPrice: int64(500 + rng.Intn(100000)),
+		}
+		jobs <- job{txn: txnLoadCheckout, key: CheckoutKey(i), args: Checkout{
+			CartID: CartKey(rng.Intn(max(spec.Carts, 1))),
+			Lines:  []CartLine{line},
+			Total:  int64(line.Quantity) * line.UnitPrice,
+		}}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Internal bootstrap procedures that install complete rows directly during
+// bulk loading; registered by Register alongside the public transactions
+// and configured with zero service time.
+const (
+	txnLoadStock    = "loadStock"
+	txnLoadCart     = "loadCart"
+	txnLoadCheckout = "loadCheckout"
+)

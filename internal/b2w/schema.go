@@ -1,0 +1,94 @@
+// Package b2w implements the open-source B2W retail benchmark of the paper
+// (Section 7 and Appendix C): the shopping-cart / checkout / stock schema of
+// Figure 14, all nineteen stored procedures of Table 4, a data loader, and a
+// trace-driven workload driver. Every transaction accesses a single
+// partitioning key (a cart id, checkout id, stock SKU or stock-transaction
+// id), matching the paper's single-partition workload assumption.
+package b2w
+
+// Table names in the engine.
+const (
+	TableCart     = "CART"
+	TableCheckout = "CHECKOUT"
+	TableStock    = "STOCK"
+	TableStockTx  = "STOCK_TRANSACTION"
+)
+
+// CartLine is one item in a shopping cart.
+type CartLine struct {
+	// SKU identifies the product.
+	SKU string
+	// Quantity is the number of units.
+	Quantity int
+	// UnitPrice is the price in cents.
+	UnitPrice int64
+	// Reserved marks the line as reserved during checkout.
+	Reserved bool
+}
+
+// Cart is a customer shopping cart (the CART table).
+type Cart struct {
+	// ID is the unique cart identifier (the partitioning key).
+	ID string
+	// Customer identifies the owner.
+	Customer string
+	// Lines are the cart's items.
+	Lines []CartLine
+	// Total is the cart value in cents.
+	Total int64
+}
+
+// Payment carries checkout payment information.
+type Payment struct {
+	// Method is the payment instrument (e.g. "credit", "boleto").
+	Method string
+	// Amount is the payment value in cents.
+	Amount int64
+}
+
+// Checkout is an in-progress purchase (the CHECKOUT table).
+type Checkout struct {
+	// ID is the unique checkout identifier (the partitioning key).
+	ID string
+	// CartID references the originating cart.
+	CartID string
+	// Lines are the items being purchased.
+	Lines []CartLine
+	// Payments are the registered payments.
+	Payments []Payment
+	// Total is the checkout value in cents.
+	Total int64
+}
+
+// StockItem is the inventory record for one SKU (the STOCK table).
+type StockItem struct {
+	// SKU identifies the product (the partitioning key).
+	SKU string
+	// Available is the sellable quantity.
+	Available int
+	// Reserved is the quantity held for pending checkouts.
+	Reserved int
+	// Purchased is the cumulative quantity sold.
+	Purchased int
+}
+
+// Stock transaction statuses.
+const (
+	StockTxReserved  = "RESERVED"
+	StockTxPurchased = "PURCHASED"
+	StockTxCancelled = "CANCELLED"
+)
+
+// StockTransaction records a reservation of stock for a cart line (the
+// STOCK_TRANSACTION table).
+type StockTransaction struct {
+	// ID is the unique transaction identifier (the partitioning key).
+	ID string
+	// CartID references the cart the reservation belongs to.
+	CartID string
+	// SKU and Quantity describe what was reserved.
+	SKU      string
+	Quantity int
+	// Status is one of the StockTx* constants.
+	Status string
+}

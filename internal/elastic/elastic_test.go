@@ -1,0 +1,369 @@
+package elastic
+
+import (
+	"testing"
+
+	"pstore/internal/migration"
+	"pstore/internal/predictor"
+)
+
+func model() migration.Model {
+	return migration.Model{Q: 285, QMax: 350, D: 15, P: 6}
+}
+
+func TestStaticNeverMoves(t *testing.T) {
+	var s Static
+	for i := 0; i < 10; i++ {
+		d, err := s.Tick(4, false, float64(i*1000))
+		if err != nil || d != nil {
+			t.Fatalf("static decided %v, %v", d, err)
+		}
+	}
+}
+
+func TestSimpleSchedule(t *testing.T) {
+	s := &Simple{SlotsPerDay: 24, MorningSlot: 8, NightSlot: 20, DayMachines: 6, NightMachines: 2}
+	var targets []int
+	for i := 0; i < 48; i++ {
+		d, err := s.Tick(currentOf(targets, 2), false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			targets = append(targets, d.Target)
+		}
+	}
+	// Two days: morning up, night down, twice.
+	want := []int{6, 2, 6, 2}
+	if len(targets) != len(want) {
+		t.Fatalf("decisions = %v, want %v", targets, want)
+	}
+	for i := range want {
+		if targets[i] != want[i] {
+			t.Fatalf("decisions = %v, want %v", targets, want)
+		}
+	}
+}
+
+// currentOf returns the machine count implied by previously executed
+// decisions (instant moves for this unit test).
+func currentOf(targets []int, initial int) int {
+	if len(targets) == 0 {
+		return initial
+	}
+	return targets[len(targets)-1]
+}
+
+func TestSimpleValidation(t *testing.T) {
+	bad := &Simple{SlotsPerDay: 0}
+	if _, err := bad.Tick(1, false, 0); err == nil {
+		t.Error("invalid Simple config accepted")
+	}
+}
+
+func TestSimpleHoldsDuringReconfig(t *testing.T) {
+	s := &Simple{SlotsPerDay: 4, MorningSlot: 1, NightSlot: 3, DayMachines: 5, NightMachines: 1}
+	s.tick = 1 // inside the day window
+	if d, _ := s.Tick(1, true, 0); d != nil {
+		t.Error("Simple decided during reconfiguration")
+	}
+}
+
+func TestReactiveScaleOutOnOverload(t *testing.T) {
+	r := &Reactive{Model: model()}
+	// 2 machines, load beyond 1.05*QMax*2 = 735.
+	if d, err := r.Tick(2, false, 700); err != nil || d != nil {
+		t.Fatalf("decision below the reactive threshold: %v, %v", d, err)
+	}
+	// Overload must persist for ScaleOutConfirm cycles before the reactive
+	// controller notices (E-Store's detection lag).
+	for i := 0; i < 2; i++ {
+		if d, err := r.Tick(2, false, 950); err != nil || d != nil {
+			t.Fatalf("reacted before the overload persisted (cycle %d): %v, %v", i, d, err)
+		}
+	}
+	d, err := r.Tick(2, false, 950)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("no scale-out on sustained overload")
+	}
+	// target = ceil(950*1.1/285) = 4.
+	if d.Target != 4 {
+		t.Errorf("target = %d, want 4", d.Target)
+	}
+}
+
+func TestReactiveScaleInNeedsStreak(t *testing.T) {
+	r := &Reactive{Model: model(), ScaleInConfirm: 3}
+	for i := 0; i < 2; i++ {
+		if d, _ := r.Tick(4, false, 100); d != nil {
+			t.Fatalf("scaled in after only %d low intervals", i+1)
+		}
+	}
+	d, err := r.Tick(4, false, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || d.Target >= 4 {
+		t.Fatalf("expected scale-in decision, got %v", d)
+	}
+	// A busy interval resets the streak.
+	r2 := &Reactive{Model: model(), ScaleInConfirm: 2}
+	if d, _ := r2.Tick(4, false, 100); d != nil {
+		t.Fatal("premature scale-in")
+	}
+	if d, _ := r2.Tick(4, false, 900); d != nil {
+		t.Fatal("unexpected decision at normal load")
+	}
+	if d, _ := r2.Tick(4, false, 100); d != nil {
+		t.Fatal("streak should have been reset")
+	}
+}
+
+func TestReactiveRespectsMaxMachines(t *testing.T) {
+	r := &Reactive{Model: model(), MaxMachines: 3}
+	d, err := r.Tick(3, false, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Errorf("reactive exceeded MaxMachines: %+v", d)
+	}
+}
+
+func TestReactiveInvalidModel(t *testing.T) {
+	r := &Reactive{Model: migration.Model{}}
+	if _, err := r.Tick(1, false, 10); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestPredictiveValidation(t *testing.T) {
+	p := &Predictive{Model: model(), Horizon: 10}
+	if _, err := p.Tick(1, false, 10); err == nil {
+		t.Error("missing predictor accepted")
+	}
+	p = &Predictive{Model: model(), Horizon: 1, Predictor: predictor.NewOnline(predictor.NewOracle([]float64{1}), 0, 0)}
+	if _, err := p.Tick(1, false, 10); err == nil {
+		t.Error("horizon 1 accepted")
+	}
+}
+
+func TestPredictiveScaleInConfirmation(t *testing.T) {
+	// Constant low load on 2 machines: the planner will call for 2 -> 1,
+	// but only after ScaleInConfirm cycles may a decision be emitted.
+	trace := make([]float64, 200)
+	for i := range trace {
+		trace[i] = 100
+	}
+	o := predictor.NewOnline(predictor.NewOracle(trace), 0, 0)
+	if err := o.ObserveAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	p := &Predictive{
+		Model:          model(),
+		Predictor:      o,
+		Horizon:        10,
+		ScaleInConfirm: 3,
+	}
+	decisions := 0
+	for i := 0; i < 3; i++ {
+		d, err := p.Tick(2, false, trace[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			decisions++
+			if i < 2 {
+				t.Fatalf("scale-in decided on cycle %d, before confirmation", i)
+			}
+			if d.Target != 1 {
+				t.Errorf("target = %d, want 1", d.Target)
+			}
+		}
+	}
+	if decisions != 1 {
+		t.Errorf("decisions = %d, want exactly 1 after confirmation", decisions)
+	}
+}
+
+func TestPredictiveScaleOutAheadOfRise(t *testing.T) {
+	// Load is flat then doubles. With an oracle predictor the controller
+	// must start the scale-out before the rise arrives.
+	trace := make([]float64, 60)
+	for i := range trace {
+		if i < 30 {
+			trace[i] = 200
+		} else {
+			trace[i] = 520
+		}
+	}
+	o := predictor.NewOnline(predictor.NewOracle(trace), 0, 0)
+	if err := o.ObserveAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	p := &Predictive{
+		Model:     model(),
+		Predictor: o,
+		Horizon:   20,
+		Inflation: 0,
+	}
+	decidedAt := -1
+	for i := 0; i < 30; i++ {
+		d, err := p.Tick(1, false, trace[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			decidedAt = i
+			if d.Target != 2 {
+				t.Errorf("target = %d, want 2", d.Target)
+			}
+			break
+		}
+	}
+	if decidedAt == -1 {
+		t.Fatal("controller never scaled out")
+	}
+	if decidedAt >= 30 {
+		t.Errorf("scale-out at %d, after the rise", decidedAt)
+	}
+	// Not absurdly early either: T(1,2) = ceil(15/6 * 0.5) = 2 intervals,
+	// so the decision should come within the horizon of the rise.
+	if decidedAt < 30-20 {
+		t.Errorf("scale-out at %d, before the rise was even visible", decidedAt)
+	}
+}
+
+func TestPredictiveEmergencyOnSpike(t *testing.T) {
+	// A spike the planner cannot provision for in time must trigger the
+	// emergency path with the configured rate policy: the load jumps to
+	// ten machines' worth one interval from now, but any move from one
+	// machine needs several intervals and its effective capacity during
+	// migration is far below the spike.
+	trace := make([]float64, 40)
+	for i := range trace {
+		if i < 1 {
+			trace[i] = 200
+		} else {
+			trace[i] = 2600 // needs 10 machines immediately
+		}
+	}
+	for _, policy := range []SpikePolicy{SpikeRegularRate, SpikeFastRate} {
+		o := predictor.NewOnline(predictor.NewOracle(trace), 0, 0)
+		if err := o.ObserveAll(nil); err != nil {
+			t.Fatal(err)
+		}
+		p := &Predictive{
+			Model:     model(),
+			Predictor: o,
+			Horizon:   8,
+			OnSpike:   policy,
+		}
+		var got *Decision
+		for i := 0; i < 10 && got == nil; i++ {
+			d, err := p.Tick(1, false, trace[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = d
+		}
+		if got == nil {
+			t.Fatalf("policy %v: no emergency decision", policy)
+		}
+		if !got.Emergency {
+			t.Errorf("policy %v: decision not marked emergency", policy)
+		}
+		wantRate := 1.0
+		if policy == SpikeFastRate {
+			wantRate = 8
+		}
+		if got.RateFactor != wantRate {
+			t.Errorf("policy %v: rate = %v, want %v", policy, got.RateFactor, wantRate)
+		}
+		if got.Target != 10 {
+			t.Errorf("policy %v: target = %d, want 10", policy, got.Target)
+		}
+	}
+}
+
+func TestPredictiveHoldsDuringReconfig(t *testing.T) {
+	trace := make([]float64, 50)
+	o := predictor.NewOnline(predictor.NewOracle(trace), 0, 0)
+	if err := o.ObserveAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	p := &Predictive{Model: model(), Predictor: o, Horizon: 10}
+	d, err := p.Tick(2, true, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Error("predictive decided while reconfiguring")
+	}
+}
+
+func TestManualSchedule(t *testing.T) {
+	m := &Manual{Schedule: map[int]int{2: 6, 5: 2}}
+	var got []int
+	for i := 0; i < 8; i++ {
+		cur := 3
+		if len(got) > 0 {
+			cur = got[len(got)-1]
+		}
+		d, err := m.Tick(cur, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			got = append(got, d.Target)
+		}
+	}
+	want := []int{6, 2}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("manual decisions = %v, want %v", got, want)
+	}
+}
+
+func TestManualDelaysWhileReconfiguring(t *testing.T) {
+	m := &Manual{Schedule: map[int]int{0: 5}}
+	if d, err := m.Tick(2, true, 0); err != nil || d != nil {
+		t.Fatalf("fired during reconfiguration: %v, %v", d, err)
+	}
+	d, err := m.Tick(2, false, 0)
+	if err != nil || d == nil || d.Target != 5 {
+		t.Fatalf("delayed move did not fire: %v, %v", d, err)
+	}
+}
+
+func TestManualValidatesSchedule(t *testing.T) {
+	m := &Manual{Schedule: map[int]int{-1: 3}}
+	if _, err := m.Tick(1, false, 0); err == nil {
+		t.Error("negative schedule interval accepted")
+	}
+	m2 := &Manual{Schedule: map[int]int{0: 0}}
+	if _, err := m2.Tick(1, false, 0); err == nil {
+		t.Error("zero machine target accepted")
+	}
+}
+
+func TestManualLayersOverInner(t *testing.T) {
+	// Inner reactive controller handles ordinary ticks; the manual
+	// promotion fires exactly at its scheduled interval.
+	inner := &Reactive{Model: model()}
+	m := &Manual{Schedule: map[int]int{3: 8}, Inner: inner}
+	if m.Name() != "Manual+Reactive" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	for i := 0; i < 3; i++ {
+		if d, err := m.Tick(2, false, 100); err != nil || d != nil {
+			t.Fatalf("tick %d: unexpected decision %v, %v", i, d, err)
+		}
+	}
+	d, err := m.Tick(2, false, 100)
+	if err != nil || d == nil || d.Target != 8 {
+		t.Fatalf("scheduled promotion did not fire: %v, %v", d, err)
+	}
+}

@@ -1,0 +1,84 @@
+package elastic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Manual implements the third arm of the paper's composite provisioning
+// strategy (Section 1): operator-scheduled capacity changes for rare but
+// known events — "special promotions for B2W". Moves fire at fixed
+// intervals regardless of observed load and can be layered over another
+// controller: at each tick the scheduled move wins if one is due, otherwise
+// the inner controller (if any) decides.
+type Manual struct {
+	// Schedule maps interval index -> machine target. Entries fire once,
+	// at the first tick at or after their interval.
+	Schedule map[int]int
+	// Inner optionally handles the ticks between scheduled moves (e.g. a
+	// Predictive controller; the paper's composite strategy). Nil means
+	// purely manual provisioning.
+	Inner Controller
+
+	tick    int
+	pending []scheduledMove
+	loaded  bool
+}
+
+type scheduledMove struct {
+	at     int
+	target int
+}
+
+// Name implements Controller.
+func (m *Manual) Name() string {
+	if m.Inner != nil {
+		return "Manual+" + m.Inner.Name()
+	}
+	return "Manual"
+}
+
+// Tick implements Controller.
+func (m *Manual) Tick(machines int, reconfiguring bool, load float64) (*Decision, error) {
+	if !m.loaded {
+		for at, target := range m.Schedule {
+			if at < 0 || target < 1 {
+				return nil, fmt.Errorf("elastic: manual schedule entry %d -> %d invalid", at, target)
+			}
+			m.pending = append(m.pending, scheduledMove{at: at, target: target})
+		}
+		sort.Slice(m.pending, func(i, j int) bool { return m.pending[i].at < m.pending[j].at })
+		m.loaded = true
+	}
+	tick := m.tick
+	m.tick++
+
+	// Scheduled moves take precedence; they fire at the first opportunity
+	// at or after their interval (a move in progress delays them).
+	if len(m.pending) > 0 && m.pending[0].at <= tick {
+		if reconfiguring {
+			// Keep the inner controller's bookkeeping warm while waiting.
+			if m.Inner != nil {
+				if _, err := m.Inner.Tick(machines, reconfiguring, load); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		}
+		target := m.pending[0].target
+		m.pending = m.pending[1:]
+		if m.Inner != nil {
+			if _, err := m.Inner.Tick(machines, true, load); err != nil {
+				return nil, err
+			}
+		}
+		if target == machines {
+			return nil, nil
+		}
+		return &Decision{Target: target, RateFactor: 1}, nil
+	}
+	if m.Inner != nil {
+		return m.Inner.Tick(machines, reconfiguring, load)
+	}
+	return nil, nil
+}

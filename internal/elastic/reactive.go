@@ -1,0 +1,123 @@
+package elastic
+
+import (
+	"fmt"
+
+	"pstore/internal/migration"
+)
+
+// Reactive is an E-Store-like reactive provisioner (Section 2, Figure 9c):
+// it continuously monitors the per-machine load and reconfigures only after
+// a threshold is breached — which means scale-outs begin exactly when the
+// system is already near peak capacity.
+type Reactive struct {
+	// Model supplies per-machine capacity figures.
+	Model migration.Model
+	// HighFraction of QMax at which a scale-out triggers (default 1.3,
+	// slightly above the saturation throughput: an E-Store-like reactive
+	// system triggers on pinned CPU utilization, which only happens once
+	// the machine is genuinely overloaded and latency is already past the
+	// SLO).
+	HighFraction float64
+	// LowFraction of Q below which scale-in is considered (default 0.5).
+	LowFraction float64
+	// ScaleOutConfirm is how many consecutive overloaded intervals must
+	// pass before a scale-out starts (default 2): E-Store first detects a
+	// sustained imbalance, then runs detailed monitoring and planning
+	// before migration begins, so reaction lags the overload.
+	ScaleOutConfirm int
+	// ScaleInConfirm is how many consecutive low-load intervals must pass
+	// before scaling in (hysteresis; default 5).
+	ScaleInConfirm int
+	// Headroom multiplies the observed load when sizing the new cluster,
+	// creating the capacity "buffer" the paper varies in Figure 12
+	// (default 1.1: a reactive system sizes for the load it sees, not the
+	// load to come, so it re-triggers repeatedly on a rising ramp).
+	Headroom float64
+	// MaxStep caps how many machines one scale-out decision may add
+	// (default 2): E-Store relocates modest sets of hot tuples per
+	// reconfiguration rather than re-provisioning the whole cluster, so a
+	// steep ramp takes several reactions to catch up with.
+	MaxStep int
+	// MaxMachines caps the cluster size (0 = unlimited).
+	MaxMachines int
+
+	lowStreak  int
+	highStreak int
+}
+
+// Name implements Controller.
+func (r *Reactive) Name() string { return "Reactive" }
+
+func (r *Reactive) defaults() {
+	if r.HighFraction == 0 {
+		r.HighFraction = 1.3
+	}
+	if r.LowFraction == 0 {
+		r.LowFraction = 0.5
+	}
+	if r.ScaleOutConfirm == 0 {
+		r.ScaleOutConfirm = 3
+	}
+	if r.ScaleInConfirm == 0 {
+		r.ScaleInConfirm = 5
+	}
+	if r.Headroom == 0 {
+		r.Headroom = 1.1
+	}
+	if r.MaxStep == 0 {
+		r.MaxStep = 2
+	}
+}
+
+// Tick implements Controller.
+func (r *Reactive) Tick(machines int, reconfiguring bool, load float64) (*Decision, error) {
+	if err := r.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("elastic: reactive: %w", err)
+	}
+	r.defaults()
+	if reconfiguring {
+		r.lowStreak = 0
+		r.highStreak = 0
+		return nil, nil
+	}
+	perMachine := load / float64(machines)
+
+	// Overload: react once the overload has persisted — too late to avoid
+	// migrating at peak, but that is the nature of the strategy.
+	if perMachine > r.HighFraction*r.Model.QMax {
+		r.lowStreak = 0
+		r.highStreak++
+		if r.highStreak < r.ScaleOutConfirm {
+			return nil, nil
+		}
+		target := r.Model.MachinesFor(load * r.Headroom)
+		if target > machines+r.MaxStep {
+			target = machines + r.MaxStep
+		}
+		if r.MaxMachines > 0 && target > r.MaxMachines {
+			target = r.MaxMachines
+		}
+		if target > machines {
+			r.highStreak = 0
+			return &Decision{Target: target, RateFactor: 1}, nil
+		}
+		return nil, nil
+	}
+	r.highStreak = 0
+
+	// Underload: require a sustained streak before shrinking.
+	if perMachine < r.LowFraction*r.Model.Q && machines > 1 {
+		r.lowStreak++
+		if r.lowStreak >= r.ScaleInConfirm {
+			r.lowStreak = 0
+			target := max(r.Model.MachinesFor(load*r.Headroom), 1)
+			if target < machines {
+				return &Decision{Target: target, RateFactor: 1}, nil
+			}
+		}
+		return nil, nil
+	}
+	r.lowStreak = 0
+	return nil, nil
+}

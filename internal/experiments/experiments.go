@@ -1,0 +1,111 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 5, 7 and 8). Each experiment has a stable identifier
+// (fig1, fig5, table2, ...), produces the same rows or series the paper
+// reports, and returns machine-readable values so tests can assert the
+// paper's qualitative shape — who wins, by roughly what factor, and where
+// the crossovers fall. EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Quick shrinks trace lengths and durations so the whole suite runs
+	// in minutes; the full-size settings mirror the paper's setup.
+	Quick bool
+	// Seed makes runs reproducible.
+	Seed int64
+	// Log receives progress output; nil discards it.
+	Log io.Writer
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier (e.g. "fig9").
+	ID string
+	// Title describes what the paper figure/table shows.
+	Title string
+	// Lines is the human-readable report, one row per line.
+	Lines []string
+	// Values holds scalar results keyed by metric name.
+	Values map[string]float64
+	// Series holds per-interval or per-parameter series keyed by name.
+	Series map[string][]float64
+}
+
+func newResult(id, title string) *Result {
+	return &Result{
+		ID:     id,
+		Title:  title,
+		Values: map[string]float64{},
+		Series: map[string][]float64{},
+	}
+}
+
+func (r *Result) addLine(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Text renders the full report.
+func (r *Result) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (*Result, error)
+
+// registry maps experiment ids to runners; populated by init() in the
+// per-figure files.
+var registry = map[string]entry{}
+
+type entry struct {
+	title  string
+	runner Runner
+}
+
+func register(id, title string, r Runner) {
+	registry[id] = entry{title: title, runner: r}
+}
+
+// IDs lists all registered experiment identifiers in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns the registered description for an experiment id.
+func Title(id string) (string, bool) {
+	e, ok := registry[id]
+	return e.title, ok
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opts Options) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return e.runner(opts)
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pstore/internal/migration"
+	"pstore/internal/workload"
+)
+
+func init() {
+	register("fig1", "Load on one of B2W's databases over three days", fig1)
+	register("fig2", "Ideal capacity vs actual servers allocated for a sinusoidal demand", fig2)
+	register("fig4", "Servers allocated and effective capacity during migrations (3->5, 3->9, 3->14)", fig4)
+	register("table1", "Schedule of parallel migrations when scaling from 3 to 14 machines", table1)
+}
+
+// fig1 regenerates the three-day B2W load trace of Figure 1: a strong
+// diurnal wave with peak about 10x the trough.
+func fig1(opts Options) (*Result, error) {
+	r := newResult("fig1", "Load on one of B2W's databases over three days")
+	cfg := workload.DefaultB2WConfig(opts.Seed+1, 3)
+	series, err := workload.SyntheticB2W(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.Series["load_per_min"] = series.Values
+	// Report hourly means like the figure's visible envelope.
+	hourly, err := series.Resample(60)
+	if err != nil {
+		return nil, err
+	}
+	r.Series["load_hourly"] = hourly.Values
+	for i, v := range hourly.Values {
+		r.addLine("hour %2d  load %8.0f req/min", i, v)
+	}
+	day := series.Slice(0, workload.MinutesPerDay)
+	ratio := day.Max() / day.Min()
+	r.Values["peak"] = day.Max()
+	r.Values["trough"] = day.Min()
+	r.Values["peak_trough_ratio"] = ratio
+	r.addLine("day-1 peak %.0f, trough %.0f, ratio %.1fx (paper: ~10x)", day.Max(), day.Min(), ratio)
+	return r, nil
+}
+
+// fig2 contrasts the ideal fractional capacity curve with the integral
+// step-function of machines for a sinusoidal demand (Figure 2).
+func fig2(opts Options) (*Result, error) {
+	r := newResult("fig2", "Ideal capacity vs actual servers allocated")
+	const q = 285.0 // capacity per server
+	const buffer = 1.1
+	n := 288
+	demand := make([]float64, n)
+	ideal := make([]float64, n)
+	actual := make([]float64, n)
+	var idealArea, actualArea float64
+	for i := range demand {
+		demand[i] = 1500 + 1200*math.Sin(2*math.Pi*float64(i)/float64(n))
+		ideal[i] = demand[i] * buffer / q
+		actual[i] = math.Ceil(ideal[i])
+		idealArea += ideal[i]
+		actualArea += actual[i]
+	}
+	r.Series["demand"] = demand
+	r.Series["ideal_servers"] = ideal
+	r.Series["actual_servers"] = actual
+	r.Values["ideal_machine_intervals"] = idealArea
+	r.Values["actual_machine_intervals"] = actualArea
+	r.Values["step_overhead"] = actualArea/idealArea - 1
+	r.addLine("ideal capacity area  %8.1f machine-intervals", idealArea)
+	r.addLine("step allocation area %8.1f machine-intervals (+%.1f%% integrality overhead)",
+		actualArea, 100*(actualArea/idealArea-1))
+	for i := 0; i < n; i += n / 12 {
+		r.addLine("t=%3d  demand %6.0f  ideal %5.2f  actual %2.0f", i, demand[i], ideal[i], actual[i])
+	}
+	return r, nil
+}
+
+// fig4 traces machines allocated and effective capacity through the three
+// migration strategies of Figure 4, with one partition per server and time
+// in units of D.
+func fig4(Options) (*Result, error) {
+	r := newResult("fig4", "Effective capacity during migration")
+	m := migration.Model{Q: 1, QMax: 1.2, D: 1, P: 1}
+	for _, c := range []struct{ b, a int }{{3, 5}, {3, 9}, {3, 14}} {
+		sched, err := migration.BuildSchedule(c.b, c.a, 1)
+		if err != nil {
+			return nil, err
+		}
+		totalTime := m.MoveTime(c.b, c.a)
+		rounds := sched.NumRounds()
+		key := keyFor(c.b, c.a)
+		var times, alloc, effcap []float64
+		r.addLine("case %d -> %d: %d rounds, T = %.4f D, avg alloc %.2f machines",
+			c.b, c.a, rounds, totalTime, m.AvgMachAlloc(c.b, c.a))
+		for i := 0; i < rounds; i++ {
+			tm := totalTime * float64(i+1) / float64(rounds)
+			f := sched.FractionMoved(i + 1)
+			a := float64(sched.MachinesAllocated(i))
+			e := m.EffCap(c.b, c.a, f)
+			times = append(times, tm)
+			alloc = append(alloc, a)
+			effcap = append(effcap, e)
+			r.addLine("  t=%.4fD  machines %2.0f  eff-cap %5.2f (cap of %d servers: %d)",
+				tm, a, e, c.a, c.a)
+		}
+		r.Series["time_"+key] = times
+		r.Series["alloc_"+key] = alloc
+		r.Series["effcap_"+key] = effcap
+		r.Values["avg_alloc_"+key] = m.AvgMachAlloc(c.b, c.a)
+		r.Values["move_time_"+key] = totalTime
+	}
+	return r, nil
+}
+
+func keyFor(b, a int) string {
+	return fmt.Sprintf("%d_%d", b, a)
+}
+
+// table1 prints the full sender/receiver round schedule for the 3 -> 14
+// move of Table 1.
+func table1(Options) (*Result, error) {
+	r := newResult("table1", "Schedule of parallel migrations 3 -> 14")
+	sched, err := migration.BuildSchedule(3, 14, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	r.Values["rounds"] = float64(sched.NumRounds())
+	for i, round := range sched.Rounds {
+		line := ""
+		for j, tr := range round {
+			if j > 0 {
+				line += ", "
+			}
+			// Machines are 1-based in the paper's table.
+			line += fmt.Sprintf("%d -> %d", tr.From+1, tr.To+1)
+		}
+		r.addLine("round %2d (alloc %2d): %s", i+1, sched.MachinesAllocated(i), line)
+		r.Series["round_alloc"] = append(r.Series["round_alloc"], float64(sched.MachinesAllocated(i)))
+	}
+	r.addLine("total rounds: %d (paper: 11)", sched.NumRounds())
+	return r, nil
+}

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/b2w"
+	"pstore/internal/elastic"
+	"pstore/internal/metrics"
+	"pstore/internal/squall"
+	"pstore/internal/store"
+	"pstore/internal/workload"
+)
+
+// The live experiments replay the benchmark against the real storage engine
+// with time compressed: one trace minute lasts minutePerSlot of wall time,
+// and the paper-scale request rates (requests/minute) are scaled down by
+// rateScale to match the substrate's capacity. Q, Q̂ and D are re-discovered
+// on this substrate exactly as Section 4.1 prescribes, so the planner's
+// inputs stay self-consistent.
+
+// liveParams collects the substrate-scale constants shared by the live
+// experiments (Figures 7-11).
+type liveParams struct {
+	engineCfg     store.Config
+	squallCfg     squall.Config
+	loadSpec      b2w.LoadSpec
+	minutePerSlot time.Duration // wall time per trace minute
+	recorderWin   time.Duration
+	// latencySLOms is the violation threshold in milliseconds on this
+	// substrate (the paper uses 500 ms at full speed).
+	latencySLOms float64
+	// controllerEveryMin is the monitoring/planning cycle in trace minutes.
+	controllerEveryMin int
+}
+
+func defaultLiveParams(quick bool) liveParams {
+	p := liveParams{
+		engineCfg: store.Config{
+			MaxMachines:          10,
+			PartitionsPerMachine: 6,
+			Buckets:              1440,
+			ServiceTime:          4 * time.Millisecond,
+			QueueCapacity:        1 << 15,
+			InitialMachines:      1,
+		},
+		squallCfg: squall.Config{
+			ChunkRows:     150,
+			RowCost:       40 * time.Microsecond,
+			ChunkOverhead: 500 * time.Microsecond,
+			Spacing:       4 * time.Millisecond,
+			RateFactor:    1,
+		},
+		loadSpec:           b2w.LoadSpec{Carts: 6000, Checkouts: 1500, Stocks: 3000, LinesPerCart: 3, Seed: 7, Loaders: 16},
+		minutePerSlot:      15 * time.Millisecond,
+		recorderWin:        500 * time.Millisecond,
+		latencySLOms:       40,
+		controllerEveryMin: 5,
+	}
+	if quick {
+		p.minutePerSlot = 10 * time.Millisecond
+		p.recorderWin = 300 * time.Millisecond
+	}
+	return p
+}
+
+// estimateD returns the substrate's D: the wall time to migrate the whole
+// database once with a single sender/receiver stream at the configured
+// non-disruptive chunk rate, plus the paper's 10% buffer.
+func estimateD(rows int, cfg squall.Config) time.Duration {
+	chunks := int(math.Ceil(float64(rows) / float64(cfg.ChunkRows)))
+	perRow := time.Duration(float64(cfg.RowCost) * 1.5)
+	perChunk := time.Duration(float64(cfg.ChunkOverhead)*1.5) + cfg.Spacing
+	d := time.Duration(rows)*perRow + time.Duration(chunks)*perChunk
+	return time.Duration(float64(d) * 1.1)
+}
+
+// calibration holds the discovered per-node throughput figures, in real
+// transactions per second on this substrate.
+type calibration struct {
+	saturation float64 // txn/s where the latency constraint breaks
+	qMax       float64 // 0.8 * saturation
+	q          float64 // 0.65 * saturation
+}
+
+var (
+	calMu    sync.Mutex
+	calCache = map[string]calibration{}
+)
+
+// calibrate discovers the single-node saturation rate by ramping a
+// rate-limited workload, like Section 8.1 / Figure 7. Results are cached
+// per engine configuration.
+func calibrate(p liveParams, opts Options) (calibration, error) {
+	key := fmt.Sprintf("%v/%v/%v", p.engineCfg.ServiceTime, p.engineCfg.PartitionsPerMachine, p.loadSpec.Carts)
+	calMu.Lock()
+	if c, ok := calCache[key]; ok {
+		calMu.Unlock()
+		return c, nil
+	}
+	calMu.Unlock()
+
+	res, _, err := rampSingleNode(p, opts, nil)
+	if err != nil {
+		return calibration{}, err
+	}
+	calMu.Lock()
+	calCache[key] = res
+	calMu.Unlock()
+	return res, nil
+}
+
+// rampStep is one step of the Figure 7 ramp.
+type rampStep struct {
+	OfferedRate float64 // txn/s
+	Throughput  float64 // txn/s completed
+	AvgLatency  float64 // ms
+	P99         float64 // ms
+}
+
+// rampSingleNode runs the saturation ramp on one machine and returns the
+// calibration plus the per-step measurements. A non-nil steps callback
+// receives each step as it completes.
+func rampSingleNode(p liveParams, opts Options, onStep func(rampStep)) (calibration, []rampStep, error) {
+	cfg := p.engineCfg
+	cfg.InitialMachines = 1
+	eng, err := store.NewEngine(cfg)
+	if err != nil {
+		return calibration{}, nil, err
+	}
+	if err := b2w.Register(eng); err != nil {
+		return calibration{}, nil, err
+	}
+	eng.Start()
+	defer eng.Stop()
+	if err := b2w.Load(eng, p.loadSpec); err != nil {
+		return calibration{}, nil, err
+	}
+
+	// Theoretical ceiling: P partitions at 1/serviceTime each.
+	ceiling := float64(cfg.PartitionsPerMachine) / cfg.ServiceTime.Seconds()
+	stepDur := 1200 * time.Millisecond
+	if opts.Quick {
+		stepDur = 700 * time.Millisecond
+	}
+	driver := &b2w.Driver{Eng: eng, Spec: p.loadSpec, Seed: opts.Seed + 70}
+
+	var steps []rampStep
+	saturation := 0.0
+	for frac := 0.2; frac <= 1.35; frac += 0.115 {
+		rate := frac * ceiling
+		rec, err := metrics.NewRecorder(time.Now(), p.recorderWin)
+		if err != nil {
+			return calibration{}, nil, err
+		}
+		eng.SetRecorder(rec)
+		// One synthetic slot at the target rate.
+		slots := workload.NewSeries(time.Time{}, time.Minute, []float64{rate * stepDur.Seconds()})
+		if _, err := driver.Run(context.Background(), slots, stepDur, 1); err != nil {
+			return calibration{}, nil, err
+		}
+		eng.SetRecorder(nil)
+
+		var lat, thr, p99 float64
+		n := 0
+		for w := 0; w < rec.Windows(); w++ {
+			if t := rec.Throughput(w); t > 0 {
+				thr += t
+				lat += rec.Percentile(w, 50)
+				if v := rec.Percentile(w, 99); v > p99 {
+					p99 = v
+				}
+				n++
+			}
+		}
+		if n > 0 {
+			thr /= float64(n)
+			lat /= float64(n)
+		}
+		step := rampStep{OfferedRate: rate, Throughput: thr, AvgLatency: lat, P99: p99}
+		steps = append(steps, step)
+		if onStep != nil {
+			onStep(step)
+		}
+		// The latency constraint on this substrate: median above the SLO
+		// marks saturation (queues no longer drain).
+		if lat <= p.latencySLOms {
+			saturation = thr
+		}
+	}
+	if saturation == 0 {
+		return calibration{}, steps, fmt.Errorf("experiments: calibration never sustained the SLO")
+	}
+	c := calibration{saturation: saturation, qMax: 0.8 * saturation, q: 0.65 * saturation}
+	return c, steps, nil
+}
+
+// liveRun executes one elasticity experiment: replaying trace (per-minute
+// paper-scale request counts) against the engine under the given
+// controller. The controller may be nil for static allocation.
+type liveRun struct {
+	params     liveParams
+	trace      workload.Series
+	controller elastic.Controller
+	machines   int     // initial machines
+	rateScale  float64 // paper requests -> substrate transactions
+	seed       int64
+	spikeRate  float64 // emergency rate override for fig11 (0 = per decision)
+}
+
+type liveOutcome struct {
+	rec      *metrics.Recorder
+	stats    b2w.Stats
+	cal      calibration
+	dReal    time.Duration
+	decided  int
+	failures int
+}
+
+// run executes the experiment and returns the recorder for analysis.
+func (lr *liveRun) run(opts Options) (*liveOutcome, error) {
+	p := lr.params
+	cfg := p.engineCfg
+	cfg.InitialMachines = lr.machines
+	eng, err := store.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := b2w.Register(eng); err != nil {
+		return nil, err
+	}
+	eng.Start()
+	defer eng.Stop()
+	if err := b2w.Load(eng, p.loadSpec); err != nil {
+		return nil, err
+	}
+	cal, err := calibrate(p, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	rec, err := metrics.NewRecorder(time.Now(), p.recorderWin)
+	if err != nil {
+		return nil, err
+	}
+	eng.SetRecorder(rec)
+	rec.RecordMachines(time.Now(), lr.machines)
+
+	ex, err := squall.NewExecutor(eng, p.squallCfg)
+	if err != nil {
+		return nil, err
+	}
+	ex.SetRecorder(rec)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	out := &liveOutcome{rec: rec, cal: cal, dReal: estimateD(eng.TotalRows(), p.squallCfg)}
+
+	// Controller loop: every controllerEveryMin trace minutes, observe the
+	// offered load and ask the controller for a decision; execute moves in
+	// the background through Squall.
+	var ctlWG sync.WaitGroup
+	if lr.controller != nil {
+		cycle := time.Duration(p.controllerEveryMin) * p.minutePerSlot
+		ctlWG.Add(1)
+		go func() {
+			defer ctlWG.Done()
+			ticker := time.NewTicker(cycle)
+			defer ticker.Stop()
+			// Start from the current counter so bulk loading does not
+			// masquerade as offered load on the first cycle.
+			lastSubmitted, _, _ := eng.Counters()
+			var moveWG sync.WaitGroup
+			defer moveWG.Wait()
+			var moving atomic.Bool
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+				sub, _, _ := eng.Counters()
+				delta := sub - lastSubmitted
+				lastSubmitted = sub
+				// Convert to paper units: requests per trace minute.
+				loadPaper := float64(delta) / lr.rateScale / float64(p.controllerEveryMin)
+				busy := moving.Load() || ex.InProgress()
+				dec, err := lr.controller.Tick(eng.ActiveMachines(), busy, loadPaper)
+				if err != nil {
+					out.failures++
+					continue
+				}
+				if dec == nil || busy {
+					continue
+				}
+				out.decided++
+				rate := dec.RateFactor
+				if lr.spikeRate > 0 && dec.Emergency {
+					rate = lr.spikeRate
+				}
+				from := eng.ActiveMachines()
+				moving.Store(true)
+				moveWG.Add(1)
+				go func(from, to int, rate float64) {
+					defer moveWG.Done()
+					defer moving.Store(false)
+					if err := ex.Reconfigure(from, to, rate); err != nil {
+						out.failures++
+					}
+				}(from, dec.Target, rate)
+			}
+		}()
+	}
+
+	driver := &b2w.Driver{Eng: eng, Spec: p.loadSpec, Seed: lr.seed}
+	stats, err := driver.Run(ctx, lr.trace, p.minutePerSlot, lr.rateScale)
+	cancel()
+	ctlWG.Wait()
+	eng.SetRecorder(nil)
+	if err != nil && ctx.Err() == nil {
+		return nil, err
+	}
+	out.stats = stats
+	return out, nil
+}
+
+// paperQ converts the substrate calibration into paper units (requests per
+// trace minute per machine) given the rate scale.
+func paperUnits(cal calibration, p liveParams, rateScale float64) (q, qMax float64) {
+	perMin := p.minutePerSlot.Seconds() / rateScale
+	return cal.q * perMin, cal.qMax * perMin
+}
+
+// chooseRateScale sizes the trace so its peak demands peakMachines of the
+// substrate's Q̂ capacity.
+func chooseRateScale(tracePeak float64, cal calibration, p liveParams, peakMachines float64) float64 {
+	// peak * scale / minutePerSlot = peakMachines * qMax  [txn/s]
+	return peakMachines * cal.qMax * p.minutePerSlot.Seconds() / tracePeak
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import "testing"
+
+// The live-engine experiments replay compressed wall-clock workloads, so
+// they take tens of seconds each; skip them in -short runs.
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-engine experiment: skipped in -short mode")
+	}
+	r, err := Run("fig7", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturation discovered, Q-hat and Q derived as 80%/65% of it.
+	sat := r.Values["saturation_txns"]
+	if sat <= 0 {
+		t.Fatal("no saturation point discovered")
+	}
+	if q := r.Values["q_txns"]; q < 0.64*sat || q > 0.66*sat {
+		t.Errorf("Q = %v, want 65%% of %v", q, sat)
+	}
+	// Latency shape: flat at low offered rates, exploding past saturation.
+	p50 := r.Series["p50_ms"]
+	if len(p50) < 5 {
+		t.Fatal("too few ramp steps")
+	}
+	if p50[len(p50)-1] < 4*p50[0] {
+		t.Errorf("latency at max offered rate (%.1f ms) not well above idle (%.1f ms)",
+			p50[len(p50)-1], p50[0])
+	}
+	// Throughput saturates: final throughput below final offered rate.
+	thr := r.Series["throughput"]
+	off := r.Series["offered"]
+	if thr[len(thr)-1] > 0.9*off[len(off)-1] {
+		t.Errorf("throughput %.0f did not plateau below offered %.0f",
+			thr[len(thr)-1], off[len(off)-1])
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-engine experiment: skipped in -short mode")
+	}
+	r, err := Run("fig8", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99 := r.Series["p99_ms"]
+	if len(p99) < 4 {
+		t.Fatal("too few chunk sizes")
+	}
+	// The largest chunks must hurt tail latency well beyond the smallest
+	// migrating configuration (index 1; index 0 is the static baseline).
+	if p99[len(p99)-1] < 1.5*p99[1] {
+		t.Errorf("largest-chunk p99 %.1f ms not well above smallest-chunk %.1f ms",
+			p99[len(p99)-1], p99[1])
+	}
+	if r.Values["d_seconds"] <= 0 {
+		t.Error("no D discovered")
+	}
+}
+
+func TestFig9Table2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-engine experiment: skipped in -short mode")
+	}
+	r, err := Run("table2", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(s string) float64 {
+		return r.Values[s+"_p50"] + r.Values[s+"_p95"] + r.Values[s+"_p99"]
+	}
+	// Paper Table 2 orderings on this substrate:
+	// static-4 violates heavily; P-Store no worse than reactive; P-Store
+	// uses about half the machines of peak provisioning.
+	if total("static-4") < 5 {
+		t.Errorf("static-4 violations %v, expected heavy overload at peak", total("static-4"))
+	}
+	if total("pstore") > total("reactive") {
+		t.Errorf("P-Store violations %v exceed reactive's %v", total("pstore"), total("reactive"))
+	}
+	if total("pstore") > total("static-4")/2 {
+		t.Errorf("P-Store violations %v not well below static-4's %v", total("pstore"), total("static-4"))
+	}
+	pm := r.Values["pstore_machines"]
+	if pm < 4 || pm > 7 {
+		t.Errorf("P-Store average machines %.2f, want roughly half of the 10-machine peak", pm)
+	}
+	if r.Values["static-10_machines"] != 10 {
+		t.Errorf("static-10 machines %v", r.Values["static-10_machines"])
+	}
+	// fig10 derives from the same runs and must agree on the worst case.
+	r10, err := Run("fig10", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r10.Series["pstore_p99"]) == 0 {
+		t.Error("fig10 missing P-Store p99 CDF")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-engine experiment: skipped in -short mode")
+	}
+	r, err := Run("fig11", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Faster migration reaches capacity sooner: no more total violation
+	// windows than the regular rate (paper: 166 -> 117 total).
+	if r.Values["rate_Rx8_total"] > r.Values["rate_R_total"] {
+		t.Errorf("rate Rx8 total violations %v exceed rate R's %v",
+			r.Values["rate_Rx8_total"], r.Values["rate_R_total"])
+	}
+}

@@ -1,0 +1,66 @@
+// Package hash implements MurmurHash 2.0, the hash the P-Store paper uses to
+// map partitioning keys to data partitions (Section 8.1). The 64-bit variant
+// (MurmurHash64A) matches the widely used Java port cited by the paper.
+package hash
+
+// Murmur2 computes the 64-bit MurmurHash2 (variant 64A) of data with the
+// given seed.
+func Murmur2(data []byte, seed uint64) uint64 {
+	const (
+		m = 0xc6a4a7935bd1e995
+		r = 47
+	)
+	h := seed ^ uint64(len(data))*m
+
+	n := len(data) / 8 * 8
+	for i := 0; i < n; i += 8 {
+		k := uint64(data[i]) | uint64(data[i+1])<<8 | uint64(data[i+2])<<16 |
+			uint64(data[i+3])<<24 | uint64(data[i+4])<<32 | uint64(data[i+5])<<40 |
+			uint64(data[i+6])<<48 | uint64(data[i+7])<<56
+		k *= m
+		k ^= k >> r
+		k *= m
+		h ^= k
+		h *= m
+	}
+
+	tail := data[n:]
+	switch len(tail) {
+	case 7:
+		h ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		h ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		h ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		h ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		h ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		h ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		h ^= uint64(tail[0])
+		h *= m
+	}
+
+	h ^= h >> r
+	h *= m
+	h ^= h >> r
+	return h
+}
+
+// String hashes a string key with the default seed used across the engine.
+func String(s string) uint64 {
+	return Murmur2([]byte(s), 0x9747b28c)
+}
+
+// Partition maps a string key onto one of n partitions. n must be positive.
+func Partition(key string, n int) int {
+	return int(String(key) % uint64(n))
+}

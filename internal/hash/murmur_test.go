@@ -1,0 +1,90 @@
+package hash
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMurmur2Deterministic(t *testing.T) {
+	a := Murmur2([]byte("shopping-cart-42"), 0x9747b28c)
+	b := Murmur2([]byte("shopping-cart-42"), 0x9747b28c)
+	if a != b {
+		t.Fatalf("hash not deterministic: %x vs %x", a, b)
+	}
+	if c := Murmur2([]byte("shopping-cart-43"), 0x9747b28c); c == a {
+		t.Error("distinct keys unexpectedly collide")
+	}
+	if d := Murmur2([]byte("shopping-cart-42"), 1); d == a {
+		t.Error("seed change did not change hash")
+	}
+}
+
+func TestMurmur2AllTailLengths(t *testing.T) {
+	// Exercise every remainder branch (lengths 0..16) and ensure prefix
+	// extension changes the hash.
+	data := []byte("abcdefghijklmnop")
+	seen := map[uint64]int{}
+	for n := 0; n <= len(data); n++ {
+		h := Murmur2(data[:n], 0)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("lengths %d and %d collide", prev, n)
+		}
+		seen[h] = n
+	}
+}
+
+func TestMurmur2EmptyInput(t *testing.T) {
+	// Must not panic; empty input with equal seeds is stable.
+	if Murmur2(nil, 5) != Murmur2([]byte{}, 5) {
+		t.Error("nil and empty slice should hash identically")
+	}
+}
+
+func TestPartitionRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		p := Partition(fmt.Sprintf("key-%d", i), 7)
+		if p < 0 || p >= 7 {
+			t.Fatalf("Partition out of range: %d", p)
+		}
+	}
+}
+
+// TestPartitionUniformity reproduces the paper's Section 8.1 check: with
+// randomly generated cart keys hashed onto 30 partitions, the skew across
+// partitions should be small (the paper reports the most-accessed partition
+// within ~10% of average and a standard deviation of ~2.6% of average).
+func TestPartitionUniformity(t *testing.T) {
+	const parts = 30
+	const keys = 300000
+	counts := make([]float64, parts)
+	for i := 0; i < keys; i++ {
+		counts[Partition(fmt.Sprintf("cart-%d-%d", i, i*2654435761), parts)]++
+	}
+	mean := float64(keys) / parts
+	maxDev, sumSq := 0.0, 0.0
+	for _, c := range counts {
+		dev := math.Abs(c-mean) / mean
+		if dev > maxDev {
+			maxDev = dev
+		}
+		sumSq += (c - mean) * (c - mean)
+	}
+	std := math.Sqrt(sumSq/parts) / mean
+	if maxDev > 0.10 {
+		t.Errorf("max partition deviation %.2f%% exceeds 10%%", maxDev*100)
+	}
+	if std > 0.03 {
+		t.Errorf("partition std %.2f%% exceeds 3%%", std*100)
+	}
+}
+
+func TestStringMatchesMurmur2(t *testing.T) {
+	f := func(s string) bool {
+		return String(s) == Murmur2([]byte(s), 0x9747b28c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package metrics collects the performance measurements the paper's
+// evaluation reports: windowed latency percentiles, throughput, SLA
+// violation counts (Table 2), top-1% percentile CDFs (Figure 10) and
+// machine-allocation timelines (Figure 9).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates per-transaction latencies into fixed-width time
+// windows (the paper uses one-second windows for SLA accounting). It is
+// safe for concurrent use by many client goroutines.
+type Recorder struct {
+	mu sync.Mutex
+
+	start     time.Time
+	window    time.Duration
+	latencies [][]float64 // per window, milliseconds
+	counts    []int
+
+	machines      []machineSample
+	reconfiguring []reconfigSpan
+}
+
+type machineSample struct {
+	at time.Time
+	n  int
+}
+
+type reconfigSpan struct {
+	from, to time.Time
+}
+
+// NewRecorder returns a recorder with the given aggregation window,
+// starting its clock at start.
+func NewRecorder(start time.Time, window time.Duration) (*Recorder, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("metrics: window %v must be positive", window)
+	}
+	return &Recorder{start: start, window: window}, nil
+}
+
+// Record files one completed transaction that finished at `at` with the
+// given latency.
+func (r *Recorder) Record(at time.Time, latency time.Duration) {
+	w := int(at.Sub(r.start) / r.window)
+	if w < 0 {
+		w = 0
+	}
+	ms := float64(latency) / float64(time.Millisecond)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.latencies) <= w {
+		r.latencies = append(r.latencies, nil)
+		r.counts = append(r.counts, 0)
+	}
+	r.latencies[w] = append(r.latencies[w], ms)
+	r.counts[w]++
+}
+
+// RecordMachines notes that the cluster size changed to n at time `at`.
+func (r *Recorder) RecordMachines(at time.Time, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.machines = append(r.machines, machineSample{at: at, n: n})
+}
+
+// RecordReconfiguration notes that a data migration was in progress between
+// from and to.
+func (r *Recorder) RecordReconfiguration(from, to time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reconfiguring = append(r.reconfiguring, reconfigSpan{from: from, to: to})
+}
+
+// Windows returns the number of aggregation windows observed so far.
+func (r *Recorder) Windows() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.latencies)
+}
+
+// Throughput returns the transactions completed in window w divided by the
+// window length, in transactions per second.
+func (r *Recorder) Throughput(w int) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w < 0 || w >= len(r.counts) {
+		return 0
+	}
+	return float64(r.counts[w]) / r.window.Seconds()
+}
+
+// Percentile returns the p-th percentile latency (in milliseconds) of
+// window w, or 0 if the window is empty. p is in (0, 100].
+func (r *Recorder) Percentile(w int, p float64) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return percentileLocked(r.latencies, w, p)
+}
+
+func percentileLocked(latencies [][]float64, w int, p float64) float64 {
+	if w < 0 || w >= len(latencies) || len(latencies[w]) == 0 {
+		return 0
+	}
+	vals := append([]float64(nil), latencies[w]...)
+	sort.Float64s(vals)
+	return percentileOfSorted(vals, p)
+}
+
+func percentileOfSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// PercentileSeries returns the p-th percentile latency of every window.
+func (r *Recorder) PercentileSeries(p float64) []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]float64, len(r.latencies))
+	for w := range r.latencies {
+		out[w] = percentileLocked(r.latencies, w, p)
+	}
+	return out
+}
+
+// ThroughputSeries returns per-window throughput in transactions/second.
+func (r *Recorder) ThroughputSeries() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]float64, len(r.counts))
+	for w, c := range r.counts {
+		out[w] = float64(c) / r.window.Seconds()
+	}
+	return out
+}
+
+// SLAViolations counts the windows whose p-th percentile latency exceeds
+// threshold (in milliseconds) — the paper's Table 2 metric with one-second
+// windows and a 500 ms threshold.
+func (r *Recorder) SLAViolations(p float64, thresholdMs float64) int {
+	series := r.PercentileSeries(p)
+	n := 0
+	for _, v := range series {
+		if v > thresholdMs {
+			n++
+		}
+	}
+	return n
+}
+
+// MachineSeries samples the recorded machine-allocation timeline at every
+// aggregation window boundary and returns one cluster size per window.
+func (r *Recorder) MachineSeries() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]float64, len(r.latencies))
+	if len(r.machines) == 0 {
+		return out
+	}
+	cur := r.machines[0].n
+	k := 0
+	for w := range out {
+		boundary := r.start.Add(time.Duration(w+1) * r.window)
+		for k < len(r.machines) && !r.machines[k].at.After(boundary) {
+			cur = r.machines[k].n
+			k++
+		}
+		out[w] = float64(cur)
+	}
+	return out
+}
+
+// AverageMachines returns the time-average cluster size over the recorded
+// timeline, the "Average Machines Allocated" column of Table 2.
+func (r *Recorder) AverageMachines() float64 {
+	series := r.MachineSeries()
+	if len(series) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range series {
+		sum += v
+	}
+	return sum / float64(len(series))
+}
+
+// ReconfiguringWindows reports, per window, whether a migration overlapped
+// it (the light-green spans of Figure 9c/d).
+func (r *Recorder) ReconfiguringWindows() []bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]bool, len(r.latencies))
+	for _, span := range r.reconfiguring {
+		w0 := int(span.from.Sub(r.start) / r.window)
+		w1 := int(span.to.Sub(r.start) / r.window)
+		for w := max(w0, 0); w <= w1 && w < len(out); w++ {
+			out[w] = true
+		}
+	}
+	return out
+}
+
+// TopCDF returns the CDF of the worst topFrac fraction (e.g. 0.01 for the
+// paper's "top 1%") of the per-window p-th percentile latencies: the sorted
+// worst values, suitable for plotting cumulative probability (Figure 10).
+func (r *Recorder) TopCDF(p float64, topFrac float64) []float64 {
+	series := r.PercentileSeries(p)
+	var nonzero []float64
+	for _, v := range series {
+		if v > 0 {
+			nonzero = append(nonzero, v)
+		}
+	}
+	sort.Float64s(nonzero)
+	k := int(float64(len(nonzero)) * topFrac)
+	if k < 1 {
+		k = min(1, len(nonzero))
+	}
+	return nonzero[len(nonzero)-k:]
+}

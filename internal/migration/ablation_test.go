@@ -1,0 +1,77 @@
+package migration
+
+import "testing"
+
+// naiveBlockRounds counts the rounds a schedule would need WITHOUT the
+// three-phase trick: new machines allocated in blocks of s and each block
+// filled completely before the next one starts (so the final partial block
+// of r machines only uses r of the s senders per round).
+func naiveBlockRounds(base, delta int) int {
+	if base >= delta {
+		return base
+	}
+	s := base
+	full := delta / s
+	r := delta % s
+	rounds := full * s
+	if r > 0 {
+		// The last r receivers each need data from all s senders, but only
+		// r transfers can run per round (receiver-limited).
+		rounds += s
+	}
+	return rounds
+}
+
+// TestThreePhaseSavesRounds is the ablation behind Table 1's design: the
+// three-phase schedule finishes 3->14 in 11 rounds where the naive
+// block-at-a-time schedule needs 12, and it never does worse anywhere in
+// the plane.
+func TestThreePhaseSavesRounds(t *testing.T) {
+	s, err := BuildSchedule(3, 14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, naive := s.NumRounds(), naiveBlockRounds(3, 11); got != 11 || naive != 12 {
+		t.Errorf("3->14: three-phase %d rounds vs naive %d; want 11 vs 12 (paper Section 4.4.1)", got, naive)
+	}
+	saved := 0
+	for b := 1; b <= 12; b++ {
+		for a := 1; a <= 24; a++ {
+			if a <= b {
+				continue
+			}
+			s, err := BuildSchedule(b, a, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive := naiveBlockRounds(b, a-b)
+			if s.NumRounds() > naive {
+				t.Errorf("%d->%d: three-phase %d rounds worse than naive %d", b, a, s.NumRounds(), naive)
+			}
+			if s.NumRounds() < naive {
+				saved++
+			}
+		}
+	}
+	if saved == 0 {
+		t.Error("three-phase scheduling never saved a round anywhere; ablation should show savings")
+	}
+}
+
+// TestScheduleKeepsSendersBusy verifies the property the three phases buy:
+// in every round of a scale-out with delta > base, all base senders are
+// transferring — the schedule never leaves a sender idle, which is what
+// makes it achieve the Equation 2 parallelism bound exactly.
+func TestScheduleKeepsSendersBusy(t *testing.T) {
+	for _, c := range []struct{ b, a int }{{3, 14}, {2, 5}, {4, 11}, {5, 23}} {
+		s, err := BuildSchedule(c.b, c.a, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, round := range s.Rounds {
+			if len(round) != c.b {
+				t.Errorf("%d->%d round %d uses %d senders, want all %d", c.b, c.a, i, len(round), c.b)
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package migration
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Transfer is one sender→receiver machine pairing within a round. During
+// the round the pair exchanges PairFraction of the database using P parallel
+// partition-to-partition streams.
+type Transfer struct {
+	// From is the sending machine index.
+	From int
+	// To is the receiving machine index.
+	To int
+}
+
+// Round is a set of transfers executed in parallel. No machine appears in
+// more than one transfer of a round (each partition talks to at most one
+// other partition at a time, Section 4.4.1).
+type Round []Transfer
+
+// Schedule is the complete migration plan for a move, as produced by the
+// P-Store Scheduler: an ordered list of rounds in which every
+// sender/receiver machine pair appears exactly once. Machines are numbered
+// so that indices below min(B, A) are the machines common to both
+// configurations; when scaling out, indices B..A-1 are the new machines;
+// when scaling in, indices A..B-1 are the machines being drained.
+type Schedule struct {
+	// B and A are the cluster sizes before and after the move.
+	B, A int
+	// P is the number of partitions per machine.
+	P int
+	// Rounds is the ordered migration rounds.
+	Rounds []Round
+	// PairFraction is the fraction of the whole database each machine
+	// pair transfers: 1/(B*A).
+	PairFraction float64
+}
+
+// BuildSchedule constructs the round schedule for a move from b to a
+// machines with p partitions per machine, using the three strategies of
+// Section 4.4.1 (Figure 4): when enough senders exist all new machines are
+// added at once; when the delta is a multiple of the smaller cluster,
+// machines are added in blocks just in time; otherwise a three-phase
+// schedule keeps every sender busy in every round while still allocating
+// machines as late as possible. A do-nothing move yields an empty schedule.
+func BuildSchedule(b, a, p int) (*Schedule, error) {
+	if b < 1 || a < 1 {
+		return nil, fmt.Errorf("migration: cluster sizes B=%d, A=%d must be at least 1", b, a)
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("migration: partitions per machine %d must be at least 1", p)
+	}
+	s := &Schedule{B: b, A: a, P: p, PairFraction: 1 / float64(a*b)}
+	if b == a {
+		return s, nil
+	}
+	if b < a {
+		s.Rounds = scaleOutRounds(b, a-b)
+		return s, nil
+	}
+	// Scale-in mirrors scale-out: generate the rounds for growing from a to
+	// b, reverse each transfer (data drains from the machines that would
+	// have been filled) and reverse the round order so the machines that
+	// would have been added last are drained first and can be released
+	// earliest.
+	out := scaleOutRounds(a, b-a)
+	rounds := make([]Round, 0, len(out))
+	for i := len(out) - 1; i >= 0; i-- {
+		r := make(Round, len(out[i]))
+		for j, tr := range out[i] {
+			r[j] = Transfer{From: tr.To, To: tr.From}
+		}
+		rounds = append(rounds, r)
+	}
+	s.Rounds = rounds
+	return s, nil
+}
+
+// scaleOutRounds builds the rounds for adding delta new machines to base
+// existing ones. Existing machines are 0..base-1; new machines are
+// base..base+delta-1.
+func scaleOutRounds(base, delta int) []Round {
+	// Case 1: base >= delta — all new machines at once; senders rotate.
+	if base >= delta {
+		rounds := make([]Round, 0, base)
+		for i := 0; i < base; i++ {
+			r := make(Round, 0, delta)
+			for j := 0; j < delta; j++ {
+				r = append(r, Transfer{From: (i + j) % base, To: base + j})
+			}
+			rounds = append(rounds, r)
+		}
+		return rounds
+	}
+
+	s := base
+	blocks := delta / s
+	r := delta % s
+
+	// Case 2: delta is a perfect multiple of base — fill blocks of s new
+	// machines one block at a time, each block taking s round-robin rounds.
+	if r == 0 {
+		rounds := make([]Round, 0, delta)
+		for k := 0; k < blocks; k++ {
+			rounds = append(rounds, blockRounds(s, base+k*s, s)...)
+		}
+		return rounds
+	}
+
+	// Case 3: three phases (Figure 4c, Table 1).
+	var rounds []Round
+	// Phase 1: blocks-1 full blocks, completely filled.
+	for k := 0; k < blocks-1; k++ {
+		rounds = append(rounds, blockRounds(s, base+k*s, s)...)
+	}
+	// Phase 2: one more block of s machines, filled only r/s of the way
+	// (r rounds of the round-robin).
+	p2start := base + (blocks-1)*s
+	rounds = append(rounds, blockRounds(s, p2start, r)...)
+	// Phase 3: the final r machines arrive; the s remaining transfers per
+	// sender (finishing the phase-2 block plus filling the new machines)
+	// are edge-colored into s full-parallelism rounds.
+	p3start := base + delta - r
+	type edge struct{ from, to int }
+	var edges []edge
+	for i := r; i < s; i++ { // unfinished phase-2 round-robin rounds
+		for j := 0; j < s; j++ {
+			edges = append(edges, edge{from: (i + j) % s, to: p2start + j})
+		}
+	}
+	for to := p3start; to < base+delta; to++ {
+		for from := 0; from < s; from++ {
+			edges = append(edges, edge{from: from, to: to})
+		}
+	}
+	// Bipartite edge coloring with s colors (König): every sender has
+	// degree exactly s, so a proper s-coloring exists; each color class
+	// becomes one round that uses every sender once.
+	colorOf := colorBipartite(len(edges), s, func(k int) (int, int) {
+		return edges[k].from, edges[k].to
+	})
+	phase3 := make([]Round, s)
+	for k, e := range edges {
+		c := colorOf[k]
+		phase3[c] = append(phase3[c], Transfer{From: e.from, To: e.to})
+	}
+	// Order phase-3 rounds so the rounds that touch only already-allocated
+	// machines come first, postponing the final r allocations. A round
+	// containing a transfer to a phase-3 machine needs those machines; all
+	// rounds do here, so sort by the smallest new-machine index touched,
+	// descending stability is unnecessary — keep deterministic order by
+	// sorting on each round's minimum receiver.
+	sort.SliceStable(phase3, func(x, y int) bool {
+		return maxReceiver(phase3[x]) < maxReceiver(phase3[y])
+	})
+	return append(rounds, phase3...)
+}
+
+// blockRounds produces count round-robin rounds filling the block of s new
+// machines starting at blockStart from senders 0..s-1.
+func blockRounds(s, blockStart, count int) []Round {
+	rounds := make([]Round, 0, count)
+	for i := 0; i < count; i++ {
+		r := make(Round, 0, s)
+		for j := 0; j < s; j++ {
+			r = append(r, Transfer{From: (i + j) % s, To: blockStart + j})
+		}
+		rounds = append(rounds, r)
+	}
+	return rounds
+}
+
+func maxReceiver(r Round) int {
+	m := -1
+	for _, t := range r {
+		if t.To > m {
+			m = t.To
+		}
+	}
+	return m
+}
+
+// colorBipartite properly colors the edges of a bipartite multigraph with
+// colors 0..colors-1 using the alternating-path construction behind König's
+// edge-coloring theorem. edgeAt returns the endpoints (left, right) of edge
+// k; no vertex may have degree above colors.
+func colorBipartite(nEdges, colors int, edgeAt func(int) (int, int)) []int {
+	colorOf := make([]int, nEdges)
+	// free[v][c] reports whether color c is unused at vertex v; vertices
+	// on the two sides are tracked in separate maps. used[v][c] stores the
+	// edge index using color c at v, or -1.
+	type side map[int][]int
+	newSide := func() side { return side{} }
+	left, right := newSide(), newSide()
+	slot := func(s side, v int) []int {
+		if s[v] == nil {
+			s[v] = make([]int, colors)
+			for c := range s[v] {
+				s[v][c] = -1
+			}
+		}
+		return s[v]
+	}
+	freeColor := func(s side, v int) int {
+		for c, e := range slot(s, v) {
+			if e == -1 {
+				return c
+			}
+		}
+		return -1
+	}
+	for k := 0; k < nEdges; k++ {
+		u, v := edgeAt(k)
+		cu := freeColor(left, u)
+		cv := freeColor(right, v)
+		if slot(right, v)[cu] == -1 {
+			colorOf[k] = cu
+			slot(left, u)[cu] = k
+			slot(right, v)[cu] = k
+			continue
+		}
+		// cu is busy at v: collect the maximal alternating cu/cv path
+		// starting at v, then swap the two colors along it. In a
+		// bipartite graph the path cannot return to u, so after the swap
+		// cu is free at v and the new edge can take it.
+		var path []int
+		vert, onLeft, want := v, false, cu
+		for {
+			var s side
+			if onLeft {
+				s = left
+			} else {
+				s = right
+			}
+			e := slot(s, vert)[want]
+			if e == -1 {
+				break
+			}
+			path = append(path, e)
+			eu, ev := edgeAt(e)
+			if onLeft {
+				vert, onLeft = ev, false
+			} else {
+				vert, onLeft = eu, true
+			}
+			if want == cu {
+				want = cv
+			} else {
+				want = cu
+			}
+		}
+		for _, e := range path {
+			eu, ev := edgeAt(e)
+			slot(left, eu)[colorOf[e]] = -1
+			slot(right, ev)[colorOf[e]] = -1
+		}
+		for _, e := range path {
+			eu, ev := edgeAt(e)
+			if colorOf[e] == cu {
+				colorOf[e] = cv
+			} else {
+				colorOf[e] = cu
+			}
+			slot(left, eu)[colorOf[e]] = e
+			slot(right, ev)[colorOf[e]] = e
+		}
+		colorOf[k] = cu
+		slot(left, u)[cu] = k
+		slot(right, v)[cu] = k
+	}
+	return colorOf
+}

@@ -1,0 +1,166 @@
+package migration
+
+import "fmt"
+
+// NumRounds returns the number of migration rounds.
+func (s *Schedule) NumRounds() int { return len(s.Rounds) }
+
+// RoundTime returns the wall time of a single round given d, the
+// single-thread full-database migration time: each machine pair moves
+// PairFraction of the database with P parallel partition streams.
+func (s *Schedule) RoundTime(d float64) float64 {
+	return d * s.PairFraction / float64(s.P)
+}
+
+// TotalTime returns the wall time of the whole schedule given d. It equals
+// Model.MoveTime for the same parameters (the schedule achieves the maximum
+// parallelism of Equation 2 in every round).
+func (s *Schedule) TotalTime(d float64) float64 {
+	return s.RoundTime(d) * float64(len(s.Rounds))
+}
+
+// MachinesAllocated returns the number of machines allocated during round i
+// (0-based). When scaling out, a new machine is allocated just before the
+// first round in which it receives data; when scaling in, a machine is
+// released right after the last round in which it sends data.
+func (s *Schedule) MachinesAllocated(i int) int {
+	if len(s.Rounds) == 0 {
+		return s.B
+	}
+	common := min(s.B, s.A)
+	extra := max(s.B, s.A) - common
+	n := common
+	for m := common; m < common+extra; m++ {
+		first, last := s.participation(m)
+		if first == -1 {
+			continue // machine never participates (cannot happen in valid schedules)
+		}
+		if s.B < s.A {
+			if i >= first {
+				n++
+			}
+		} else {
+			if i <= last {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// participation returns the first and last round indices in which machine m
+// appears, or (-1, -1) if it never does.
+func (s *Schedule) participation(m int) (first, last int) {
+	first, last = -1, -1
+	for i, r := range s.Rounds {
+		for _, t := range r {
+			if t.From == m || t.To == m {
+				if first == -1 {
+					first = i
+				}
+				last = i
+			}
+		}
+	}
+	return first, last
+}
+
+// FractionMoved returns f, the fraction of the move's total data that has
+// been transferred after the first i rounds complete.
+func (s *Schedule) FractionMoved(i int) float64 {
+	if len(s.Rounds) == 0 {
+		return 1
+	}
+	moved := 0
+	for r := 0; r < i && r < len(s.Rounds); r++ {
+		moved += len(s.Rounds[r])
+	}
+	total := 0
+	for _, r := range s.Rounds {
+		total += len(r)
+	}
+	return float64(moved) / float64(total)
+}
+
+// PartitionTransfer is a partition-level data stream within a round.
+type PartitionTransfer struct {
+	// FromPartition and ToPartition are global partition indices
+	// (machine*P + local index).
+	FromPartition, ToPartition int
+	// Fraction is the portion of the whole database this stream moves.
+	Fraction float64
+}
+
+// PartitionTransfers expands a machine-level round into its P parallel
+// partition-level streams per transfer: partition k of the sender streams to
+// partition k of the receiver, each carrying PairFraction/P of the database.
+func (s *Schedule) PartitionTransfers(round Round) []PartitionTransfer {
+	out := make([]PartitionTransfer, 0, len(round)*s.P)
+	for _, t := range round {
+		for k := 0; k < s.P; k++ {
+			out = append(out, PartitionTransfer{
+				FromPartition: t.From*s.P + k,
+				ToPartition:   t.To*s.P + k,
+				Fraction:      s.PairFraction / float64(s.P),
+			})
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the schedule: every
+// sender/receiver machine pair appears exactly once across all rounds, no
+// machine appears twice within a round, and parallelism never exceeds
+// Equation 2. It is used by tests and as a guard before execution.
+func (s *Schedule) Validate() error {
+	if s.B == s.A {
+		if len(s.Rounds) != 0 {
+			return fmt.Errorf("migration: do-nothing move has %d rounds", len(s.Rounds))
+		}
+		return nil
+	}
+	common := min(s.B, s.A)
+	extra := max(s.B, s.A) - common
+	seen := make(map[Transfer]bool)
+	model := Model{Q: 1, QMax: 1, D: 1, P: s.P}
+	maxPar := model.MaxParallel(s.B, s.A) / s.P
+	for i, r := range s.Rounds {
+		if len(r) > maxPar {
+			return fmt.Errorf("migration: round %d has %d transfers, exceeding max parallelism %d", i, len(r), maxPar)
+		}
+		busy := make(map[int]bool)
+		for _, t := range r {
+			if s.B < s.A {
+				// Scaling out: common machines send to the new ones.
+				if t.From < 0 || t.From >= common {
+					return fmt.Errorf("migration: round %d transfer %v has invalid sender", i, t)
+				}
+				if t.To < common || t.To >= common+extra {
+					return fmt.Errorf("migration: round %d transfer %v has invalid receiver", i, t)
+				}
+			} else {
+				// Scaling in: drained machines send to the survivors.
+				if t.From < common || t.From >= common+extra {
+					return fmt.Errorf("migration: round %d transfer %v has invalid sender", i, t)
+				}
+				if t.To < 0 || t.To >= common {
+					return fmt.Errorf("migration: round %d transfer %v has invalid receiver", i, t)
+				}
+			}
+			if busy[t.From] || busy[t.To] {
+				return fmt.Errorf("migration: round %d uses machine twice (%v)", i, t)
+			}
+			busy[t.From] = true
+			busy[t.To] = true
+			if seen[t] {
+				return fmt.Errorf("migration: pair %v appears twice", t)
+			}
+			seen[t] = true
+		}
+	}
+	want := common * extra
+	if len(seen) != want {
+		return fmt.Errorf("migration: schedule covers %d pairs, want %d", len(seen), want)
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+// Package planner implements P-Store's predictive elasticity algorithm
+// (Section 4.3): a dynamic program that, given a time series of predicted
+// load, finds the cheapest feasible sequence of reconfiguration moves — when
+// to add or remove servers and how many — such that the predicted load never
+// exceeds the cluster's effective capacity, even while data is in flight.
+//
+// The implementation follows Algorithms 1 (best-moves), 2 (cost) and
+// 3 (sub-cost) of the paper, memoizing the optimal last move for every
+// (time, machine-count) state.
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pstore/internal/migration"
+)
+
+// ErrInfeasible is returned when no sequence of moves can keep capacity
+// above the predicted load — for example when a flash crowd is predicted to
+// arrive faster than data can be migrated. The controller then falls back
+// to one of the reactive strategies of Section 4.3.1.
+var ErrInfeasible = errors.New("planner: no feasible sequence of moves")
+
+// Move is one reconfiguration: the cluster goes from From machines at
+// interval Start to To machines at interval End. From == To denotes a
+// "do nothing" stretch.
+type Move struct {
+	// Start and End are interval indices into the predicted load series;
+	// the move occupies intervals (Start, End].
+	Start, End int
+	// From and To are the machine counts before and after the move.
+	From, To int
+}
+
+// IsReconfiguration reports whether the move actually changes the cluster.
+func (m Move) IsReconfiguration() bool { return m.From != m.To }
+
+// String renders the move compactly for logs.
+func (m Move) String() string {
+	if !m.IsReconfiguration() {
+		return fmt.Sprintf("[%d,%d] hold %d", m.Start, m.End, m.From)
+	}
+	return fmt.Sprintf("[%d,%d] %d->%d", m.Start, m.End, m.From, m.To)
+}
+
+// Plan is the output of the planner: contiguous moves covering the whole
+// horizon, their total cost in machine-intervals (Equation 1), and the final
+// cluster size.
+type Plan struct {
+	// Moves are ordered by start time; consecutive do-nothing intervals
+	// are merged.
+	Moves []Move
+	// Cost is the total machine-intervals consumed across the horizon.
+	Cost float64
+	// FinalMachines is the cluster size at the end of the horizon.
+	FinalMachines int
+}
+
+// FirstReconfiguration returns the first move that changes the cluster
+// size, or a zero Move and false if the plan is all holds. P-Store executes
+// only this move and then replans (receding horizon control, Section 6).
+func (p *Plan) FirstReconfiguration() (Move, bool) {
+	for _, m := range p.Moves {
+		if m.IsReconfiguration() {
+			return m, true
+		}
+	}
+	return Move{}, false
+}
+
+// Planner runs the predictive elasticity dynamic program against a
+// migration model.
+type Planner struct {
+	// Model supplies cap, T(B,A), C(B,A) and eff-cap. Model.D must be
+	// expressed in planning intervals.
+	Model migration.Model
+	// MaxMachines optionally caps the largest cluster considered; zero
+	// means "as many as the predicted peak requires".
+	MaxMachines int
+}
+
+// memoEntry mirrors m[t,A] in the paper: the minimal cost of reaching A
+// machines at time t, and the last move that achieves it.
+type memoEntry struct {
+	cost      float64
+	prevTime  int
+	prevNodes int
+	set       bool
+}
+
+type dpState struct {
+	model migration.Model
+	load  []float64
+	n0    int
+	z     int
+	memo  []memoEntry // (t, nodes) -> entry; index t*(z+1)+nodes
+}
+
+func (d *dpState) entry(t, nodes int) *memoEntry {
+	return &d.memo[t*(d.z+1)+nodes]
+}
+
+// BestMoves implements Algorithm 1. load[t] is the predicted load for
+// interval t, with t = 0 the present interval; n0 is the current cluster
+// size. It returns the cheapest feasible plan ending with as few machines
+// as possible, or ErrInfeasible.
+func (p *Planner) BestMoves(load []float64, n0 int) (*Plan, error) {
+	if err := p.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if n0 < 1 {
+		return nil, fmt.Errorf("planner: initial machine count %d must be at least 1", n0)
+	}
+	if len(load) < 2 {
+		return nil, fmt.Errorf("planner: need at least 2 predicted intervals, got %d", len(load))
+	}
+	// Z: machines needed for the predicted peak (Algorithm 1 line 2).
+	peak := 0.0
+	for _, v := range load {
+		if v > peak {
+			peak = v
+		}
+	}
+	z := max(p.Model.MachinesFor(peak), n0)
+	if p.MaxMachines > 0 && z > p.MaxMachines {
+		z = p.MaxMachines
+	}
+
+	d := &dpState{
+		model: p.Model,
+		load:  load,
+		n0:    n0,
+		z:     z,
+		memo:  make([]memoEntry, len(load)*(z+1)),
+	}
+	tEnd := len(load) - 1
+	// Try final cluster sizes from smallest to largest; the memo is shared
+	// across iterations because cost(t, A) does not depend on the final
+	// target (pure memoization of an identical recurrence).
+	for i := 1; i <= z; i++ {
+		if math.IsInf(d.cost(tEnd, i), 1) {
+			continue
+		}
+		return d.extract(tEnd, i), nil
+	}
+	return nil, ErrInfeasible
+}
+
+// cost implements Algorithm 2: the minimum cost of a feasible series of
+// moves ending with nodes machines at interval t.
+func (d *dpState) cost(t, nodes int) float64 {
+	// Constraint violations and insufficient capacity are infinitely
+	// expensive (Section 4.3.2).
+	if t < 0 || (t == 0 && nodes != d.n0) || nodes < 1 {
+		return math.Inf(1)
+	}
+	if d.load[t] > d.model.Cap(nodes)+capEps {
+		return math.Inf(1)
+	}
+	e := d.entry(t, nodes)
+	if e.set {
+		return e.cost
+	}
+	if t == 0 {
+		*e = memoEntry{cost: float64(nodes), prevTime: -1, prevNodes: nodes, set: true}
+		return e.cost
+	}
+	best := math.Inf(1)
+	bestB := -1
+	for b := 1; b <= d.z; b++ {
+		if c := d.subCost(t, b, nodes); c < best {
+			best = c
+			bestB = b
+		}
+	}
+	if bestB == -1 {
+		*e = memoEntry{cost: math.Inf(1), prevTime: -1, prevNodes: -1, set: true}
+		return e.cost
+	}
+	tm := d.moveIntervals(bestB, nodes)
+	*e = memoEntry{
+		cost:      best,
+		prevTime:  t - tm,
+		prevNodes: bestB,
+		set:       true,
+	}
+	return e.cost
+}
+
+// capEps absorbs floating-point rounding when comparing load to capacity.
+const capEps = 1e-9
+
+// moveIntervals is T(B,A) rounded up to whole intervals, with the paper's
+// convention that every move — including "do nothing" — lasts at least one
+// interval (Algorithm 2 line 9).
+func (d *dpState) moveIntervals(b, a int) int {
+	tm := d.model.MoveIntervals(b, a)
+	if tm == 0 {
+		return 1
+	}
+	return tm
+}
+
+// moveCost prices a move in machine-intervals. A do-nothing interval costs
+// b; a reconfiguration costs its duration (in whole intervals) times the
+// average machines allocated (Equation 4, rounded consistently with
+// moveIntervals so cost units stay machine-intervals).
+func (d *dpState) moveCost(b, a int) float64 {
+	if b == a {
+		return float64(b)
+	}
+	return float64(d.moveIntervals(b, a)) * d.model.AvgMachAlloc(b, a)
+}
+
+// subCost implements Algorithm 3: minimum cost ending at interval t where
+// the final move goes from b to a machines.
+func (d *dpState) subCost(t, b, a int) float64 {
+	tm := d.moveIntervals(b, a)
+	cm := d.moveCost(b, a)
+	start := t - tm
+	if start < 0 {
+		// The move would have to start in the past.
+		return math.Inf(1)
+	}
+	// During every interval of the move the predicted load must stay under
+	// the effective capacity (Equation 7) at the migration progress reached
+	// by then.
+	for i := 1; i <= tm; i++ {
+		f := float64(i) / float64(tm)
+		if d.load[start+i] > d.model.EffCap(b, a, f)+capEps {
+			return math.Inf(1)
+		}
+	}
+	prior := d.cost(start, b)
+	if math.IsInf(prior, 1) {
+		return prior
+	}
+	return prior + cm
+}
+
+// extract walks the memo backwards from (t, nodes) and builds the plan
+// (Algorithm 1 lines 6-11), merging consecutive holds.
+func (d *dpState) extract(t, nodes int) *Plan {
+	plan := &Plan{Cost: d.entry(t, nodes).cost, FinalMachines: nodes}
+	var rev []Move
+	for t > 0 {
+		e := d.entry(t, nodes)
+		rev = append(rev, Move{Start: e.prevTime, End: t, From: e.prevNodes, To: nodes})
+		t, nodes = e.prevTime, e.prevNodes
+	}
+	for i := len(rev) - 1; i >= 0; i-- {
+		m := rev[i]
+		// Merge consecutive do-nothing intervals.
+		if n := len(plan.Moves); n > 0 && !m.IsReconfiguration() &&
+			!plan.Moves[n-1].IsReconfiguration() && plan.Moves[n-1].To == m.From {
+			plan.Moves[n-1].End = m.End
+			continue
+		}
+		plan.Moves = append(plan.Moves, m)
+	}
+	return plan
+}

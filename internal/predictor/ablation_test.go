@@ -1,0 +1,68 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pstore/internal/timeseries"
+)
+
+// TestSPAROffsetTermAblation isolates the value of SPAR's second term
+// (Equation 8's b_j recent-offset coefficients): on a load with persistent
+// transient deviations from the daily pattern, full SPAR must beat the
+// pure-periodic model (m = 0), because only the offset term can see that
+// today is running hotter or colder than usual.
+func TestSPAROffsetTermAblation(t *testing.T) {
+	const period = 96
+	rng := rand.New(rand.NewSource(23))
+	n := period * 24
+	trace := make([]float64, n)
+	// Daily sine plus slowly-wandering day-level deviation (campaigns,
+	// seasonality) that persists for many slots.
+	dayShift := 0.0
+	for i := range trace {
+		if i%period == 0 {
+			dayShift = 0.85 + 0.3*rng.Float64()
+		}
+		base := 200 + 1800*0.5*(1-math.Cos(2*math.Pi*float64(i%period)/period))
+		trace[i] = base * dayShift * (1 + 0.02*rng.NormFloat64())
+	}
+	train := trace[:period*16]
+
+	tau := 4
+	full := NewSPAR(period, 7, 12)
+	if err := full.FitHorizons(train, tau); err != nil {
+		t.Fatal(err)
+	}
+	periodicOnly := NewSPAR(period, 7, 0)
+	if err := periodicOnly.FitHorizons(train, tau); err != nil {
+		t.Fatal(err)
+	}
+
+	mre := func(p Predictor) float64 {
+		var actual, pred []float64
+		for now := period * 17; now+tau < n; now += 3 {
+			v, err := p.Forecast(trace[:now+1], tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred = append(pred, v)
+			actual = append(actual, trace[now+tau])
+		}
+		m, err := timeseries.MRE(actual, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	fullMRE := mre(full)
+	periodicMRE := mre(periodicOnly)
+	if fullMRE >= periodicMRE {
+		t.Errorf("full SPAR MRE %.3f not below periodic-only %.3f: the offset term buys nothing",
+			fullMRE, periodicMRE)
+	}
+	if periodicMRE < 0.02 {
+		t.Errorf("periodic-only MRE %.3f suspiciously low; the trace should have transient structure", periodicMRE)
+	}
+}

@@ -1,0 +1,90 @@
+package predictor
+
+import (
+	"fmt"
+
+	"pstore/internal/timeseries"
+)
+
+// AR is a classic auto-regressive model of order p:
+//
+//	y(t+1) = c + sum_{i=1..p} phi_i * y(t+1-i)
+//
+// Multi-step forecasts iterate the one-step model, feeding predictions back
+// in as pseudo-observations. The paper uses AR as one of the baselines that
+// SPAR outperforms (Section 5: MRE 12.5% for AR vs 10.4% for SPAR on B2W at
+// tau = 60 minutes).
+type AR struct {
+	// Order is p, the number of auto-regressive lags.
+	Order int
+
+	c   float64   // intercept
+	phi []float64 // lag coefficients, phi[i] multiplies y(t-i)
+}
+
+// NewAR returns an unfitted AR(p) model.
+func NewAR(order int) *AR { return &AR{Order: order} }
+
+// Name implements Predictor.
+func (a *AR) Name() string { return fmt.Sprintf("AR(%d)", a.Order) }
+
+// MinHistory implements Predictor.
+func (a *AR) MinHistory(int) int { return a.Order }
+
+// Fit estimates the coefficients by least squares on one-step-ahead rows.
+func (a *AR) Fit(train []float64) error {
+	if a.Order < 1 {
+		return fmt.Errorf("predictor: AR order %d must be at least 1", a.Order)
+	}
+	if len(train) < 2*a.Order+2 {
+		return fmt.Errorf("%w: AR(%d) needs at least %d slots, got %d",
+			ErrShortHistory, a.Order, 2*a.Order+2, len(train))
+	}
+	var x [][]float64
+	var y []float64
+	for t := a.Order; t < len(train); t++ {
+		row := make([]float64, a.Order+1)
+		row[0] = 1
+		for i := 1; i <= a.Order; i++ {
+			row[i] = train[t-i]
+		}
+		x = append(x, row)
+		y = append(y, train[t])
+	}
+	w, err := timeseries.LeastSquares(x, y)
+	if err != nil {
+		return fmt.Errorf("fitting AR(%d): %w", a.Order, err)
+	}
+	a.c = w[0]
+	a.phi = w[1:]
+	return nil
+}
+
+// Forecast implements Predictor by iterating the one-step model tau times.
+func (a *AR) Forecast(history []float64, tau int) (float64, error) {
+	if a.phi == nil {
+		return 0, ErrNotFitted
+	}
+	if tau < 1 {
+		return 0, fmt.Errorf("predictor: tau %d must be at least 1", tau)
+	}
+	if len(history) < a.Order {
+		return 0, fmt.Errorf("%w: AR(%d) needs %d slots, got %d",
+			ErrShortHistory, a.Order, a.Order, len(history))
+	}
+	// lags[0] is the most recent value.
+	lags := make([]float64, a.Order)
+	for i := 0; i < a.Order; i++ {
+		lags[i] = history[len(history)-1-i]
+	}
+	var v float64
+	for step := 0; step < tau; step++ {
+		v = a.c
+		for i, p := range a.phi {
+			v += p * lags[i]
+		}
+		copy(lags[1:], lags)
+		lags[0] = v
+	}
+	return v, nil
+}

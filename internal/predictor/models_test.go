@@ -1,0 +1,248 @@
+package predictor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pstore/internal/timeseries"
+)
+
+func TestARRecoversProcess(t *testing.T) {
+	// y(t) = 5 + 0.8*y(t-1) + e(t); phi must come out near 0.8.
+	rng := rand.New(rand.NewSource(11))
+	n := 5000
+	y := make([]float64, n)
+	y[0] = 25
+	for i := 1; i < n; i++ {
+		y[i] = 5 + 0.8*y[i-1] + rng.NormFloat64()
+	}
+	ar := NewAR(1)
+	if err := ar.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ar.phi[0]-0.8) > 0.03 {
+		t.Errorf("phi = %v, want ~0.8", ar.phi[0])
+	}
+	if math.Abs(ar.c-5) > 0.8 {
+		t.Errorf("c = %v, want ~5", ar.c)
+	}
+	// Long-horizon forecast converges to the process mean 25.
+	v, err := ar.Forecast(y, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-25) > 1.5 {
+		t.Errorf("long-horizon AR forecast %v, want ~25", v)
+	}
+}
+
+func TestARErrors(t *testing.T) {
+	if err := NewAR(0).Fit(make([]float64, 10)); err == nil {
+		t.Error("order 0 should fail")
+	}
+	if err := NewAR(4).Fit(make([]float64, 5)); !errors.Is(err, ErrShortHistory) {
+		t.Error("short train should fail with ErrShortHistory")
+	}
+	ar := NewAR(2)
+	if _, err := ar.Forecast([]float64{1, 2, 3}, 1); !errors.Is(err, ErrNotFitted) {
+		t.Error("unfitted forecast should fail")
+	}
+	trace := sineTrace(nil, 8, 100, 10, 50, 0)
+	if err := ar.Fit(trace); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ar.Forecast([]float64{1}, 1); !errors.Is(err, ErrShortHistory) {
+		t.Error("short history should fail")
+	}
+	if _, err := ar.Forecast(trace, 0); err == nil {
+		t.Error("tau=0 should fail")
+	}
+}
+
+func TestARMAOnARMAProcess(t *testing.T) {
+	// y(t) = 2 + 0.7*y(t-1) + e(t) + 0.5*e(t-1).
+	rng := rand.New(rand.NewSource(21))
+	n := 8000
+	y := make([]float64, n)
+	prevE := 0.0
+	for i := 1; i < n; i++ {
+		e := rng.NormFloat64()
+		y[i] = 2 + 0.7*y[i-1] + e + 0.5*prevE
+		prevE = e
+	}
+	m := NewARMA(1, 1)
+	if err := m.Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.phi[0]-0.7) > 0.05 {
+		t.Errorf("phi = %v, want ~0.7", m.phi[0])
+	}
+	if math.Abs(m.theta[0]-0.5) > 0.1 {
+		t.Errorf("theta = %v, want ~0.5", m.theta[0])
+	}
+	// One-step forecasts should beat a mean predictor on this process.
+	var se, seMean float64
+	mean := 2.0 / (1 - 0.7)
+	cnt := 0
+	for now := n - 500; now < n-1; now++ {
+		v, err := m.Forecast(y[:now+1], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se += (v - y[now+1]) * (v - y[now+1])
+		seMean += (mean - y[now+1]) * (mean - y[now+1])
+		cnt++
+	}
+	if se >= seMean {
+		t.Errorf("ARMA MSE %v not better than mean-predictor MSE %v", se/float64(cnt), seMean/float64(cnt))
+	}
+}
+
+func TestARMAErrors(t *testing.T) {
+	if err := NewARMA(0, 1).Fit(make([]float64, 100)); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if err := NewARMA(1, 0).Fit(make([]float64, 100)); err == nil {
+		t.Error("q=0 should fail")
+	}
+	m := NewARMA(1, 1)
+	if _, err := m.Forecast(make([]float64, 50), 1); !errors.Is(err, ErrNotFitted) {
+		t.Error("unfitted forecast should fail")
+	}
+	if err := m.Fit(make([]float64, 6)); err == nil {
+		t.Error("short train should fail")
+	}
+	trace := sineTrace(rand.New(rand.NewSource(1)), 16, 400, 10, 40, 0.05)
+	if err := m.Fit(trace); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forecast(trace[:2], 1); !errors.Is(err, ErrShortHistory) {
+		t.Error("short history should fail")
+	}
+	if _, err := m.Forecast(trace, 0); err == nil {
+		t.Error("tau=0 should fail")
+	}
+}
+
+func TestNaivePeriodicExact(t *testing.T) {
+	const period = 12
+	trace := sineTrace(nil, period, period*6, 10, 100, 0)
+	p := NewNaivePeriodic(period, 3)
+	if err := p.Fit(nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Forecast(trace[:period*5], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trace[period*5-1+4]
+	if math.Abs(v-want) > 1e-9 {
+		t.Errorf("NaivePeriodic forecast %v, want %v", v, want)
+	}
+	if _, err := p.Forecast(trace[:period], period+1); !errors.Is(err, ErrShortHistory) {
+		t.Errorf("short history err = %v", err)
+	}
+	q := NewNaivePeriodic(0, 1)
+	if err := q.Fit(nil); err == nil {
+		t.Error("period 0 should fail")
+	}
+	r := NewNaivePeriodic(5, 2)
+	if _, err := r.Forecast(trace, 1); !errors.Is(err, ErrNotFitted) {
+		t.Error("unfitted NaivePeriodic should fail")
+	}
+}
+
+func TestOracle(t *testing.T) {
+	trace := []float64{10, 20, 30, 40, 50}
+	o := NewOracle(trace)
+	v, err := o.Forecast(trace[:2], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 40 {
+		t.Errorf("oracle forecast = %v, want 40", v)
+	}
+	// Beyond the trace it holds the last value.
+	v, err = o.Forecast(trace, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 50 {
+		t.Errorf("oracle beyond trace = %v, want 50", v)
+	}
+	if _, err := o.Forecast(trace, 0); err == nil {
+		t.Error("tau=0 should fail")
+	}
+	if _, err := NewOracle(nil).Forecast(nil, 1); !errors.Is(err, ErrNotFitted) {
+		t.Error("empty oracle should fail")
+	}
+}
+
+func TestForecastSeries(t *testing.T) {
+	o := NewOracle([]float64{10, -5, 30})
+	out, err := ForecastSeries(o, []float64{10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("len = %d, want 2", len(out))
+	}
+	if out[0] != 0 {
+		t.Errorf("negative forecast should clamp to 0, got %v", out[0])
+	}
+	if out[1] != 30 {
+		t.Errorf("out[1] = %v, want 30", out[1])
+	}
+	if _, err := ForecastSeries(o, nil, 0); err == nil {
+		t.Error("horizon 0 should fail")
+	}
+}
+
+func TestInflate(t *testing.T) {
+	out := Inflate([]float64{100, 200}, 0.15)
+	if math.Abs(out[0]-115) > 1e-9 || math.Abs(out[1]-230) > 1e-9 {
+		t.Errorf("Inflate = %v", out)
+	}
+}
+
+// TestSPARBeatsARLongHorizon reproduces the Section 5 ordering on a periodic
+// load: at long forecast horizons SPAR stays locked to the diurnal pattern
+// while an iterated AR model drifts toward the mean.
+func TestSPARBeatsARLongHorizon(t *testing.T) {
+	const period = 96
+	rng := rand.New(rand.NewSource(17))
+	trace := sineTrace(rng, period, period*20, 200, 1800, 0.04)
+	train := trace[:period*14]
+
+	spar := NewSPAR(period, 7, 10)
+	tau := period / 4 // quarter-day ahead
+	if err := spar.FitHorizons(train, tau); err != nil {
+		t.Fatal(err)
+	}
+	ar := NewAR(10)
+	if err := ar.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+
+	var actual, sparPred, arPred []float64
+	for now := period * 15; now < period*20-tau; now += 5 {
+		sv, err := spar.Forecast(trace[:now+1], tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		av, err := ar.Forecast(trace[:now+1], tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparPred = append(sparPred, sv)
+		arPred = append(arPred, av)
+		actual = append(actual, trace[now+tau])
+	}
+	sparMRE, _ := timeseries.MRE(actual, sparPred)
+	arMRE, _ := timeseries.MRE(actual, arPred)
+	if sparMRE >= arMRE {
+		t.Errorf("SPAR MRE %.3f should beat AR MRE %.3f at tau=%d", sparMRE, arMRE, tau)
+	}
+}

@@ -1,0 +1,99 @@
+package predictor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Online wraps a Predictor with the active-learning behaviour of Section 6:
+// it accumulates load measurements as they arrive, refits the model
+// periodically (the paper found weekly refits sufficient), and serves
+// forecast series for the Predictive Controller.
+//
+// Online is safe for concurrent use.
+type Online struct {
+	mu sync.Mutex
+
+	model Predictor
+	// refitEvery is the number of new observations between refits; zero
+	// disables automatic refitting.
+	refitEvery int
+	// maxHistory bounds the retained history; zero keeps everything.
+	maxHistory int
+
+	history    []float64
+	sinceRefit int
+	fitted     bool
+}
+
+// NewOnline wraps model for online use. refitEvery sets how many new
+// observations trigger a refit (0 disables), maxHistory bounds the retained
+// buffer (0 keeps all observations).
+func NewOnline(model Predictor, refitEvery, maxHistory int) *Online {
+	return &Online{model: model, refitEvery: refitEvery, maxHistory: maxHistory}
+}
+
+// Observe appends one load measurement and refits the model if due. The
+// first refit happens as soon as refitEvery observations have accumulated.
+func (o *Online) Observe(v float64) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.history = append(o.history, v)
+	if o.maxHistory > 0 && len(o.history) > o.maxHistory {
+		o.history = append(o.history[:0:0], o.history[len(o.history)-o.maxHistory:]...)
+	}
+	o.sinceRefit++
+	if o.refitEvery > 0 && o.sinceRefit >= o.refitEvery {
+		if err := o.refitLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ObserveAll appends a batch of measurements without triggering refits,
+// then refits once. Use it to seed the model with historical training data.
+func (o *Online) ObserveAll(vs []float64) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.history = append(o.history, vs...)
+	if o.maxHistory > 0 && len(o.history) > o.maxHistory {
+		o.history = append(o.history[:0:0], o.history[len(o.history)-o.maxHistory:]...)
+	}
+	return o.refitLocked()
+}
+
+func (o *Online) refitLocked() error {
+	if err := o.model.Fit(o.history); err != nil {
+		return fmt.Errorf("online refit: %w", err)
+	}
+	o.fitted = true
+	o.sinceRefit = 0
+	return nil
+}
+
+// Ready reports whether the model has been fitted and the history is long
+// enough to forecast the given horizon.
+func (o *Online) Ready(tau int) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.fitted && len(o.history) >= o.model.MinHistory(tau)
+}
+
+// Forecast returns predictions for 1..horizon slots ahead of the last
+// observation.
+func (o *Online) Forecast(horizon int) ([]float64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.fitted {
+		return nil, ErrNotFitted
+	}
+	return ForecastSeries(o.model, o.history, horizon)
+}
+
+// HistoryLen reports the number of retained observations.
+func (o *Online) HistoryLen() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.history)
+}

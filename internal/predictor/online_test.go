@@ -1,0 +1,91 @@
+package predictor
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestOnlineRefitsAndForecasts(t *testing.T) {
+	const period = 24
+	trace := sineTrace(nil, period, period*10, 10, 100, 0)
+	o := NewOnline(NewSPAR(period, 2, 4), 0, 0)
+	if o.Ready(1) {
+		t.Error("Ready before any data")
+	}
+	if err := o.ObserveAll(trace[:period*8]); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Ready(1) {
+		t.Error("not Ready after seeding")
+	}
+	out, err := o.Forecast(period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != period {
+		t.Fatalf("forecast length %d, want %d", len(out), period)
+	}
+	// Periodic signal: forecast should match the next period closely.
+	for i, v := range out {
+		want := trace[period*8+i]
+		if d := v - want; d > 1e-6+1e-6*want || d < -(1e-6+1e-6*want) {
+			t.Fatalf("forecast[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestOnlinePeriodicRefit(t *testing.T) {
+	const period = 12
+	trace := sineTrace(nil, period, period*20, 10, 100, 0)
+	o := NewOnline(NewSPAR(period, 2, 2), period*6, 0)
+	for i, v := range trace[:period*6] {
+		if err := o.Observe(v); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	if !o.Ready(1) {
+		t.Error("refit should have happened after refitEvery observations")
+	}
+}
+
+func TestOnlineMaxHistoryTrims(t *testing.T) {
+	o := NewOnline(NewOracle([]float64{1}), 0, 5)
+	for i := 0; i < 10; i++ {
+		if err := o.Observe(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := o.HistoryLen(); got != 5 {
+		t.Errorf("history length = %d, want 5", got)
+	}
+}
+
+func TestOnlineForecastUnfitted(t *testing.T) {
+	o := NewOnline(NewSPAR(10, 2, 2), 0, 0)
+	if _, err := o.Forecast(5); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("err = %v, want ErrNotFitted", err)
+	}
+}
+
+func TestOnlineConcurrentAccess(t *testing.T) {
+	const period = 16
+	trace := sineTrace(nil, period, period*12, 10, 100, 0)
+	o := NewOnline(NewSPAR(period, 2, 2), 0, 0)
+	if err := o.ObserveAll(trace); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = o.Observe(50)
+				_, _ = o.Forecast(4)
+				_ = o.Ready(4)
+			}
+		}()
+	}
+	wg.Wait()
+}

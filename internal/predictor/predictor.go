@@ -1,0 +1,67 @@
+// Package predictor implements the load-forecasting models from Section 5
+// of the P-Store paper: Sparse Periodic Auto-Regression (SPAR, Equation 8),
+// plus the AR and ARMA baselines the paper compares against, a naive
+// periodic-mean model, and an oracle that replays the true future load.
+//
+// All models operate on uniformly sampled load series (requests per slot)
+// and forecast tau slots ahead of the end of an observed history, exactly as
+// the paper's Predictor component does for P-Store's Predictive Controller.
+package predictor
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Predictor forecasts future load from an observed history.
+type Predictor interface {
+	// Name identifies the model (used in experiment output).
+	Name() string
+	// Fit estimates the model parameters from a training series of load
+	// measurements, one per slot.
+	Fit(train []float64) error
+	// Forecast predicts the load tau slots after the last history value,
+	// i.e. the value of slot len(history)-1+tau. tau must be at least 1.
+	Forecast(history []float64, tau int) (float64, error)
+	// MinHistory reports the number of trailing history slots the model
+	// needs to produce a forecast with the given horizon.
+	MinHistory(tau int) int
+}
+
+// ErrNotFitted is returned when Forecast is called before a successful Fit.
+var ErrNotFitted = errors.New("predictor: model not fitted")
+
+// ErrShortHistory is returned when the provided history does not cover the
+// lags the model needs.
+var ErrShortHistory = errors.New("predictor: history too short")
+
+// ForecastSeries predicts every slot from 1 to horizon slots ahead of the
+// end of history using p. It is the shape consumed by the planner, which
+// needs a full time-series array of predicted load L.
+func ForecastSeries(p Predictor, history []float64, horizon int) ([]float64, error) {
+	if horizon < 1 {
+		return nil, fmt.Errorf("predictor: horizon %d must be at least 1", horizon)
+	}
+	out := make([]float64, horizon)
+	for tau := 1; tau <= horizon; tau++ {
+		v, err := p.Forecast(history, tau)
+		if err != nil {
+			return nil, fmt.Errorf("forecasting %d slots ahead: %w", tau, err)
+		}
+		if v < 0 {
+			v = 0 // load cannot be negative
+		}
+		out[tau-1] = v
+	}
+	return out, nil
+}
+
+// Inflate scales every prediction up by factor (e.g. 0.15 for the paper's
+// 15% inflation used to absorb prediction error) and returns a new slice.
+func Inflate(pred []float64, factor float64) []float64 {
+	out := make([]float64, len(pred))
+	for i, v := range pred {
+		out[i] = v * (1 + factor)
+	}
+	return out
+}

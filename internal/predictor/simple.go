@@ -1,0 +1,102 @@
+package predictor
+
+import "fmt"
+
+// NaivePeriodic predicts the mean of the same slot in the previous NPeriods
+// periods. It is the periodic-only degenerate case of SPAR (all b_j = 0,
+// a_k = 1/n) and a useful sanity baseline.
+type NaivePeriodic struct {
+	// Period is the number of slots per period.
+	Period int
+	// NPeriods is how many previous periods to average.
+	NPeriods int
+
+	fitted bool
+}
+
+// NewNaivePeriodic returns a naive periodic-mean model.
+func NewNaivePeriodic(period, nPeriods int) *NaivePeriodic {
+	return &NaivePeriodic{Period: period, NPeriods: nPeriods}
+}
+
+// Name implements Predictor.
+func (p *NaivePeriodic) Name() string { return "NaivePeriodic" }
+
+// MinHistory implements Predictor.
+func (p *NaivePeriodic) MinHistory(tau int) int {
+	n := p.NPeriods*p.Period - tau
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Fit implements Predictor; the model has no parameters to estimate but
+// validates its configuration.
+func (p *NaivePeriodic) Fit([]float64) error {
+	if p.Period < 1 || p.NPeriods < 1 {
+		return fmt.Errorf("predictor: NaivePeriodic period %d and nPeriods %d must be at least 1",
+			p.Period, p.NPeriods)
+	}
+	p.fitted = true
+	return nil
+}
+
+// Forecast implements Predictor.
+func (p *NaivePeriodic) Forecast(history []float64, tau int) (float64, error) {
+	if !p.fitted {
+		return 0, ErrNotFitted
+	}
+	if tau < 1 {
+		return 0, fmt.Errorf("predictor: tau %d must be at least 1", tau)
+	}
+	target := len(history) - 1 + tau
+	sum := 0.0
+	for k := 1; k <= p.NPeriods; k++ {
+		i := target - k*p.Period
+		if i < 0 || i >= len(history) {
+			return 0, fmt.Errorf("%w: NaivePeriodic needs %d slots for tau=%d, got %d",
+				ErrShortHistory, p.MinHistory(tau), tau, len(history))
+		}
+		sum += history[i]
+	}
+	return sum / float64(p.NPeriods), nil
+}
+
+// Oracle replays a known future trace: forecasting tau ahead of a history of
+// length h returns Trace[h-1+tau]. The paper's "P-Store Oracle" strategy in
+// Figure 12 uses perfect predictions this way to upper-bound P-Store's
+// achievable performance.
+type Oracle struct {
+	// Trace is the full true load series; histories passed to Forecast are
+	// assumed to be prefixes of it.
+	Trace []float64
+}
+
+// NewOracle returns an oracle over the given true load trace.
+func NewOracle(trace []float64) *Oracle { return &Oracle{Trace: trace} }
+
+// Name implements Predictor.
+func (o *Oracle) Name() string { return "Oracle" }
+
+// MinHistory implements Predictor.
+func (o *Oracle) MinHistory(int) int { return 0 }
+
+// Fit implements Predictor and is a no-op.
+func (o *Oracle) Fit([]float64) error { return nil }
+
+// Forecast implements Predictor. Beyond the end of the trace it holds the
+// last value.
+func (o *Oracle) Forecast(history []float64, tau int) (float64, error) {
+	if tau < 1 {
+		return 0, fmt.Errorf("predictor: tau %d must be at least 1", tau)
+	}
+	if len(o.Trace) == 0 {
+		return 0, ErrNotFitted
+	}
+	i := len(history) - 1 + tau
+	if i >= len(o.Trace) {
+		i = len(o.Trace) - 1
+	}
+	return o.Trace[i], nil
+}

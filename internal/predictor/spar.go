@@ -1,0 +1,180 @@
+package predictor
+
+import (
+	"fmt"
+
+	"pstore/internal/timeseries"
+)
+
+// SPAR implements Sparse Periodic Auto-Regression (Equation 8 of the paper):
+//
+//	y(t+tau) = sum_{k=1..n} a_k * y(t+tau-k*T) + sum_{j=1..m} b_j * dy(t-j)
+//
+// where dy(t-j) = y(t-j) - (1/n) * sum_{k=1..n} y(t-j-k*T) is the offset of
+// the recent load from the expected load at that time of day. The periodic
+// term captures diurnal/weekly patterns; the offset term captures transient
+// deviations. The paper uses n=7 previous periods and m=30 recent
+// measurements for the per-minute B2W load with period T=1440.
+type SPAR struct {
+	// Period is T, the number of slots in one period (1440 for per-minute
+	// data with a daily period, 24 for hourly data).
+	Period int
+	// NPeriods is n, the number of previous periods in the periodic term.
+	NPeriods int
+	// MRecent is m, the number of recent load offsets in the transient term.
+	MRecent int
+
+	a []float64 // periodic coefficients a_k, k = 1..n
+	b []float64 // recent-offset coefficients b_j, j = 1..m
+}
+
+// NewSPAR returns an unfitted SPAR model. See the field documentation for
+// the meaning of the parameters; the paper's defaults for per-minute retail
+// load are NewSPAR(1440, 7, 30).
+func NewSPAR(period, nPeriods, mRecent int) *SPAR {
+	return &SPAR{Period: period, NPeriods: nPeriods, MRecent: mRecent}
+}
+
+// Name implements Predictor.
+func (s *SPAR) Name() string { return "SPAR" }
+
+// MinHistory implements Predictor. Forecasting tau ahead needs periodic lags
+// back to tau - n*T relative to the forecast slot and offset lags back to
+// m + n*T relative to the present.
+func (s *SPAR) MinHistory(tau int) int {
+	periodic := s.NPeriods*s.Period - tau // lag of y(t+tau-nT) behind y(t)
+	if periodic < 0 {
+		periodic = 0
+	}
+	offset := 0
+	if s.MRecent > 0 {
+		offset = s.MRecent + s.NPeriods*s.Period
+	}
+	if periodic > offset {
+		return periodic
+	}
+	return offset
+}
+
+func (s *SPAR) validate() error {
+	if s.Period < 1 {
+		return fmt.Errorf("predictor: SPAR period %d must be at least 1", s.Period)
+	}
+	if s.NPeriods < 1 {
+		return fmt.Errorf("predictor: SPAR n=%d must be at least 1", s.NPeriods)
+	}
+	if s.MRecent < 0 {
+		return fmt.Errorf("predictor: SPAR m=%d must be non-negative", s.MRecent)
+	}
+	return nil
+}
+
+// offset computes dy(idx) = y(idx) - mean over previous periods, for slot
+// idx of series y. The caller guarantees idx - n*Period >= 0.
+func (s *SPAR) offset(y []float64, idx int) float64 {
+	sum := 0.0
+	for k := 1; k <= s.NPeriods; k++ {
+		sum += y[idx-k*s.Period]
+	}
+	return y[idx] - sum/float64(s.NPeriods)
+}
+
+// features builds the regression row predicting slot target of y, treating
+// slot now as the present (so tau = target - now). Returns nil if any
+// required lag falls before the start of y.
+func (s *SPAR) features(y []float64, now, target int) []float64 {
+	row := make([]float64, 0, s.NPeriods+s.MRecent)
+	for k := 1; k <= s.NPeriods; k++ {
+		i := target - k*s.Period
+		if i < 0 {
+			return nil
+		}
+		row = append(row, y[i])
+	}
+	for j := 1; j <= s.MRecent; j++ {
+		i := now - j
+		if i-s.NPeriods*s.Period < 0 {
+			return nil
+		}
+		row = append(row, s.offset(y, i))
+	}
+	return row
+}
+
+// Fit estimates a_k and b_j by linear least squares over all one-step-ahead
+// training rows (tau = 1). Use FitHorizons to fit for longer forecasting
+// periods, as the paper's evaluation does per value of tau.
+func (s *SPAR) Fit(train []float64) error {
+	return s.FitHorizons(train, 1)
+}
+
+// FitHorizons estimates a_k and b_j by pooled linear least squares over
+// training rows for every forecasting period in taus. Equation 8 uses a
+// single coefficient set with tau as a free variable, so pooling several
+// horizons yields coefficients that stay accurate across the whole
+// forecast window the planner consumes.
+func (s *SPAR) FitHorizons(train []float64, taus ...int) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	if len(taus) == 0 {
+		return fmt.Errorf("predictor: SPAR FitHorizons needs at least one horizon")
+	}
+	var x [][]float64
+	var yv []float64
+	for _, tau := range taus {
+		if tau < 1 {
+			return fmt.Errorf("predictor: tau %d must be at least 1", tau)
+		}
+		for target := tau; target < len(train); target++ {
+			row := s.features(train, target-tau, target)
+			if row == nil {
+				continue
+			}
+			x = append(x, row)
+			yv = append(yv, train[target])
+		}
+	}
+	need := s.NPeriods + s.MRecent
+	if len(x) < need {
+		return fmt.Errorf("%w: SPAR needs at least %d usable rows, got %d (train %d slots, period %d, n %d, m %d)",
+			ErrShortHistory, need, len(x), len(train), s.Period, s.NPeriods, s.MRecent)
+	}
+	w, err := timeseries.LeastSquares(x, yv)
+	if err != nil {
+		return fmt.Errorf("fitting SPAR: %w", err)
+	}
+	s.a = w[:s.NPeriods]
+	s.b = w[s.NPeriods:]
+	return nil
+}
+
+// Forecast implements Predictor. history must cover MinHistory(tau) slots.
+func (s *SPAR) Forecast(history []float64, tau int) (float64, error) {
+	if s.a == nil {
+		return 0, ErrNotFitted
+	}
+	if tau < 1 {
+		return 0, fmt.Errorf("predictor: tau %d must be at least 1", tau)
+	}
+	now := len(history) - 1
+	row := s.features(history, now, now+tau)
+	if row == nil {
+		return 0, fmt.Errorf("%w: SPAR needs %d slots for tau=%d, got %d",
+			ErrShortHistory, s.MinHistory(tau), tau, len(history))
+	}
+	v := 0.0
+	for i, f := range row[:s.NPeriods] {
+		v += s.a[i] * f
+	}
+	for j, f := range row[s.NPeriods:] {
+		v += s.b[j] * f
+	}
+	return v, nil
+}
+
+// Coefficients returns copies of the fitted periodic (a_k) and offset (b_j)
+// coefficients, or nil slices if the model is unfitted.
+func (s *SPAR) Coefficients() (a, b []float64) {
+	return append([]float64(nil), s.a...), append([]float64(nil), s.b...)
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+
+	"pstore/internal/elastic"
+	"pstore/internal/predictor"
+	"pstore/internal/workload"
+)
+
+// newNoisyTrace builds a diurnal trace with enough noise and promo activity
+// that prediction error matters.
+func newNoisyTrace(t *testing.T) []float64 {
+	t.Helper()
+	cfg := workload.DefaultB2WConfig(31, 6)
+	cfg.NoiseFrac = 0.08
+	cfg.PromosPerWeek = 2
+	series, err := workload.SyntheticB2W(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := series.Resample(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return five.Values
+}
+
+func runPredictive(t *testing.T, trace []float64, inflation float64, scaleInConfirm int) *Result {
+	t.Helper()
+	m := model()
+	oracleish := predictor.NewOnline(predictor.NewOracle(trace), 0, 0)
+	if err := oracleish.ObserveAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	ctrl := &elastic.Predictive{
+		Model:          m,
+		Predictor:      oracleish,
+		Horizon:        24,
+		Inflation:      inflation,
+		ScaleInConfirm: scaleInConfirm,
+	}
+	res, err := (&Sim{Model: m}).Run(trace, ctrl, m.MachinesFor(trace[0]*1.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestInflationAblation isolates the paper's 15% prediction-inflation knob:
+// with a deliberately imperfect predictor (SPAR under noise), inflating
+// predictions buys fewer capacity shortfalls at a higher machine cost —
+// exactly the "buffer" trade-off that positions points along Figure 12's
+// capacity-cost curve.
+func TestInflationAblation(t *testing.T) {
+	trace := newNoisyTrace(t)
+	m := model()
+	slotsPerDay := workload.MinutesPerDay / 5
+	train := trace[:4*slotsPerDay]
+
+	run := func(inflation float64) *Result {
+		spar := predictor.NewSPAR(slotsPerDay, 3, 6)
+		online := predictor.NewOnline(spar, 0, 0)
+		if err := online.ObserveAll(train); err != nil {
+			t.Fatal(err)
+		}
+		ctrl := &elastic.Predictive{
+			Model:     m,
+			Predictor: online,
+			Horizon:   24,
+			Inflation: inflation,
+		}
+		res, err := (&Sim{Model: m}).Run(trace, ctrl, m.MachinesFor(trace[0]*1.2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	deflated := run(0)
+	inflated := run(0.20)
+	if inflated.Cost <= deflated.Cost {
+		t.Errorf("inflated cost %.0f should exceed deflated %.0f (the buffer is not free)",
+			inflated.Cost, deflated.Cost)
+	}
+	if inflated.Insufficient > deflated.Insufficient {
+		t.Errorf("inflation made shortfalls worse: %d vs %d",
+			inflated.Insufficient, deflated.Insufficient)
+	}
+}
+
+// TestScaleInConfirmationAblation isolates the paper's three-cycle scale-in
+// rule (Section 6): without confirmation the controller executes far more
+// reconfigurations on a noisy trace, for essentially the same capacity
+// outcome — the rule exists to suppress flapping, not to add capacity.
+func TestScaleInConfirmationAblation(t *testing.T) {
+	trace := newNoisyTrace(t)
+	eager := runPredictive(t, trace, 0.10, 1)
+	confirmed := runPredictive(t, trace, 0.10, 6)
+	if confirmed.Moves >= eager.Moves {
+		t.Errorf("confirmation did not reduce reconfigurations: %d (confirmed) vs %d (eager)",
+			confirmed.Moves, eager.Moves)
+	}
+	// The capacity outcome must not get materially worse.
+	if confirmed.Insufficient > eager.Insufficient+len(trace)/100 {
+		t.Errorf("confirmation hurt capacity: %d vs %d shortfall intervals",
+			confirmed.Insufficient, eager.Insufficient)
+	}
+}
+
+// TestEffectiveCapacityPlanningMatters demonstrates why the planner checks
+// Equation 7 instead of nominal capacity: a controller whose plan starts a
+// large scale-out exactly when demand reaches the old capacity is late,
+// because effective capacity during the move is below cap(A). The DP starts
+// earlier; a naive "start when needed" policy accrues shortfalls.
+func TestEffectiveCapacityPlanningMatters(t *testing.T) {
+	m := model()
+	m.D = 60 // slow migrations make the effect visible but remain feasible
+	m.P = 2  // T(2,6) = 60/4 * (1 - 2/6) = 10 intervals
+	// Demand ramps from 1.5 to 6 machines' worth over 40 intervals.
+	trace := make([]float64, 80)
+	for i := range trace {
+		frac := float64(i) / 40
+		if frac > 1 {
+			frac = 1
+		}
+		trace[i] = m.Q * (1.5 + 4.5*frac)
+	}
+	oracle := predictor.NewOnline(predictor.NewOracle(trace), 0, 0)
+	if err := oracle.ObserveAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	pstore := &elastic.Predictive{Model: m, Predictor: oracle, Horizon: 40, Inflation: 0.02}
+	resP, err := (&Sim{Model: m}).Run(trace, pstore, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Naive policy: scale out only when the load reaches current capacity.
+	naive := &elastic.Reactive{Model: m, HighFraction: m.Q / m.QMax, ScaleOutConfirm: 1, Headroom: 1.3}
+	resN, err := (&Sim{Model: m}).Run(trace, naive, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resP.Insufficient >= resN.Insufficient {
+		t.Errorf("eff-cap-aware planning (%d shortfalls) should beat capacity-edge reaction (%d)",
+			resP.Insufficient, resN.Insufficient)
+	}
+	if resP.Insufficient > 2 {
+		t.Errorf("P-Store shortfalls %d on a fully predictable ramp, want ~0", resP.Insufficient)
+	}
+}

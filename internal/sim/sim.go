@@ -1,0 +1,163 @@
+// Package sim is the long-horizon analytic simulator behind the paper's
+// Section 8.3 study (Figures 12 and 13): running the live benchmark for
+// months is impractical, so allocation strategies are replayed against a
+// load trace using the capacity model of Section 4.4 — every interval the
+// cluster either holds steady at cap(N) or progresses through a migration
+// whose effective capacity follows Equation 7 and whose machine allocation
+// follows the three-phase schedule. The simulator reports the total cost
+// (Equation 1) and the fraction of time with insufficient capacity.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"pstore/internal/elastic"
+	"pstore/internal/migration"
+)
+
+// Result summarizes one simulated run.
+type Result struct {
+	// Cost is the total machine-intervals allocated (Equation 1).
+	Cost float64
+	// Intervals is the trace length.
+	Intervals int
+	// Insufficient is the number of intervals where load exceeded the
+	// effective capacity.
+	Insufficient int
+	// Moves counts completed reconfigurations; EmergencyMoves counts the
+	// subset issued by emergency (infeasible-plan) decisions.
+	Moves, EmergencyMoves int
+	// Machines is the allocated machine count per interval.
+	Machines []float64
+	// EffCap is the effective capacity per interval.
+	EffCap []float64
+}
+
+// InsufficientFraction is the fraction of intervals with capacity shortfall
+// (the y-axis of Figure 12).
+func (r *Result) InsufficientFraction() float64 {
+	if r.Intervals == 0 {
+		return 0
+	}
+	return float64(r.Insufficient) / float64(r.Intervals)
+}
+
+// AverageMachines is the time-averaged allocation.
+func (r *Result) AverageMachines() float64 {
+	if r.Intervals == 0 {
+		return 0
+	}
+	return r.Cost / float64(r.Intervals)
+}
+
+// Sim replays a controller against a load trace.
+type Sim struct {
+	// Model supplies capacity and migration figures; Model.D must be
+	// expressed in trace intervals.
+	Model migration.Model
+	// MaxMachines bounds cluster growth (0 = the trace peak requirement).
+	MaxMachines int
+}
+
+// activeMove tracks a reconfiguration in flight.
+type activeMove struct {
+	from, to  int
+	duration  int // intervals
+	elapsed   int
+	emergency bool
+	sched     *migration.Schedule
+}
+
+// Run simulates the controller over the load trace starting from n0
+// machines. The controller's Tick runs at the end of every interval; a
+// returned decision starts a move at the beginning of the next interval.
+func (s *Sim) Run(load []float64, ctrl elastic.Controller, n0 int) (*Result, error) {
+	if err := s.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if n0 < 1 {
+		return nil, fmt.Errorf("sim: initial machines %d must be at least 1", n0)
+	}
+	if len(load) == 0 {
+		return nil, fmt.Errorf("sim: empty load trace")
+	}
+	res := &Result{
+		Intervals: len(load),
+		Machines:  make([]float64, len(load)),
+		EffCap:    make([]float64, len(load)),
+	}
+	machines := n0
+	var mv *activeMove
+
+	for t, l := range load {
+		var effCap, alloc float64
+		if mv != nil {
+			mv.elapsed++
+			f := float64(mv.elapsed) / float64(mv.duration)
+			effCap = s.Model.EffCap(mv.from, mv.to, f)
+			rounds := mv.sched.NumRounds()
+			if rounds > 0 {
+				round := min(int(f*float64(rounds)), rounds-1)
+				alloc = float64(mv.sched.MachinesAllocated(round))
+			} else {
+				alloc = float64(max(mv.from, mv.to))
+			}
+			if mv.elapsed >= mv.duration {
+				machines = mv.to
+				res.Moves++
+				if mv.emergency {
+					res.EmergencyMoves++
+				}
+				mv = nil
+			}
+		} else {
+			effCap = s.Model.Cap(machines)
+			alloc = float64(machines)
+		}
+		if l > effCap+1e-9 {
+			res.Insufficient++
+		}
+		res.Cost += alloc
+		res.Machines[t] = alloc
+		res.EffCap[t] = effCap
+
+		dec, err := ctrl.Tick(machines, mv != nil, l)
+		if err != nil {
+			return nil, fmt.Errorf("sim: interval %d: %w", t, err)
+		}
+		if dec == nil || mv != nil || dec.Target == machines {
+			continue
+		}
+		target := dec.Target
+		if target < 1 {
+			return nil, fmt.Errorf("sim: interval %d: controller asked for %d machines", t, target)
+		}
+		if s.MaxMachines > 0 && target > s.MaxMachines {
+			target = s.MaxMachines
+			if target == machines {
+				continue
+			}
+		}
+		rate := dec.RateFactor
+		if rate <= 0 {
+			rate = 1
+		}
+		dur := int(math.Ceil(float64(s.Model.MoveIntervals(machines, target)) / rate))
+		if dur < 1 {
+			dur = 1
+		}
+		sched, err := migration.BuildSchedule(machines, target, s.Model.P)
+		if err != nil {
+			return nil, fmt.Errorf("sim: interval %d: %w", t, err)
+		}
+		mv = &activeMove{
+			from:      machines,
+			to:        target,
+			duration:  dur,
+			emergency: dec.Emergency,
+			sched:     sched,
+		}
+	}
+	return res, nil
+}

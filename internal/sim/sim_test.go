@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"pstore/internal/elastic"
+	"pstore/internal/migration"
+	"pstore/internal/predictor"
+	"pstore/internal/workload"
+)
+
+func model() migration.Model {
+	// Q and QMax follow the paper's discovered values (285/350 txn/s);
+	// loads below are requests per minute at 5-minute intervals, so use
+	// per-minute capacity: Q = 285*60? Keep units consistent instead:
+	// the test traces are in requests/interval-minute and Q is matched.
+	return migration.Model{Q: 2850, QMax: 3500, D: 15.4, P: 6}
+}
+
+// fixedController replays a scripted decision sequence.
+type fixedController struct {
+	at      map[int]*elastic.Decision
+	tick    int
+	sawLoad []float64
+}
+
+func (f *fixedController) Name() string { return "fixed" }
+func (f *fixedController) Tick(machines int, reconfiguring bool, load float64) (*elastic.Decision, error) {
+	d := f.at[f.tick]
+	f.tick++
+	f.sawLoad = append(f.sawLoad, load)
+	if reconfiguring {
+		return nil, nil
+	}
+	return d, nil
+}
+
+func flat(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSimValidation(t *testing.T) {
+	s := &Sim{Model: model()}
+	if _, err := s.Run(nil, elastic.Static{}, 1); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := s.Run(flat(5, 1), elastic.Static{}, 0); err == nil {
+		t.Error("zero machines accepted")
+	}
+	bad := &Sim{Model: migration.Model{}}
+	if _, err := bad.Run(flat(5, 1), elastic.Static{}, 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestSimStaticCostAndViolations(t *testing.T) {
+	s := &Sim{Model: model()}
+	load := flat(10, 2000)
+	load[4] = 9000 // exceeds cap(3) = 8550 for one interval
+	res, err := s.Run(load, elastic.Static{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 30 {
+		t.Errorf("cost = %v, want 30", res.Cost)
+	}
+	if res.Insufficient != 1 {
+		t.Errorf("insufficient = %d, want 1", res.Insufficient)
+	}
+	if res.Moves != 0 {
+		t.Errorf("moves = %d, want 0", res.Moves)
+	}
+	if got := res.InsufficientFraction(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("fraction = %v, want 0.1", got)
+	}
+	if got := res.AverageMachines(); got != 3 {
+		t.Errorf("avg machines = %v, want 3", got)
+	}
+}
+
+func TestSimMoveMechanics(t *testing.T) {
+	m := model()
+	s := &Sim{Model: m}
+	// Scripted 2 -> 4 at tick 1. T(2,4) = ceil(15.4/12*(1-0.5)) = 1
+	// interval — too fast to observe; use a slower model.
+	m.D = 120
+	m.P = 1
+	s.Model = m
+	// T(2,4) = 120/2 * 0.5 = 30 intervals.
+	ctrl := &fixedController{at: map[int]*elastic.Decision{1: {Target: 4, RateFactor: 1}}}
+	load := flat(40, 1000)
+	res, err := s.Run(load, ctrl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves != 1 {
+		t.Fatalf("moves = %d, want 1", res.Moves)
+	}
+	// Intervals 0..1: steady at 2 machines; 2..31: migrating; 32..: 4.
+	if res.Machines[0] != 2 || res.EffCap[0] != m.Cap(2) {
+		t.Errorf("interval 0: machines %v cap %v", res.Machines[0], res.EffCap[0])
+	}
+	if res.Machines[39] != 4 || res.EffCap[39] != m.Cap(4) {
+		t.Errorf("interval 39: machines %v cap %v", res.Machines[39], res.EffCap[39])
+	}
+	// During the move effective capacity grows monotonically between
+	// cap(2) and cap(4), and allocation is 4 (case 1: all at once).
+	prev := m.Cap(2) - 1
+	for i := 2; i < 32; i++ {
+		if res.EffCap[i] < prev-1e-9 {
+			t.Fatalf("eff-cap not monotone at %d: %v < %v", i, res.EffCap[i], prev)
+		}
+		prev = res.EffCap[i]
+		if res.Machines[i] != 4 {
+			t.Errorf("interval %d: machines %v, want 4 during case-1 move", i, res.Machines[i])
+		}
+	}
+	if res.EffCap[31] != m.Cap(4) {
+		t.Errorf("end of move eff-cap = %v, want %v", res.EffCap[31], m.Cap(4))
+	}
+}
+
+func TestSimEmergencyRateShortensMove(t *testing.T) {
+	m := model()
+	m.D = 120
+	m.P = 1
+	run := func(rate float64) int {
+		s := &Sim{Model: m}
+		ctrl := &fixedController{at: map[int]*elastic.Decision{0: {Target: 4, RateFactor: rate, Emergency: rate > 1}}}
+		res, err := s.Run(flat(60, 1000), ctrl, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count migrating intervals: allocation above 2 before steady 4.
+		n := 0
+		for i := range res.Machines {
+			if res.EffCap[i] > m.Cap(2) && res.EffCap[i] < m.Cap(4) {
+				n++
+			}
+		}
+		if rate > 1 && res.EmergencyMoves != 1 {
+			t.Errorf("emergency moves = %d, want 1", res.EmergencyMoves)
+		}
+		return n
+	}
+	slow := run(1)
+	fast := run(8)
+	if fast >= slow {
+		t.Errorf("rate x8 migrating intervals %d not fewer than x1 %d", fast, slow)
+	}
+}
+
+func TestSimRespectsMaxMachines(t *testing.T) {
+	s := &Sim{Model: model(), MaxMachines: 3}
+	ctrl := &fixedController{at: map[int]*elastic.Decision{0: {Target: 8, RateFactor: 1}}}
+	res, err := s.Run(flat(20, 1000), ctrl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mch := range res.Machines {
+		if mch > 3 {
+			t.Fatalf("interval %d allocated %v machines beyond cap", i, mch)
+		}
+	}
+	_ = res
+}
+
+// buildTrace produces a 5-minute-interval retail trace in requests/minute.
+func buildTrace(t *testing.T, days int, blackFriday int) []float64 {
+	t.Helper()
+	cfg := workload.DefaultB2WConfig(21, days)
+	cfg.PromosPerWeek = 0
+	cfg.BlackFridayDay = blackFriday
+	series, err := workload.SyntheticB2W(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := series.Resample(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return five.Values
+}
+
+// TestSimPredictiveOracleBeatsStaticAndReactive reproduces the core
+// qualitative result of Figure 12 on a short trace: with near-perfect
+// predictions P-Store uses far fewer machine-intervals than peak-static
+// while keeping capacity shortfalls near zero, and suffers fewer shortfall
+// intervals than the reactive strategy.
+func TestSimPredictiveOracleBeatsStaticAndReactive(t *testing.T) {
+	m := model()
+	trace := buildTrace(t, 4, -1)
+	peak := 0.0
+	for _, v := range trace {
+		peak = math.Max(peak, v)
+	}
+	peakMachines := m.MachinesFor(peak)
+	if peakMachines < 7 {
+		t.Fatalf("trace peak %v needs only %d machines; test expects a tall diurnal wave", peak, peakMachines)
+	}
+	n0 := m.MachinesFor(trace[0])
+
+	// P-Store with oracle predictions.
+	oracle := predictor.NewOnline(predictor.NewOracle(trace), 0, 0)
+	if err := oracle.ObserveAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	pstore := &elastic.Predictive{
+		Model:     m,
+		Predictor: oracle,
+		Horizon:   24,
+		Inflation: 0.05,
+	}
+	s := &Sim{Model: m}
+	resP, err := s.Run(trace, pstore, n0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reactive.
+	reactive := &elastic.Reactive{Model: m}
+	resR, err := (&Sim{Model: m}).Run(trace, reactive, n0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Static peak.
+	resS, err := (&Sim{Model: m}).Run(trace, elastic.Static{}, peakMachines)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resP.Moves == 0 {
+		t.Fatal("P-Store never reconfigured on a 10x diurnal wave")
+	}
+	if frac := resP.InsufficientFraction(); frac > 0.02 {
+		t.Errorf("P-Store oracle shortfall fraction %.4f, want near zero", frac)
+	}
+	if resP.Cost > 0.65*resS.Cost {
+		t.Errorf("P-Store cost %v not well below static peak cost %v (the paper reports ~50%%)",
+			resP.Cost, resS.Cost)
+	}
+	if resR.Insufficient <= resP.Insufficient {
+		t.Errorf("reactive shortfalls (%d) should exceed P-Store's (%d)",
+			resR.Insufficient, resP.Insufficient)
+	}
+	if resS.Insufficient != 0 {
+		t.Errorf("static peak should have no shortfall, got %d", resS.Insufficient)
+	}
+}
+
+// TestSimSimpleBreaksOnBlackFriday reproduces Figure 13: the time-of-day
+// strategy matches the normal pattern but collapses when Black Friday
+// deviates from it, while P-Store absorbs the surge.
+func TestSimSimpleBreaksOnBlackFriday(t *testing.T) {
+	m := model()
+	trace := buildTrace(t, 8, 7)
+	slotsPerDay := 288
+
+	peakNormal := 0.0
+	for _, v := range trace[:7*slotsPerDay] {
+		peakNormal = math.Max(peakNormal, v)
+	}
+	simple := &elastic.Simple{
+		SlotsPerDay:   slotsPerDay,
+		MorningSlot:   7 * 12, // 07:00
+		NightSlot:     23 * 12,
+		DayMachines:   m.MachinesFor(peakNormal),
+		NightMachines: max(m.MachinesFor(peakNormal/6), 1),
+	}
+	n0 := simple.NightMachines
+	resSimple, err := (&Sim{Model: m}).Run(trace, simple, n0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oracle := predictor.NewOnline(predictor.NewOracle(trace), 0, 0)
+	if err := oracle.ObserveAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	pstore := &elastic.Predictive{Model: m, Predictor: oracle, Horizon: 24, Inflation: 0.05}
+	resP, err := (&Sim{Model: m}).Run(trace, pstore, n0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Count shortfalls on Black Friday (day 7).
+	bfShortSimple, bfShortP := 0, 0
+	for i := 7 * slotsPerDay; i < 8*slotsPerDay; i++ {
+		if trace[i] > resSimple.EffCap[i]+1e-9 {
+			bfShortSimple++
+		}
+		if trace[i] > resP.EffCap[i]+1e-9 {
+			bfShortP++
+		}
+	}
+	if bfShortSimple < slotsPerDay/10 {
+		t.Errorf("Simple shortfall on Black Friday only %d intervals; expected a collapse", bfShortSimple)
+	}
+	if bfShortP*3 > bfShortSimple {
+		t.Errorf("P-Store Black Friday shortfalls (%d) not well below Simple's (%d)", bfShortP, bfShortSimple)
+	}
+}

@@ -1,0 +1,120 @@
+package squall
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Rebalance implements the skew-management extension the paper's conclusion
+// calls for ("future work should investigate combining these ideas"):
+// an E-Store-style pass that detects hot data partitions from per-bucket
+// access counts and live-migrates the hottest buckets onto the coldest
+// partitions of the active cluster, without changing the cluster size.
+//
+// threshold is the tolerated per-partition load imbalance as a fraction of
+// the mean (E-Store uses a high/low watermark pair; 0 defaults to 0.15).
+// Rebalance returns the number of buckets it moved.
+func (ex *Executor) Rebalance(threshold float64) (int, error) {
+	if threshold <= 0 {
+		threshold = 0.15
+	}
+	if !ex.mu.TryLock() {
+		return 0, ErrInProgress
+	}
+	defer ex.mu.Unlock()
+	ex.inProgress.Store(true)
+	defer ex.inProgress.Store(false)
+
+	start := time.Now()
+	defer func() {
+		if r := ex.rec.Load(); r != nil {
+			r.RecordReconfiguration(start, time.Now())
+		}
+	}()
+
+	cfg := ex.eng.Config()
+	accesses := ex.eng.BucketAccesses(true)
+	parts := ex.eng.ActiveMachines() * cfg.PartitionsPerMachine
+
+	// Per-partition load and per-partition hot bucket lists.
+	type bucketLoad struct {
+		bucket int
+		load   int64
+	}
+	loads := make([]int64, parts)
+	owned := make([][]bucketLoad, parts)
+	var total int64
+	for b, n := range accesses {
+		p := ex.eng.OwnerOf(b)
+		if p >= parts {
+			return 0, fmt.Errorf("squall: bucket %d owned by inactive partition %d", b, p)
+		}
+		loads[p] += n
+		owned[p] = append(owned[p], bucketLoad{bucket: b, load: n})
+		total += n
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	mean := float64(total) / float64(parts)
+	high := mean * (1 + threshold)
+	low := mean * (1 - threshold)
+
+	// Greedy plan: repeatedly take the hottest bucket from the most loaded
+	// partition above the high watermark and hand it to the least loaded
+	// partition, as long as that narrows the imbalance.
+	for p := range owned {
+		sort.Slice(owned[p], func(i, j int) bool { return owned[p][i].load > owned[p][j].load })
+	}
+	type moveOp struct {
+		bucket   int
+		from, to int
+	}
+	var plan []moveOp
+	for iter := 0; iter < len(accesses); iter++ {
+		hot, cold := 0, 0
+		for p := 1; p < parts; p++ {
+			if loads[p] > loads[hot] {
+				hot = p
+			}
+			if loads[p] < loads[cold] {
+				cold = p
+			}
+		}
+		if float64(loads[hot]) <= high || float64(loads[cold]) >= low || hot == cold {
+			break
+		}
+		// Pick the hottest bucket on the hot partition that fits the gap.
+		gap := (loads[hot] - loads[cold]) / 2
+		idx := -1
+		for i, bl := range owned[hot] {
+			if bl.load <= gap && bl.load > 0 {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			break // only huge single buckets remain; bucket granularity is the floor
+		}
+		bl := owned[hot][idx]
+		owned[hot] = append(owned[hot][:idx], owned[hot][idx+1:]...)
+		owned[cold] = append(owned[cold], bl)
+		loads[hot] -= bl.load
+		loads[cold] += bl.load
+		plan = append(plan, moveOp{bucket: bl.bucket, from: hot, to: cold})
+	}
+
+	// Execute the plan as throttled single-bucket migrations.
+	moved := 0
+	for _, op := range plan {
+		if err := ex.eng.MoveBuckets([]int{op.bucket}, op.from, op.to, ex.cfg.RowCost, ex.cfg.ChunkOverhead); err != nil {
+			return moved, fmt.Errorf("squall: rebalancing bucket %d: %w", op.bucket, err)
+		}
+		moved++
+		if ex.cfg.Spacing > 0 {
+			time.Sleep(ex.cfg.Spacing)
+		}
+	}
+	return moved, nil
+}

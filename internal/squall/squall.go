@@ -1,0 +1,285 @@
+// Package squall executes live reconfigurations of the storage engine,
+// playing the role of the Squall migration system in the paper (Sections 2
+// and 6): given a source and target cluster size it derives the balanced
+// target partition plan, splits the data to move into chunks, and streams
+// the chunks between partition executors round by round following the
+// maximum-parallelism schedule of Section 4.4.1 — throttled so migration
+// work steals only a bounded share of each executor's time.
+package squall
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/metrics"
+	"pstore/internal/migration"
+	"pstore/internal/store"
+)
+
+// Config tunes migration aggressiveness — the paper's chunk-size and
+// rate-R knobs (Section 8.1, Figure 8; Section 8.2, Figure 11).
+type Config struct {
+	// ChunkRows is the target number of rows per migration chunk. Larger
+	// chunks finish the reconfiguration faster but occupy executors for
+	// longer stretches, risking latency spikes (Figure 8).
+	ChunkRows int
+	// RowCost is the executor time consumed per row on the sending side;
+	// the receiving side pays half (installation is cheaper than
+	// extraction and packing).
+	RowCost time.Duration
+	// ChunkOverhead is the fixed executor time per chunk on each side.
+	ChunkOverhead time.Duration
+	// Spacing is the idle gap between consecutive chunks of one
+	// partition-pair stream (Squall spaces chunks by at least 100 ms on
+	// average; scaled down with everything else here).
+	Spacing time.Duration
+	// RateFactor accelerates migration by shrinking Spacing: the paper's
+	// "rate R x 8" reactive fallback uses RateFactor = 8. Zero means 1.
+	RateFactor float64
+}
+
+// DefaultConfig returns a throttled configuration suitable for the scaled
+// test substrate.
+func DefaultConfig() Config {
+	return Config{
+		ChunkRows:     200,
+		RowCost:       3 * time.Microsecond,
+		ChunkOverhead: 300 * time.Microsecond,
+		Spacing:       2 * time.Millisecond,
+		RateFactor:    1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ChunkRows < 1 {
+		return fmt.Errorf("squall: ChunkRows %d must be at least 1", c.ChunkRows)
+	}
+	if c.RowCost < 0 || c.ChunkOverhead < 0 || c.Spacing < 0 {
+		return fmt.Errorf("squall: costs must be non-negative")
+	}
+	if c.RateFactor < 0 {
+		return fmt.Errorf("squall: RateFactor %v must be non-negative", c.RateFactor)
+	}
+	return nil
+}
+
+// Executor performs live reconfigurations against an engine.
+type Executor struct {
+	eng *store.Engine
+	cfg Config
+
+	mu         sync.Mutex // serializes reconfigurations
+	inProgress atomic.Bool
+	rec        atomic.Pointer[metrics.Recorder]
+}
+
+// NewExecutor returns a migration executor for the engine.
+func NewExecutor(eng *store.Engine, cfg Config) (*Executor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Executor{eng: eng, cfg: cfg}, nil
+}
+
+// SetRecorder attaches a recorder; reconfiguration spans are filed into it.
+func (ex *Executor) SetRecorder(r *metrics.Recorder) { ex.rec.Store(r) }
+
+// InProgress reports whether a reconfiguration is currently running.
+func (ex *Executor) InProgress() bool { return ex.inProgress.Load() }
+
+// ErrInProgress is returned when a reconfiguration is requested while
+// another is still running.
+var ErrInProgress = errors.New("squall: reconfiguration already in progress")
+
+// Reconfigure live-migrates the cluster from `from` machines to `to`
+// machines. It blocks until all data has moved and the active machine count
+// has been updated. rateFactor <= 0 uses the configured RateFactor.
+func (ex *Executor) Reconfigure(from, to int, rateFactor float64) error {
+	if from == to {
+		return nil
+	}
+	cfg := ex.eng.Config()
+	if from < 1 || from > cfg.MaxMachines || to < 1 || to > cfg.MaxMachines {
+		return fmt.Errorf("squall: move %d -> %d outside [1, %d]", from, to, cfg.MaxMachines)
+	}
+	if ex.eng.ActiveMachines() != from {
+		return fmt.Errorf("squall: engine has %d active machines, move starts from %d",
+			ex.eng.ActiveMachines(), from)
+	}
+	if !ex.mu.TryLock() {
+		return ErrInProgress
+	}
+	defer ex.mu.Unlock()
+	ex.inProgress.Store(true)
+	defer ex.inProgress.Store(false)
+
+	start := time.Now()
+	defer func() {
+		if r := ex.rec.Load(); r != nil {
+			r.RecordReconfiguration(start, time.Now())
+		}
+	}()
+
+	if rateFactor <= 0 {
+		rateFactor = ex.cfg.RateFactor
+	}
+	if rateFactor <= 0 {
+		rateFactor = 1
+	}
+
+	sched, err := migration.BuildSchedule(from, to, cfg.PartitionsPerMachine)
+	if err != nil {
+		return err
+	}
+	assignments, err := ex.planBuckets(from, to)
+	if err != nil {
+		return err
+	}
+
+	// Chunk size in buckets: ChunkRows is a row budget per chunk, so size
+	// chunks by the average rows per bucket (rounded to nearest).
+	avgRows := 1
+	if rows := ex.eng.TotalRows(); rows > 0 {
+		avgRows = max((rows+cfg.Buckets/2)/cfg.Buckets, 1)
+	}
+	chunkBuckets := max(ex.cfg.ChunkRows/avgRows, 1)
+
+	for i, round := range sched.Rounds {
+		if err := ex.eng.SetActiveMachines(allocatedDuringRound(sched, i, from, to)); err != nil {
+			return err
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(round)*cfg.PartitionsPerMachine)
+		for j, tr := range round {
+			for k := 0; k < cfg.PartitionsPerMachine; k++ {
+				fromPart := tr.From*cfg.PartitionsPerMachine + k
+				toPart := tr.To*cfg.PartitionsPerMachine + k
+				buckets := assignments[pairKey{fromPart, toPart}]
+				if len(buckets) == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(slot, fromPart, toPart int, buckets []int) {
+					defer wg.Done()
+					if err := ex.stream(fromPart, toPart, buckets, chunkBuckets, rateFactor); err != nil {
+						errs[slot] = err
+					}
+				}(j*cfg.PartitionsPerMachine+k, fromPart, toPart, buckets)
+			}
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return ex.eng.SetActiveMachines(to)
+}
+
+// allocatedDuringRound returns the machine count to report while round i
+// runs: for scale-out machines appear as the schedule first touches them;
+// for scale-in the drained machines disappear only after their last round,
+// so during round i everything still participating remains allocated.
+func allocatedDuringRound(sched *migration.Schedule, i, from, to int) int {
+	n := sched.MachinesAllocated(i)
+	if from < to {
+		return n
+	}
+	// Scale-in: MachinesAllocated counts machines still busy in round i;
+	// a machine drained in an earlier round is already gone.
+	return n
+}
+
+type pairKey struct{ from, to int }
+
+// planBuckets derives which buckets every partition pair must move so that
+// the cluster ends balanced: every active partition owns (as close as
+// possible) the same number of buckets, and every sender spreads its load
+// evenly over its receivers — the equal-data invariant of Section 4.4.1.
+func (ex *Executor) planBuckets(from, to int) (map[pairKey][]int, error) {
+	cfg := ex.eng.Config()
+	p := cfg.PartitionsPerMachine
+	assignments := make(map[pairKey][]int)
+
+	if from < to {
+		// Scale-out: every partition of the original machines sheds its
+		// surplus, split evenly across the new machines.
+		receivers := to - from
+		for m := 0; m < from; m++ {
+			for k := 0; k < p; k++ {
+				part := m*p + k
+				owned := ex.eng.OwnedBuckets(part)
+				target := targetCount(cfg.Buckets, to*p, part)
+				shed := len(owned) - target
+				if shed <= 0 {
+					continue
+				}
+				chunk := owned[len(owned)-shed:]
+				for j := 0; j < receivers; j++ {
+					lo := shed * j / receivers
+					hi := shed * (j + 1) / receivers
+					if lo == hi {
+						continue
+					}
+					toPart := (from+j)*p + k
+					key := pairKey{part, toPart}
+					assignments[key] = append(assignments[key], chunk[lo:hi]...)
+				}
+			}
+		}
+		return assignments, nil
+	}
+
+	// Scale-in: every partition of the drained machines sends everything,
+	// split evenly across the survivors.
+	survivors := to
+	for m := to; m < from; m++ {
+		for k := 0; k < p; k++ {
+			part := m*p + k
+			owned := ex.eng.OwnedBuckets(part)
+			for j := 0; j < survivors; j++ {
+				lo := len(owned) * j / survivors
+				hi := len(owned) * (j + 1) / survivors
+				if lo == hi {
+					continue
+				}
+				toPart := j*p + k
+				key := pairKey{part, toPart}
+				assignments[key] = append(assignments[key], owned[lo:hi]...)
+			}
+		}
+	}
+	return assignments, nil
+}
+
+// targetCount is the balanced bucket count for a partition index among
+// nParts partitions: buckets divide as evenly as possible, earlier
+// partitions absorbing the remainder.
+func targetCount(buckets, nParts, part int) int {
+	base := buckets / nParts
+	if part < buckets%nParts {
+		return base + 1
+	}
+	return base
+}
+
+// stream moves one partition pair's buckets in throttled chunks.
+func (ex *Executor) stream(from, to int, buckets []int, chunkBuckets int, rateFactor float64) error {
+	spacing := time.Duration(float64(ex.cfg.Spacing) / rateFactor)
+	for lo := 0; lo < len(buckets); lo += chunkBuckets {
+		hi := min(lo+chunkBuckets, len(buckets))
+		chunk := buckets[lo:hi]
+		if err := ex.eng.MoveBuckets(chunk, from, to, ex.cfg.RowCost, ex.cfg.ChunkOverhead); err != nil {
+			return fmt.Errorf("squall: moving %d buckets %d -> %d: %w", len(chunk), from, to, err)
+		}
+		if spacing > 0 && hi < len(buckets) {
+			time.Sleep(spacing)
+		}
+	}
+	return nil
+}

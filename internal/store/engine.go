@@ -1,0 +1,333 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/hash"
+	"pstore/internal/metrics"
+)
+
+// Engine is a multi-machine, shared-nothing, main-memory OLTP engine. Every
+// machine hosts PartitionsPerMachine partitions; every partition is driven
+// by one executor goroutine. The engine routes transactions to the
+// partition owning their key's bucket and supports live bucket migration
+// between partitions for elasticity.
+type Engine struct {
+	cfg  Config
+	txns map[string]TxnFunc
+	svc  map[string]time.Duration
+
+	parts   []*partition
+	plan    atomic.Pointer[[]int32]
+	planMu  sync.Mutex // serializes copy-on-write updates of plan
+	started atomic.Bool
+	stopped atomic.Bool
+
+	activeMachines atomic.Int32
+	submitted      atomic.Int64
+	completed      atomic.Int64
+	errored        atomic.Int64
+
+	// accesses counts transactions routed per bucket since the last
+	// snapshot; it feeds skew detection (E-Store-style hot spots).
+	accesses []int64
+
+	recorder atomic.Pointer[metrics.Recorder]
+}
+
+// NewEngine constructs an engine; register transactions, then call Start.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		txns:     make(map[string]TxnFunc),
+		svc:      make(map[string]time.Duration),
+		accesses: make([]int64, cfg.Buckets),
+	}
+	total := cfg.MaxMachines * cfg.PartitionsPerMachine
+	e.parts = make([]*partition, total)
+	for i := range e.parts {
+		e.parts[i] = newPartition(i, e, cfg.QueueCapacity)
+	}
+	// Initial plan: buckets spread round-robin over the initial machines'
+	// partitions, so data and load start uniform (Section 4.2).
+	initial := cfg.InitialMachines * cfg.PartitionsPerMachine
+	plan := make([]int32, cfg.Buckets)
+	for b := range plan {
+		plan[b] = int32(b % initial)
+	}
+	e.plan.Store(&plan)
+	e.activeMachines.Store(int32(cfg.InitialMachines))
+	return e, nil
+}
+
+// Register adds a named transaction. It must be called before Start.
+func (e *Engine) Register(name string, fn TxnFunc) error {
+	if e.started.Load() {
+		return errors.New("store: Register after Start")
+	}
+	if _, dup := e.txns[name]; dup {
+		return fmt.Errorf("store: transaction %q already registered", name)
+	}
+	e.txns[name] = fn
+	return nil
+}
+
+// SetServiceTime overrides the simulated execution time for one transaction
+// type. It must be called before Start.
+func (e *Engine) SetServiceTime(name string, d time.Duration) error {
+	if e.started.Load() {
+		return errors.New("store: SetServiceTime after Start")
+	}
+	e.svc[name] = d
+	return nil
+}
+
+// SetRecorder attaches a latency recorder; every completed transaction is
+// filed into it. Safe to call at any time.
+func (e *Engine) SetRecorder(r *metrics.Recorder) { e.recorder.Store(r) }
+
+// Start launches all partition executors.
+func (e *Engine) Start() {
+	if !e.started.CompareAndSwap(false, true) {
+		return
+	}
+	for _, p := range e.parts {
+		go p.run()
+	}
+}
+
+// Stop shuts down all executors. Pending transactions receive ErrStopped.
+// Stopping a never-started engine is a no-op beyond marking it stopped.
+func (e *Engine) Stop() {
+	if !e.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	for _, p := range e.parts {
+		close(p.stop)
+	}
+	if !e.started.Load() {
+		return
+	}
+	for _, p := range e.parts {
+		<-p.done
+	}
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// bucketOf maps a partitioning key onto its virtual bucket.
+func (e *Engine) bucketOf(key string) int {
+	return hash.Partition(key, e.cfg.Buckets)
+}
+
+// ownerOf returns the partition currently owning a bucket.
+func (e *Engine) ownerOf(bucket int) int {
+	return int((*e.plan.Load())[bucket])
+}
+
+// setOwner atomically reassigns buckets to a new owner partition.
+func (e *Engine) setOwner(buckets []int, dest int) {
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	old := *e.plan.Load()
+	next := make([]int32, len(old))
+	copy(next, old)
+	for _, b := range buckets {
+		next[b] = int32(dest)
+	}
+	e.plan.Store(&next)
+}
+
+// serviceTime returns the simulated execution time for a transaction type.
+func (e *Engine) serviceTime(name string) time.Duration {
+	if d, ok := e.svc[name]; ok {
+		return d
+	}
+	return e.cfg.ServiceTime
+}
+
+// maxForwards bounds ownership-chase hops for one request; ownership
+// settles after a migration, so a handful of hops always suffices.
+const maxForwards = 64
+
+// forward re-submits a transaction to the current owner of its bucket. It
+// runs on an executor goroutine, so the actual send happens asynchronously
+// to avoid executor-to-executor deadlock on full queues.
+func (e *Engine) forward(r txnRequest) {
+	r.forwards++
+	if r.forwards > maxForwards {
+		r.reply <- txnResult{err: fmt.Errorf("store: transaction %q forwarded too many times", r.name)}
+		return
+	}
+	dest := e.parts[e.ownerOf(r.bucket)]
+	select {
+	case dest.ch <- r:
+	default:
+		go func() {
+			select {
+			case dest.ch <- r:
+			case <-dest.stop:
+				r.reply <- txnResult{err: ErrStopped}
+			}
+		}()
+	}
+}
+
+// Execute routes a transaction to the partition owning key and blocks until
+// it completes, returning the procedure's result. Safe for concurrent use.
+func (e *Engine) Execute(name, key string, args any) (any, error) {
+	if e.stopped.Load() {
+		return nil, ErrStopped
+	}
+	if !e.started.Load() {
+		return nil, errors.New("store: engine not started")
+	}
+	bucket := e.bucketOf(key)
+	req := txnRequest{
+		name:   name,
+		key:    key,
+		bucket: bucket,
+		args:   args,
+		submit: time.Now(),
+		reply:  make(chan txnResult, 1),
+	}
+	e.submitted.Add(1)
+	atomic.AddInt64(&e.accesses[bucket], 1)
+	dest := e.parts[e.ownerOf(bucket)]
+	select {
+	case dest.ch <- req:
+	case <-dest.stop:
+		return nil, ErrStopped
+	}
+	res := <-req.reply
+	now := time.Now()
+	if res.err != nil {
+		e.errored.Add(1)
+	} else {
+		e.completed.Add(1)
+	}
+	if r := e.recorder.Load(); r != nil {
+		r.Record(now, now.Sub(req.submit))
+	}
+	return res.value, res.err
+}
+
+// MoveBuckets live-migrates buckets between two partitions. The source
+// executor is occupied for overhead + rows*perRow and the destination for
+// half that — the transaction-processing interference of migration. It
+// blocks until the destination has installed the data.
+func (e *Engine) MoveBuckets(buckets []int, from, to int, perRow, overhead time.Duration) error {
+	if from == to {
+		return nil
+	}
+	if from < 0 || from >= len(e.parts) || to < 0 || to >= len(e.parts) {
+		return fmt.Errorf("store: partition out of range (%d -> %d)", from, to)
+	}
+	for _, b := range buckets {
+		if own := e.ownerOf(b); own != from {
+			return fmt.Errorf("store: bucket %d owned by partition %d, not %d", b, own, from)
+		}
+	}
+	req := moveOutRequest{
+		buckets:  buckets,
+		dest:     e.parts[to],
+		perRow:   perRow,
+		overhead: overhead,
+		done:     make(chan moveResult, 1),
+	}
+	src := e.parts[from]
+	select {
+	case src.ch <- req:
+	case <-src.stop:
+		return ErrStopped
+	}
+	res := <-req.done
+	return res.err
+}
+
+// OwnerOf returns the partition currently owning a bucket.
+func (e *Engine) OwnerOf(bucket int) int { return e.ownerOf(bucket) }
+
+// BucketAccesses snapshots the per-bucket access counts accumulated since
+// the last reset; reset clears the counters so the next window starts
+// fresh. It is the monitoring signal for skew-aware rebalancing.
+func (e *Engine) BucketAccesses(reset bool) []int64 {
+	out := make([]int64, len(e.accesses))
+	for b := range e.accesses {
+		if reset {
+			out[b] = atomic.SwapInt64(&e.accesses[b], 0)
+		} else {
+			out[b] = atomic.LoadInt64(&e.accesses[b])
+		}
+	}
+	return out
+}
+
+// OwnedBuckets lists the buckets currently owned by a partition.
+func (e *Engine) OwnedBuckets(part int) []int {
+	plan := *e.plan.Load()
+	var out []int
+	for b, p := range plan {
+		if int(p) == part {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// MachineOfPartition returns the machine hosting a partition.
+func (e *Engine) MachineOfPartition(part int) int {
+	return part / e.cfg.PartitionsPerMachine
+}
+
+// PartitionsOfMachine returns the partition ids hosted on machine m.
+func (e *Engine) PartitionsOfMachine(m int) []int {
+	out := make([]int, e.cfg.PartitionsPerMachine)
+	for i := range out {
+		out[i] = m*e.cfg.PartitionsPerMachine + i
+	}
+	return out
+}
+
+// SetActiveMachines records the active cluster size (used by controllers
+// and the recorder timeline; executors always run, idle when unused).
+func (e *Engine) SetActiveMachines(n int) error {
+	if n < 1 || n > e.cfg.MaxMachines {
+		return fmt.Errorf("store: active machines %d out of [1, %d]", n, e.cfg.MaxMachines)
+	}
+	e.activeMachines.Store(int32(n))
+	if r := e.recorder.Load(); r != nil {
+		r.RecordMachines(time.Now(), n)
+	}
+	return nil
+}
+
+// ActiveMachines returns the current active cluster size.
+func (e *Engine) ActiveMachines() int { return int(e.activeMachines.Load()) }
+
+// Counters returns cumulative submitted, completed and errored transaction
+// counts.
+func (e *Engine) Counters() (submitted, completed, errored int64) {
+	return e.submitted.Load(), e.completed.Load(), e.errored.Load()
+}
+
+// TotalRows returns the number of rows across all partitions. It is an
+// estimate while transactions are in flight.
+func (e *Engine) TotalRows() int {
+	// Row counts are maintained by executor goroutines; snapshot them via
+	// a fence request would be heavyweight, so read the plan and sum the
+	// per-partition counters (races only smear in-flight increments).
+	total := 0
+	for _, p := range e.parts {
+		total += int(atomic.LoadInt64(&p.rowsAtomic))
+	}
+	return total
+}

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// request kinds processed by a partition executor.
+type txnRequest struct {
+	name     string
+	key      string
+	bucket   int
+	args     any
+	submit   time.Time
+	forwards int
+	reply    chan txnResult
+}
+
+type txnResult struct {
+	value any
+	err   error
+}
+
+// moveOutRequest asks the executor to extract the given buckets, hand them
+// to the destination partition and flip ownership. The executor is occupied
+// for overhead + rows*perRow, modelling the CPU the migration steals from
+// transaction processing on the source; the destination pays half per row
+// on installation.
+type moveOutRequest struct {
+	buckets  []int
+	dest     *partition
+	perRow   time.Duration
+	overhead time.Duration
+	done     chan moveResult
+}
+
+// installRequest carries extracted bucket data into the destination
+// executor, occupying it for `cost`.
+type installRequest struct {
+	buckets map[int]map[string]map[string]any
+	rows    int
+	cost    time.Duration
+	done    chan moveResult
+}
+
+type moveResult struct {
+	rows int
+	err  error
+}
+
+// partition is one serially executed data partition. Its data maps are
+// touched only by its executor goroutine.
+type partition struct {
+	id   int
+	eng  *Engine
+	ch   chan any
+	data map[int]map[string]map[string]any // bucket -> table -> key -> row
+	// rowsAtomic tracks the partition's row count; it is written by the
+	// executor goroutine and read by Engine.TotalRows.
+	rowsAtomic int64
+	stop       chan struct{}
+	done       chan struct{}
+}
+
+func newPartition(id int, eng *Engine, queueCap int) *partition {
+	return &partition{
+		id:   id,
+		eng:  eng,
+		ch:   make(chan any, queueCap),
+		data: make(map[int]map[string]map[string]any),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// run is the executor loop. It drains the queue until the engine stops.
+func (p *partition) run() {
+	defer close(p.done)
+	for {
+		select {
+		case <-p.stop:
+			p.drain()
+			return
+		case req := <-p.ch:
+			p.handle(req)
+		}
+	}
+}
+
+// drain fails any queued requests after shutdown so no submitter hangs.
+func (p *partition) drain() {
+	for {
+		select {
+		case req := <-p.ch:
+			switch r := req.(type) {
+			case txnRequest:
+				r.reply <- txnResult{err: ErrStopped}
+			case moveOutRequest:
+				r.done <- moveResult{err: ErrStopped}
+			case installRequest:
+				r.done <- moveResult{err: ErrStopped}
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *partition) handle(req any) {
+	switch r := req.(type) {
+	case txnRequest:
+		p.execute(r)
+	case moveOutRequest:
+		p.moveOut(r)
+	case installRequest:
+		p.install(r)
+	}
+}
+
+// execute runs one transaction, forwarding it if this partition no longer
+// owns the bucket (Squall-style redirection of in-flight requests).
+func (p *partition) execute(r txnRequest) {
+	owner := p.eng.ownerOf(r.bucket)
+	if owner != p.id {
+		p.eng.forward(r)
+		return
+	}
+	fn, ok := p.eng.txns[r.name]
+	if !ok {
+		r.reply <- txnResult{err: ErrUnknownTxn}
+		return
+	}
+	if st := p.eng.serviceTime(r.name); st > 0 {
+		time.Sleep(st)
+	}
+	tx := &Tx{p: p, bucket: r.bucket, Key: r.key, Args: r.args}
+	v, err := runTxn(fn, tx)
+	r.reply <- txnResult{value: v, err: err}
+}
+
+// runTxn executes a stored procedure, converting a panic into an error so a
+// buggy procedure cannot take its partition executor down with it.
+func runTxn(fn TxnFunc, tx *Tx) (v any, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			v = nil
+			err = fmt.Errorf("store: transaction panicked: %v", rec)
+		}
+	}()
+	return fn(tx)
+}
+
+// moveOut extracts buckets, enqueues their installation at the destination,
+// then flips ownership. Requests already queued behind this one see the new
+// ownership and are forwarded, landing behind the install in the
+// destination's FIFO queue — so no transaction can observe missing data.
+func (p *partition) moveOut(r moveOutRequest) {
+	extracted := make(map[int]map[string]map[string]any, len(r.buckets))
+	rows := 0
+	for _, b := range r.buckets {
+		if data, ok := p.data[b]; ok {
+			extracted[b] = data
+			for _, t := range data {
+				rows += len(t)
+			}
+			delete(p.data, b)
+		}
+	}
+	// The executor is busy packing and sending in proportion to the data
+	// actually extracted.
+	if cost := r.overhead + time.Duration(rows)*r.perRow; cost > 0 {
+		time.Sleep(cost)
+	}
+	atomic.AddInt64(&p.rowsAtomic, -int64(rows))
+	install := installRequest{
+		buckets: extracted,
+		rows:    rows,
+		cost:    r.overhead/2 + time.Duration(rows)*r.perRow/2,
+		done:    r.done,
+	}
+	// Enqueue the install before flipping ownership: once the flip is
+	// visible, forwarded transactions always queue behind the install.
+	select {
+	case r.dest.ch <- install:
+	case <-r.dest.stop:
+		r.done <- moveResult{err: ErrStopped}
+		return
+	}
+	p.eng.setOwner(r.buckets, r.dest.id)
+}
+
+// install merges migrated buckets into this partition's data.
+func (p *partition) install(r installRequest) {
+	if r.cost > 0 {
+		time.Sleep(r.cost)
+	}
+	for b, tables := range r.buckets {
+		if p.data[b] == nil {
+			p.data[b] = tables
+			continue
+		}
+		for tn, t := range tables {
+			if p.data[b][tn] == nil {
+				p.data[b][tn] = t
+				continue
+			}
+			for k, v := range t {
+				p.data[b][tn][k] = v
+			}
+		}
+	}
+	atomic.AddInt64(&p.rowsAtomic, int64(r.rows))
+	r.done <- moveResult{rows: r.rows}
+}

@@ -1,0 +1,96 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// TxnFunc is the body of a stored procedure. It runs on the partition that
+// owns the transaction's routing key and may only touch rows co-located
+// with it — the single-partition transaction model of H-Store that the B2W
+// workload satisfies (every operation accesses one partitioning key).
+type TxnFunc func(tx *Tx) (any, error)
+
+// ErrUnknownTxn is returned when executing a transaction name that was
+// never registered.
+var ErrUnknownTxn = errors.New("store: unknown transaction")
+
+// ErrCrossPartition is returned when a transaction touches a key that does
+// not hash to its own bucket — which would require a distributed
+// transaction, unsupported by design (Section 4.2: "the workload has few
+// distributed transactions").
+var ErrCrossPartition = errors.New("store: key outside transaction's partition")
+
+// ErrStopped is returned for transactions submitted after engine shutdown.
+var ErrStopped = errors.New("store: engine stopped")
+
+// Tx is the execution context handed to a TxnFunc. All accesses are served
+// from the owning partition's local data — no locks are needed because each
+// partition executes serially.
+type Tx struct {
+	p      *partition
+	bucket int
+	// Key is the transaction's routing (partitioning) key.
+	Key string
+	// Args carries the procedure's input parameters.
+	Args any
+}
+
+// Get returns the row stored under (table, key), which must be co-located
+// with the transaction's routing key.
+func (tx *Tx) Get(table, key string) (any, bool, error) {
+	if err := tx.check(key); err != nil {
+		return nil, false, err
+	}
+	t, ok := tx.p.data[tx.bucket][table]
+	if !ok {
+		return nil, false, nil
+	}
+	v, ok := t[key]
+	return v, ok, nil
+}
+
+// Put stores a row under (table, key), co-located with the routing key.
+func (tx *Tx) Put(table, key string, v any) error {
+	if err := tx.check(key); err != nil {
+		return err
+	}
+	b := tx.p.data[tx.bucket]
+	if b == nil {
+		b = make(map[string]map[string]any)
+		tx.p.data[tx.bucket] = b
+	}
+	t := b[table]
+	if t == nil {
+		t = make(map[string]any)
+		b[table] = t
+	}
+	if _, exists := t[key]; !exists {
+		atomic.AddInt64(&tx.p.rowsAtomic, 1)
+	}
+	t[key] = v
+	return nil
+}
+
+// Delete removes the row under (table, key) if present.
+func (tx *Tx) Delete(table, key string) error {
+	if err := tx.check(key); err != nil {
+		return err
+	}
+	if t, ok := tx.p.data[tx.bucket][table]; ok {
+		if _, exists := t[key]; exists {
+			atomic.AddInt64(&tx.p.rowsAtomic, -1)
+			delete(t, key)
+		}
+	}
+	return nil
+}
+
+func (tx *Tx) check(key string) error {
+	if b := tx.p.eng.bucketOf(key); b != tx.bucket {
+		return fmt.Errorf("%w: key %q is in bucket %d, transaction runs in bucket %d",
+			ErrCrossPartition, key, b, tx.bucket)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package timeseries
+
+import "math"
+
+// MRE returns the mean relative error of the predictions against the actual
+// values, as a fraction (multiply by 100 for the percentage the paper
+// reports). Slots whose actual value is zero are skipped, since the relative
+// error is undefined there.
+func MRE(actual, predicted []float64) (float64, error) {
+	if len(actual) != len(predicted) {
+		return 0, ErrLengthMismatch
+	}
+	sum, n := 0.0, 0
+	for i := range actual {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs(predicted[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / float64(n), nil
+}
+
+// RMSE returns the root mean squared error of the predictions.
+func RMSE(actual, predicted []float64) (float64, error) {
+	if len(actual) != len(predicted) {
+		return 0, ErrLengthMismatch
+	}
+	if len(actual) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range actual {
+		d := predicted[i] - actual[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(actual))), nil
+}
+
+// MAE returns the mean absolute error of the predictions.
+func MAE(actual, predicted []float64) (float64, error) {
+	if len(actual) != len(predicted) {
+		return 0, ErrLengthMismatch
+	}
+	if len(actual) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range actual {
+		sum += math.Abs(predicted[i] - actual[i])
+	}
+	return sum / float64(len(actual)), nil
+}

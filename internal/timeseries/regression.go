@@ -1,0 +1,142 @@
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the regression design matrix is singular or
+// too ill-conditioned to solve.
+var ErrSingular = errors.New("timeseries: singular system in least squares")
+
+// LeastSquares solves the ordinary least-squares problem min ||Xw - y||² and
+// returns the coefficient vector w. X has one row per observation and one
+// column per feature. The paper fits the SPAR coefficients a_k and b_j this
+// way (Section 5).
+//
+// The solver forms the normal equations XᵀX w = Xᵀy and solves them by
+// Gaussian elimination with partial pivoting. A tiny ridge term — scaled to
+// the magnitude of the data — is added to the diagonal to keep nearly or
+// exactly collinear feature sets (common with periodic lags) numerically
+// solvable.
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	// Relative regularization: 1e-7 times the mean diagonal of XᵀX.
+	var scale float64
+	n := 0
+	for _, row := range x {
+		for _, v := range row {
+			scale += v * v
+			n++
+		}
+	}
+	if n > 0 {
+		scale /= float64(n)
+	}
+	lambda := 1e-7 * scale * float64(len(x))
+	if lambda <= 0 {
+		lambda = 1e-9
+	}
+	return RidgeRegression(x, y, lambda)
+}
+
+// RidgeRegression solves min ||Xw - y||² + lambda*||w||², a regularized
+// variant of LeastSquares. lambda must be non-negative.
+func RidgeRegression(x [][]float64, y []float64, lambda float64) ([]float64, error) {
+	if len(x) != len(y) {
+		return nil, ErrLengthMismatch
+	}
+	if len(x) == 0 {
+		return nil, errors.New("timeseries: no observations")
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("timeseries: negative ridge parameter %v", lambda)
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("timeseries: no features")
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("timeseries: row %d has %d features, want %d", i, len(row), p)
+		}
+	}
+	if len(x) < p {
+		return nil, fmt.Errorf("timeseries: %d observations cannot identify %d coefficients", len(x), p)
+	}
+
+	// Normal equations: a = XᵀX + lambda*I, b = Xᵀy.
+	a := make([][]float64, p)
+	b := make([]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p)
+	}
+	for _, row := range x {
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+		a[i][i] += lambda
+	}
+	for k, row := range x {
+		for i := 0; i < p; i++ {
+			b[i] += row[i] * y[k]
+		}
+	}
+	return solveLinear(a, b)
+}
+
+// solveLinear solves a*w = b in place using Gaussian elimination with
+// partial pivoting. a must be square with len(a) == len(b).
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the row with the largest magnitude in col.
+		pivot := col
+		maxAbs := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(a[r][col]); abs > maxAbs {
+				maxAbs, pivot = abs, r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	// Back substitution.
+	w := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < n; j++ {
+			sum -= a[i][j] * w[j]
+		}
+		w[i] = sum / a[i][i]
+	}
+	for _, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrSingular
+		}
+	}
+	return w, nil
+}

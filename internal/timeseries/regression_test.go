@@ -1,0 +1,138 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeastSquaresExactRecovery(t *testing.T) {
+	// y = 2*x1 - 3*x2 + 0.5*x3 with no noise must be recovered exactly.
+	rng := rand.New(rand.NewSource(1))
+	want := []float64{2, -3, 0.5}
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		row := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		x = append(x, row)
+		y = append(y, want[0]*row[0]+want[1]*row[1]+want[2]*row[2])
+	}
+	w, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !approxEq(w[i], want[i], 1e-6) {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+}
+
+func TestLeastSquaresNoisyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	want := []float64{1.5, -0.7}
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 2000; i++ {
+		row := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		x = append(x, row)
+		y = append(y, want[0]*row[0]+want[1]*row[1]+0.01*rng.NormFloat64())
+	}
+	w, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !approxEq(w[i], want[i], 1e-2) {
+			t.Errorf("w[%d] = %v, want ~%v", i, w[i], want[i])
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Errorf("length mismatch err = %v", err)
+	}
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := LeastSquares([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("zero features should fail")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined system should fail")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {1, 3}}, []float64{1, 2}); err != nil {
+		t.Errorf("square full-rank system should solve: %v", err)
+	}
+	if _, err := RidgeRegression([][]float64{{1}}, []float64{1}, -1); err == nil {
+		t.Error("negative lambda should fail")
+	}
+}
+
+func TestLeastSquaresSingular(t *testing.T) {
+	// Two identical columns make XᵀX singular; the tiny default ridge term
+	// keeps it solvable but a zero-ridge call must report ErrSingular.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	y := []float64{1, 2, 3}
+	if _, err := RidgeRegression(x, y, 0); err != ErrSingular {
+		t.Errorf("singular system err = %v, want ErrSingular", err)
+	}
+}
+
+func TestRidgeShrinksCoefficients(t *testing.T) {
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}
+	y := []float64{3, 5, 8, 11}
+	w0, err := RidgeRegression(x, y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := RidgeRegression(x, y, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := math.Hypot(w0[0], w0[1])
+	n1 := math.Hypot(w1[0], w1[1])
+	if n1 >= n0 {
+		t.Errorf("ridge norm %v should be below OLS norm %v", n1, n0)
+	}
+}
+
+// TestLeastSquaresResidualOrthogonality checks the defining property of an
+// OLS solution: residuals are orthogonal to every feature column.
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, p := 30, 3
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			y[i] = rng.NormFloat64() * 10
+		}
+		// Zero ridge: random Gaussian features are full rank almost surely,
+		// and exact OLS residuals are orthogonal to the features.
+		w, err := RidgeRegression(x, y, 0)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < p; j++ {
+			dot := 0.0
+			for i := 0; i < n; i++ {
+				pred := 0.0
+				for k := 0; k < p; k++ {
+					pred += x[i][k] * w[k]
+				}
+				dot += (y[i] - pred) * x[i][j]
+			}
+			if math.Abs(dot) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package timeseries provides the time-series primitives used throughout
+// P-Store: a uniformly sampled series type, accuracy metrics such as the
+// mean relative error reported in the paper, and a linear least-squares
+// solver used to fit the SPAR, AR and ARMA prediction models.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Series is a uniformly sampled time series. Values[i] is the measurement
+// for the slot beginning at Start + i*Interval. The paper samples the B2W
+// load in one-minute slots (1440 slots per day) and the Wikipedia load in
+// one-hour slots.
+type Series struct {
+	// Start is the timestamp of the first slot.
+	Start time.Time
+	// Interval is the width of each slot.
+	Interval time.Duration
+	// Values holds one measurement per slot.
+	Values []float64
+}
+
+// New returns a Series with the given slot width and values. The values
+// slice is used directly, not copied.
+func New(start time.Time, interval time.Duration, values []float64) Series {
+	return Series{Start: start, Interval: interval, Values: values}
+}
+
+// Len returns the number of slots.
+func (s Series) Len() int { return len(s.Values) }
+
+// At returns the value of slot i.
+func (s Series) At(i int) float64 { return s.Values[i] }
+
+// TimeAt returns the timestamp of the beginning of slot i.
+func (s Series) TimeAt(i int) time.Time {
+	return s.Start.Add(time.Duration(i) * s.Interval)
+}
+
+// Slice returns the sub-series covering slots [from, to). The underlying
+// values are shared with the receiver.
+func (s Series) Slice(from, to int) Series {
+	return Series{
+		Start:    s.TimeAt(from),
+		Interval: s.Interval,
+		Values:   s.Values[from:to],
+	}
+}
+
+// Clone returns a deep copy of the series.
+func (s Series) Clone() Series {
+	v := make([]float64, len(s.Values))
+	copy(v, s.Values)
+	return Series{Start: s.Start, Interval: s.Interval, Values: v}
+}
+
+// Max returns the maximum value, or zero for an empty series.
+func (s Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.Values {
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0
+	}
+	return max
+}
+
+// Min returns the minimum value, or zero for an empty series.
+func (s Series) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.Values {
+		if v < min {
+			min = v
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// Mean returns the arithmetic mean, or zero for an empty series.
+func (s Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Std returns the population standard deviation.
+func (s Series) Std() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	sum := 0.0
+	for _, v := range s.Values {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.Values)))
+}
+
+// Scale returns a new series with every value multiplied by k.
+func (s Series) Scale(k float64) Series {
+	out := s.Clone()
+	for i := range out.Values {
+		out.Values[i] *= k
+	}
+	return out
+}
+
+// Resample aggregates groups of k consecutive slots into single slots using
+// the mean, widening the interval by k. A trailing partial group is dropped.
+// It is used, for example, to turn a per-minute load trace into the
+// five-minute granularity used by the Figure 12 simulation.
+func (s Series) Resample(k int) (Series, error) {
+	if k <= 0 {
+		return Series{}, fmt.Errorf("timeseries: resample factor %d must be positive", k)
+	}
+	n := len(s.Values) / k
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < k; j++ {
+			sum += s.Values[i*k+j]
+		}
+		out[i] = sum / float64(k)
+	}
+	return Series{Start: s.Start, Interval: s.Interval * time.Duration(k), Values: out}, nil
+}
+
+// ErrLengthMismatch is returned by pairwise operations on series of
+// different lengths.
+var ErrLengthMismatch = errors.New("timeseries: series length mismatch")

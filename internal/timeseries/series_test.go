@@ -1,0 +1,178 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSeriesBasics(t *testing.T) {
+	start := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	s := New(start, time.Minute, []float64{1, 2, 3, 4, 5})
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	if got := s.At(2); got != 3 {
+		t.Errorf("At(2) = %v, want 3", got)
+	}
+	if got := s.TimeAt(3); !got.Equal(start.Add(3 * time.Minute)) {
+		t.Errorf("TimeAt(3) = %v", got)
+	}
+	if got := s.Max(); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := s.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := s.Std(); !approxEq(got, math.Sqrt(2), 1e-12) {
+		t.Errorf("Std = %v, want sqrt(2)", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Max() != 0 || s.Min() != 0 || s.Mean() != 0 || s.Std() != 0 {
+		t.Errorf("empty series stats should be zero: max=%v min=%v mean=%v std=%v",
+			s.Max(), s.Min(), s.Mean(), s.Std())
+	}
+}
+
+func TestSeriesSlice(t *testing.T) {
+	start := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	s := New(start, time.Hour, []float64{10, 20, 30, 40})
+	sub := s.Slice(1, 3)
+	if sub.Len() != 2 || sub.At(0) != 20 || sub.At(1) != 30 {
+		t.Fatalf("Slice values wrong: %+v", sub.Values)
+	}
+	if !sub.Start.Equal(start.Add(time.Hour)) {
+		t.Errorf("Slice start = %v, want %v", sub.Start, start.Add(time.Hour))
+	}
+}
+
+func TestSeriesCloneIndependent(t *testing.T) {
+	s := New(time.Time{}, time.Minute, []float64{1, 2})
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.Values[0] != 1 {
+		t.Error("Clone shares backing array with original")
+	}
+}
+
+func TestSeriesScale(t *testing.T) {
+	s := New(time.Time{}, time.Minute, []float64{1, -2, 3})
+	out := s.Scale(2)
+	want := []float64{2, -4, 6}
+	for i, v := range out.Values {
+		if v != want[i] {
+			t.Errorf("Scale[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	if s.Values[0] != 1 {
+		t.Error("Scale mutated the receiver")
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := New(time.Time{}, time.Minute, []float64{1, 3, 5, 7, 9})
+	out, err := s.Resample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("Resample len = %d, want 2 (partial group dropped)", out.Len())
+	}
+	if out.At(0) != 2 || out.At(1) != 6 {
+		t.Errorf("Resample values = %v, want [2 6]", out.Values)
+	}
+	if out.Interval != 2*time.Minute {
+		t.Errorf("Resample interval = %v, want 2m", out.Interval)
+	}
+	if _, err := s.Resample(0); err == nil {
+		t.Error("Resample(0) should fail")
+	}
+}
+
+func TestResamplePreservesMeanProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		// Keep values finite and the length a multiple of 4.
+		n := len(raw) / 4 * 4
+		if n == 0 {
+			return true
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			v := raw[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			vals[i] = math.Mod(v, 1e6)
+		}
+		s := New(time.Time{}, time.Minute, vals)
+		out, err := s.Resample(4)
+		if err != nil {
+			return false
+		}
+		return approxEq(out.Mean(), s.Mean(), 1e-6*(1+math.Abs(s.Mean())))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	actual := []float64{100, 200, 0, 400}
+	pred := []float64{110, 180, 50, 400}
+	mre, err := MRE(actual, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot with actual==0 is skipped: (0.1 + 0.1 + 0)/3.
+	if !approxEq(mre, 0.2/3, 1e-12) {
+		t.Errorf("MRE = %v, want %v", mre, 0.2/3)
+	}
+	rmse, err := RMSE(actual, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt((100 + 400 + 2500 + 0) / 4.0)
+	if !approxEq(rmse, want, 1e-12) {
+		t.Errorf("RMSE = %v, want %v", rmse, want)
+	}
+	mae, err := MAE(actual, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(mae, (10+20+50+0)/4.0, 1e-12) {
+		t.Errorf("MAE = %v", mae)
+	}
+}
+
+func TestMetricsLengthMismatch(t *testing.T) {
+	if _, err := MRE([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Errorf("MRE mismatch err = %v", err)
+	}
+	if _, err := RMSE([]float64{1}, nil); err != ErrLengthMismatch {
+		t.Errorf("RMSE mismatch err = %v", err)
+	}
+	if _, err := MAE(nil, []float64{1}); err != ErrLengthMismatch {
+		t.Errorf("MAE mismatch err = %v", err)
+	}
+}
+
+func TestMetricsPerfectPrediction(t *testing.T) {
+	a := []float64{3, 1, 4, 1, 5}
+	for name, fn := range map[string]func([]float64, []float64) (float64, error){
+		"MRE": MRE, "RMSE": RMSE, "MAE": MAE,
+	} {
+		got, err := fn(a, a)
+		if err != nil || got != 0 {
+			t.Errorf("%s(a,a) = %v, %v; want 0, nil", name, got, err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Arrivals converts a load series (requests per slot) into a stream of
+// transaction arrival times, modelling arrivals within each slot as a
+// Poisson process whose rate is the slot's load. It is how the benchmark
+// driver replays a trace against the storage engine (Section 7: the paper
+// replays B2W's logs at 10x speed; here SlotDuration compresses the wall
+// time of one trace slot).
+type Arrivals struct {
+	series Series
+	// slotDur is the wall-clock duration one trace slot is replayed in.
+	slotDur time.Duration
+	// rateScale multiplies each slot's load before generating arrivals.
+	rateScale float64
+	rng       *rand.Rand
+
+	slot int
+	next time.Duration // arrival offset from the start of the replay
+}
+
+// NewArrivals returns an arrival stream replaying series. Each trace slot is
+// compressed into slotDur of replay time, and each slot's request count is
+// multiplied by rateScale (use it to scale the trace down to the capacity of
+// the test substrate).
+func NewArrivals(series Series, slotDur time.Duration, rateScale float64, seed int64) (*Arrivals, error) {
+	if slotDur <= 0 {
+		return nil, fmt.Errorf("workload: slot duration %v must be positive", slotDur)
+	}
+	if rateScale <= 0 {
+		return nil, fmt.Errorf("workload: rate scale %v must be positive", rateScale)
+	}
+	a := &Arrivals{
+		series:    series,
+		slotDur:   slotDur,
+		rateScale: rateScale,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+	return a, nil
+}
+
+// Next returns the offset of the next arrival from the start of the replay
+// and true, or false when the trace is exhausted.
+func (a *Arrivals) Next() (time.Duration, bool) {
+	for a.slot < a.series.Len() {
+		rate := a.series.At(a.slot) * a.rateScale // expected arrivals this slot
+		slotEnd := time.Duration(a.slot+1) * a.slotDur
+		if rate <= 0 {
+			a.slot++
+			a.next = slotEnd
+			continue
+		}
+		// Exponential inter-arrival gap within the slot, in replay time.
+		gap := time.Duration(a.rng.ExpFloat64() / rate * float64(a.slotDur))
+		a.next += gap
+		if a.next >= slotEnd {
+			a.slot++
+			a.next = slotEnd
+			continue
+		}
+		return a.next, true
+	}
+	return 0, false
+}
+
+// TotalDuration returns the replay wall time of the whole trace.
+func (a *Arrivals) TotalDuration() time.Duration {
+	return time.Duration(a.series.Len()) * a.slotDur
+}

@@ -1,0 +1,197 @@
+// Package workload generates the load traces P-Store is evaluated on. The
+// paper uses proprietary B2W transaction logs (months of per-minute request
+// counts on the cart/checkout databases, Figure 1) and public Wikipedia
+// hourly page-view dumps (Figure 6); neither is available offline, so this
+// package produces seeded synthetic traces with the same structure the
+// paper describes: a strong diurnal pattern with peak load roughly 10x the
+// trough, weekly seasonality, day-to-day variability, occasional promotion
+// spikes, and a Black Friday surge. It also converts load series into
+// Poisson transaction arrival streams for driving the storage engine.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// MinutesPerDay is the number of one-minute slots per day, the paper's slot
+// granularity for the B2W load (T = 1440 in Equation 8).
+const MinutesPerDay = 24 * 60
+
+// B2WConfig parameterizes the synthetic B2W-like retail load.
+type B2WConfig struct {
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Days is the length of the trace in days.
+	Days int
+	// SlotsPerDay is the sampling granularity (1440 for per-minute).
+	SlotsPerDay int
+	// TroughLoad is the overnight minimum in requests per slot.
+	TroughLoad float64
+	// PeakFactor is the ratio of daily peak to trough (the paper observes
+	// about 10x).
+	PeakFactor float64
+	// WeekendFactor scales Saturday/Sunday load (B2W-like retail traffic
+	// dips slightly on weekends).
+	WeekendFactor float64
+	// NoiseFrac is the standard deviation of multiplicative short-term
+	// noise as a fraction of the level, applied with AR(1) correlation so
+	// transients persist for several minutes.
+	NoiseFrac float64
+	// DailyJitterFrac randomizes each day's amplitude (day-to-day
+	// variability from seasonality and campaigns).
+	DailyJitterFrac float64
+	// PromosPerWeek is the expected number of promotion spikes per week;
+	// each lifts load by 1.3-2.2x for 30-120 minutes.
+	PromosPerWeek float64
+	// BlackFridayDay, if non-negative, marks that day index as Black
+	// Friday: load surges from midnight to BlackFridayFactor times the
+	// normal peak.
+	BlackFridayDay int
+	// BlackFridayFactor is the Black Friday surge multiplier.
+	BlackFridayFactor float64
+}
+
+// DefaultB2WConfig returns the configuration used throughout the
+// experiments: per-minute slots, 10x peak-to-trough, mild noise, about one
+// promotion per week, and no Black Friday.
+func DefaultB2WConfig(seed int64, days int) B2WConfig {
+	return B2WConfig{
+		Seed:              seed,
+		Days:              days,
+		SlotsPerDay:       MinutesPerDay,
+		TroughLoad:        2500,
+		PeakFactor:        10,
+		WeekendFactor:     0.88,
+		NoiseFrac:         0.04,
+		DailyJitterFrac:   0.08,
+		PromosPerWeek:     1,
+		BlackFridayDay:    -1,
+		BlackFridayFactor: 2.6,
+	}
+}
+
+// Validate reports configuration errors.
+func (c B2WConfig) Validate() error {
+	if c.Days < 1 {
+		return fmt.Errorf("workload: Days %d must be at least 1", c.Days)
+	}
+	if c.SlotsPerDay < 1 {
+		return fmt.Errorf("workload: SlotsPerDay %d must be at least 1", c.SlotsPerDay)
+	}
+	if c.TroughLoad <= 0 {
+		return fmt.Errorf("workload: TroughLoad %v must be positive", c.TroughLoad)
+	}
+	if c.PeakFactor < 1 {
+		return fmt.Errorf("workload: PeakFactor %v must be at least 1", c.PeakFactor)
+	}
+	return nil
+}
+
+// SyntheticB2W generates the synthetic retail load trace. The series starts
+// on a Friday (so a BlackFridayDay divisible by 7 lands on a Friday) at
+// midnight with one value per slot.
+func SyntheticB2W(cfg B2WConfig) (Series, error) {
+	if err := cfg.Validate(); err != nil {
+		return Series{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Days * cfg.SlotsPerDay
+	values := make([]float64, n)
+
+	peak := cfg.TroughLoad * cfg.PeakFactor
+
+	// Day-level amplitude jitter.
+	dayAmp := make([]float64, cfg.Days)
+	for d := range dayAmp {
+		dayAmp[d] = 1 + cfg.DailyJitterFrac*rng.NormFloat64()
+		if dayAmp[d] < 0.5 {
+			dayAmp[d] = 0.5
+		}
+	}
+
+	// Promotion spikes: Poisson count over the whole trace.
+	type promo struct {
+		start, length int
+		factor        float64
+	}
+	var promos []promo
+	expected := cfg.PromosPerWeek * float64(cfg.Days) / 7
+	for i := 0; i < poisson(rng, expected); i++ {
+		promos = append(promos, promo{
+			start:  rng.Intn(n),
+			length: cfg.SlotsPerDay/48 + rng.Intn(cfg.SlotsPerDay/16+1), // 30-120 min at 1440 slots/day
+			factor: 1.3 + 0.9*rng.Float64(),
+		})
+	}
+
+	noise := 0.0 // AR(1) noise state
+	const noisePersist = 0.9
+	for i := 0; i < n; i++ {
+		day := i / cfg.SlotsPerDay
+		tod := float64(i%cfg.SlotsPerDay) / float64(cfg.SlotsPerDay)
+
+		// Diurnal shape: trough around 04:30, peak around 16:30, built
+		// from a shifted cosine raised to a power so the peak is broad
+		// and the overnight trough is deep, like Figure 1.
+		phase := 2 * math.Pi * (tod - 4.5/24)
+		shape := math.Pow(0.5*(1-math.Cos(phase)), 1.4)
+		level := cfg.TroughLoad + (peak-cfg.TroughLoad)*shape*dayAmp[day]
+
+		// Weekly seasonality: the trace starts on a Friday.
+		weekday := (5 + day) % 7 // 0=Sunday ... 6=Saturday
+		if weekday == 0 || weekday == 6 {
+			level *= cfg.WeekendFactor
+		}
+
+		// Promotion spikes.
+		for _, p := range promos {
+			if i >= p.start && i < p.start+p.length {
+				level *= p.factor
+			}
+		}
+
+		// Black Friday: surge starting at midnight, strongest in the
+		// first hours (B2W's sale opens at midnight), decaying towards a
+		// still-elevated daytime level.
+		if day == cfg.BlackFridayDay {
+			surge := cfg.BlackFridayFactor * (1 - 0.35*tod)
+			if surge < 1 {
+				surge = 1
+			}
+			level *= surge
+		}
+
+		noise = noisePersist*noise + math.Sqrt(1-noisePersist*noisePersist)*rng.NormFloat64()
+		v := level * (1 + cfg.NoiseFrac*noise)
+		if v < 0 {
+			v = 0
+		}
+		values[i] = v
+	}
+
+	start := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC) // a Friday
+	return NewSeries(start, 24*time.Hour/time.Duration(cfg.SlotsPerDay), values), nil
+}
+
+// poisson draws a Poisson variate with the given mean using inversion for
+// small means (all we need here).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k
+		}
+	}
+}

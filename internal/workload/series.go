@@ -1,0 +1,16 @@
+package workload
+
+import (
+	"time"
+
+	"pstore/internal/timeseries"
+)
+
+// Series is re-exported from the timeseries package so workload consumers
+// do not need to import both.
+type Series = timeseries.Series
+
+// NewSeries constructs a Series; see timeseries.New.
+func NewSeries(start time.Time, interval time.Duration, values []float64) Series {
+	return timeseries.New(start, interval, values)
+}

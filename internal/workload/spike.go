@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spike describes an unexpected load surge, like the flash crowd the paper
+// injects in Figure 11 (a day in September 2016 with a large unpredicted
+// spike). Spikes are deliberately not part of the training data so the
+// predictor cannot anticipate them.
+type Spike struct {
+	// StartSlot is the slot index where the surge begins.
+	StartSlot int
+	// RampSlots is how many slots the surge takes to reach full height.
+	RampSlots int
+	// HoldSlots is how long the surge stays at full height.
+	HoldSlots int
+	// DecaySlots is how many slots the surge takes to fade out.
+	DecaySlots int
+	// Factor is the multiplier at full height.
+	Factor float64
+}
+
+// Apply returns a copy of s with the spike applied multiplicatively.
+func (sp Spike) Apply(s Series) (Series, error) {
+	if sp.Factor < 1 {
+		return Series{}, fmt.Errorf("workload: spike factor %v must be at least 1", sp.Factor)
+	}
+	if sp.StartSlot < 0 || sp.StartSlot >= s.Len() {
+		return Series{}, fmt.Errorf("workload: spike start %d outside series of %d slots",
+			sp.StartSlot, s.Len())
+	}
+	out := s.Clone()
+	total := sp.RampSlots + sp.HoldSlots + sp.DecaySlots
+	for i := 0; i < total; i++ {
+		idx := sp.StartSlot + i
+		if idx >= out.Len() {
+			break
+		}
+		var frac float64
+		switch {
+		case i < sp.RampSlots:
+			frac = float64(i+1) / float64(sp.RampSlots)
+		case i < sp.RampSlots+sp.HoldSlots:
+			frac = 1
+		default:
+			d := i - sp.RampSlots - sp.HoldSlots
+			frac = 1 - float64(d+1)/float64(sp.DecaySlots)
+		}
+		out.Values[idx] *= 1 + (sp.Factor-1)*math.Max(0, frac)
+	}
+	return out, nil
+}

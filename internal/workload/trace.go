@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV serializes a load series as CSV with a header row and
+// "rfc3339_timestamp,load" records, the interchange format used by the
+// capacity-planner example and the pstore CLI.
+func WriteCSV(w io.Writer, s Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", "load"}); err != nil {
+		return fmt.Errorf("workload: writing CSV header: %w", err)
+	}
+	for i, v := range s.Values {
+		rec := []string{
+			s.TimeAt(i).Format(time.RFC3339),
+			strconv.FormatFloat(v, 'f', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a series written by WriteCSV. The slot interval is inferred
+// from the first two timestamps; a single-row file defaults to one minute.
+func ReadCSV(r io.Reader) (Series, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return Series{}, fmt.Errorf("workload: reading CSV: %w", err)
+	}
+	if len(recs) < 2 {
+		return Series{}, fmt.Errorf("workload: CSV has no data rows")
+	}
+	if recs[0][0] != "timestamp" {
+		return Series{}, fmt.Errorf("workload: CSV missing timestamp header, got %q", recs[0][0])
+	}
+	rows := recs[1:]
+	var start time.Time
+	values := make([]float64, 0, len(rows))
+	for i, rec := range rows {
+		if len(rec) != 2 {
+			return Series{}, fmt.Errorf("workload: CSV row %d has %d fields, want 2", i+1, len(rec))
+		}
+		ts, err := time.Parse(time.RFC3339, rec[0])
+		if err != nil {
+			return Series{}, fmt.Errorf("workload: CSV row %d timestamp: %w", i+1, err)
+		}
+		if i == 0 {
+			start = ts
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return Series{}, fmt.Errorf("workload: CSV row %d load: %w", i+1, err)
+		}
+		values = append(values, v)
+	}
+	interval := time.Minute
+	if len(rows) >= 2 {
+		t1, err := time.Parse(time.RFC3339, rows[1][0])
+		if err == nil {
+			if d := t1.Sub(start); d > 0 {
+				interval = d
+			}
+		}
+	}
+	return NewSeries(start, interval, values), nil
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// WikipediaConfig parameterizes the synthetic hourly Wikipedia-like page
+// view trace used to reproduce Figure 6. The English edition is highly
+// periodic and predictable; the German edition has the same diurnal shape
+// but more day-to-day irregularity and noise, making it the paper's "less
+// predictable" example.
+type WikipediaConfig struct {
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Days is the trace length in days; slots are hourly.
+	Days int
+	// BaseViews is the overnight minimum in page requests per hour.
+	BaseViews float64
+	// PeakFactor is the daily peak over the base (Wikipedia's diurnal
+	// swing is milder than retail, roughly 2-3x).
+	PeakFactor float64
+	// NoiseFrac is the multiplicative noise level.
+	NoiseFrac float64
+	// DailyJitterFrac randomizes per-day amplitude.
+	DailyJitterFrac float64
+	// WeekendFactor scales weekend traffic.
+	WeekendFactor float64
+}
+
+// EnglishWikipediaConfig mimics the English edition: large volume, strong
+// periodicity, low noise.
+func EnglishWikipediaConfig(seed int64, days int) WikipediaConfig {
+	return WikipediaConfig{
+		Seed: seed, Days: days,
+		BaseViews:       4.5e6,
+		PeakFactor:      2.2,
+		NoiseFrac:       0.025,
+		DailyJitterFrac: 0.05,
+		WeekendFactor:   0.95,
+	}
+}
+
+// GermanWikipediaConfig mimics the German edition: smaller volume, the same
+// diurnal shape, but noticeably noisier and less regular.
+func GermanWikipediaConfig(seed int64, days int) WikipediaConfig {
+	return WikipediaConfig{
+		Seed: seed, Days: days,
+		BaseViews:       0.6e6,
+		PeakFactor:      3.2,
+		NoiseFrac:       0.07,
+		DailyJitterFrac: 0.12,
+		WeekendFactor:   0.88,
+	}
+}
+
+// SyntheticWikipedia generates an hourly page-view trace.
+func SyntheticWikipedia(cfg WikipediaConfig) (Series, error) {
+	if cfg.Days < 1 {
+		return Series{}, fmt.Errorf("workload: Days %d must be at least 1", cfg.Days)
+	}
+	if cfg.BaseViews <= 0 || cfg.PeakFactor < 1 {
+		return Series{}, fmt.Errorf("workload: BaseViews %v and PeakFactor %v invalid",
+			cfg.BaseViews, cfg.PeakFactor)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Days * 24
+	values := make([]float64, n)
+	peak := cfg.BaseViews * cfg.PeakFactor
+
+	amp := make([]float64, cfg.Days)
+	for d := range amp {
+		amp[d] = 1 + cfg.DailyJitterFrac*rng.NormFloat64()
+		if amp[d] < 0.4 {
+			amp[d] = 0.4
+		}
+	}
+
+	noise := 0.0
+	const noisePersist = 0.8
+	for i := 0; i < n; i++ {
+		day := i / 24
+		tod := float64(i%24) / 24
+
+		dayAmp := amp[day]
+		// Trough around 05:00 UTC-ish local night, single broad peak in
+		// the evening.
+		phase := 2 * math.Pi * (tod - 5.0/24)
+		shape := math.Pow(0.5*(1-math.Cos(phase)), 1.2)
+		level := cfg.BaseViews + (peak-cfg.BaseViews)*shape*dayAmp
+
+		weekday := (5 + day) % 7
+		if weekday == 0 || weekday == 6 {
+			level *= cfg.WeekendFactor
+		}
+
+		noise = noisePersist*noise + math.Sqrt(1-noisePersist*noisePersist)*rng.NormFloat64()
+		v := level * (1 + cfg.NoiseFrac*noise)
+		if v < 0 {
+			v = 0
+		}
+		values[i] = v
+	}
+	start := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	return NewSeries(start, time.Hour, values), nil
+}

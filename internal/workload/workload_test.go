@@ -1,0 +1,304 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSyntheticB2WShape(t *testing.T) {
+	cfg := DefaultB2WConfig(42, 14)
+	cfg.PromosPerWeek = 0 // keep the shape clean for ratio checks
+	s, err := SyntheticB2W(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 14*MinutesPerDay {
+		t.Fatalf("length = %d, want %d", s.Len(), 14*MinutesPerDay)
+	}
+	for i, v := range s.Values {
+		if v < 0 {
+			t.Fatalf("negative load %v at slot %d", v, i)
+		}
+	}
+	// Peak to trough ratio should be near the configured 10x. Compare the
+	// 99th-percentile level to the 1st-percentile level of one weekday.
+	day := s.Slice(3*MinutesPerDay, 4*MinutesPerDay)
+	ratio := day.Max() / day.Min()
+	if ratio < 6 || ratio > 16 {
+		t.Errorf("peak/trough ratio %.1f outside [6, 16]", ratio)
+	}
+}
+
+func TestSyntheticB2WDiurnalPeriodicity(t *testing.T) {
+	cfg := DefaultB2WConfig(7, 21)
+	cfg.PromosPerWeek = 0
+	s, err := SyntheticB2W(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same weekday, same time-of-day slots one week apart should correlate
+	// strongly; day-lag autocorrelation of the load must be high.
+	var num, denA, denB float64
+	meanAll := s.Mean()
+	lag := 7 * MinutesPerDay
+	for i := lag; i < s.Len(); i++ {
+		a := s.At(i) - meanAll
+		b := s.At(i-lag) - meanAll
+		num += a * b
+		denA += a * a
+		denB += b * b
+	}
+	corr := num / math.Sqrt(denA*denB)
+	if corr < 0.95 {
+		t.Errorf("week-lag autocorrelation %.3f, want >= 0.95", corr)
+	}
+}
+
+func TestSyntheticB2WDeterministicBySeed(t *testing.T) {
+	a, err := SyntheticB2W(DefaultB2WConfig(5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SyntheticB2W(DefaultB2WConfig(5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("traces with equal seed differ at slot %d", i)
+		}
+	}
+	c, err := SyntheticB2W(DefaultB2WConfig(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Values {
+		if a.Values[i] != c.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("traces with different seeds are identical")
+	}
+}
+
+func TestSyntheticB2WBlackFriday(t *testing.T) {
+	cfg := DefaultB2WConfig(9, 10)
+	cfg.PromosPerWeek = 0
+	cfg.BlackFridayDay = 7 // a Friday (trace starts on Friday)
+	s, err := SyntheticB2W(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := s.Slice(7*MinutesPerDay, 8*MinutesPerDay)
+	normal := s.Slice(0, MinutesPerDay)
+	if bf.Max() < 1.5*normal.Max() {
+		t.Errorf("Black Friday peak %.0f not well above normal peak %.0f", bf.Max(), normal.Max())
+	}
+	// The surge starts at midnight: the first Black Friday hour should far
+	// exceed the first hour of a normal Friday.
+	if bf.Slice(0, 60).Mean() < 2*normal.Slice(0, 60).Mean() {
+		t.Error("Black Friday midnight surge missing")
+	}
+}
+
+func TestSyntheticB2WValidation(t *testing.T) {
+	bad := DefaultB2WConfig(1, 0)
+	if _, err := SyntheticB2W(bad); err == nil {
+		t.Error("Days=0 should fail")
+	}
+	bad = DefaultB2WConfig(1, 1)
+	bad.TroughLoad = 0
+	if _, err := SyntheticB2W(bad); err == nil {
+		t.Error("TroughLoad=0 should fail")
+	}
+	bad = DefaultB2WConfig(1, 1)
+	bad.PeakFactor = 0.5
+	if _, err := SyntheticB2W(bad); err == nil {
+		t.Error("PeakFactor<1 should fail")
+	}
+	bad = DefaultB2WConfig(1, 1)
+	bad.SlotsPerDay = 0
+	if _, err := SyntheticB2W(bad); err == nil {
+		t.Error("SlotsPerDay=0 should fail")
+	}
+}
+
+func TestWikipediaEnglishMorePredictableThanGerman(t *testing.T) {
+	en, err := SyntheticWikipedia(EnglishWikipediaConfig(3, 28))
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, err := SyntheticWikipedia(GermanWikipediaConfig(3, 28))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if en.Len() != 28*24 || de.Len() != 28*24 {
+		t.Fatalf("lengths = %d, %d; want %d", en.Len(), de.Len(), 28*24)
+	}
+	// Residual variation around the mean daily profile should be larger
+	// for the German-like trace.
+	if rv(en) >= rv(de) {
+		t.Errorf("en residual %.4f should be below de residual %.4f", rv(en), rv(de))
+	}
+}
+
+// rv computes the relative RMS of residuals from the mean daily profile.
+func rv(s Series) float64 {
+	profile := make([]float64, 24)
+	counts := make([]float64, 24)
+	for i, v := range s.Values {
+		profile[i%24] += v
+		counts[i%24]++
+	}
+	for h := range profile {
+		profile[h] /= counts[h]
+	}
+	var sum float64
+	for i, v := range s.Values {
+		d := (v - profile[i%24]) / profile[i%24]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.Values)))
+}
+
+func TestWikipediaValidation(t *testing.T) {
+	if _, err := SyntheticWikipedia(WikipediaConfig{Days: 0, BaseViews: 1, PeakFactor: 2}); err == nil {
+		t.Error("Days=0 should fail")
+	}
+	if _, err := SyntheticWikipedia(WikipediaConfig{Days: 1, BaseViews: 0, PeakFactor: 2}); err == nil {
+		t.Error("BaseViews=0 should fail")
+	}
+}
+
+func TestSpikeApply(t *testing.T) {
+	base := NewSeries(time.Time{}, time.Minute, []float64{100, 100, 100, 100, 100, 100, 100, 100})
+	sp := Spike{StartSlot: 2, RampSlots: 2, HoldSlots: 2, DecaySlots: 2, Factor: 3}
+	out, err := sp.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Values[3] != 100 {
+		t.Error("Apply mutated input")
+	}
+	if out.Values[0] != 100 || out.Values[1] != 100 {
+		t.Error("spike applied before start")
+	}
+	if out.Values[4] != 300 || out.Values[5] != 300 {
+		t.Errorf("hold values = %v, %v; want 300", out.Values[4], out.Values[5])
+	}
+	if out.Values[3] <= out.Values[2] {
+		t.Error("ramp not increasing")
+	}
+	if out.Values[7] >= out.Values[6] {
+		t.Error("decay not decreasing")
+	}
+	if _, err := (Spike{StartSlot: 99, Factor: 2}).Apply(base); err == nil {
+		t.Error("out-of-range start should fail")
+	}
+	if _, err := (Spike{StartSlot: 0, Factor: 0.5}).Apply(base); err == nil {
+		t.Error("factor < 1 should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := SyntheticB2W(DefaultB2WConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip length %d, want %d", back.Len(), orig.Len())
+	}
+	if back.Interval != orig.Interval {
+		t.Errorf("round trip interval %v, want %v", back.Interval, orig.Interval)
+	}
+	if !back.Start.Equal(orig.Start) {
+		t.Errorf("round trip start %v, want %v", back.Start, orig.Start)
+	}
+	for i := range orig.Values {
+		if math.Abs(back.Values[i]-orig.Values[i]) > 1e-9 {
+			t.Fatalf("round trip value %d: %v vs %v", i, back.Values[i], orig.Values[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("x,y\n1,2\n")); err == nil {
+		t.Error("bad header should fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("timestamp,load\nnot-a-time,5\n")); err == nil {
+		t.Error("bad timestamp should fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("timestamp,load\n2016-07-01T00:00:00Z,zzz\n")); err == nil {
+		t.Error("bad load should fail")
+	}
+}
+
+func TestArrivalsCountMatchesLoad(t *testing.T) {
+	// 10 slots of 200 requests each, scaled by 0.5 -> expect ~1000 arrivals.
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = 200
+	}
+	s := NewSeries(time.Time{}, time.Minute, vals)
+	a, err := NewArrivals(s, 50*time.Millisecond, 0.5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	var prev time.Duration = -1
+	for {
+		at, ok := a.Next()
+		if !ok {
+			break
+		}
+		if at < prev {
+			t.Fatalf("arrival times not monotonic: %v after %v", at, prev)
+		}
+		if at > a.TotalDuration() {
+			t.Fatalf("arrival %v beyond trace end %v", at, a.TotalDuration())
+		}
+		prev = at
+		count++
+	}
+	want := 1000.0
+	if math.Abs(float64(count)-want) > 4*math.Sqrt(want) {
+		t.Errorf("arrival count %d too far from expected %v", count, want)
+	}
+}
+
+func TestArrivalsZeroLoadSlots(t *testing.T) {
+	s := NewSeries(time.Time{}, time.Minute, []float64{0, 0, 0})
+	a, err := NewArrivals(s, 10*time.Millisecond, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Next(); ok {
+		t.Error("zero-load trace should produce no arrivals")
+	}
+}
+
+func TestArrivalsValidation(t *testing.T) {
+	s := NewSeries(time.Time{}, time.Minute, []float64{1})
+	if _, err := NewArrivals(s, 0, 1, 1); err == nil {
+		t.Error("zero slot duration should fail")
+	}
+	if _, err := NewArrivals(s, time.Second, 0, 1); err == nil {
+		t.Error("zero rate scale should fail")
+	}
+}

@@ -1,29 +1,38 @@
 // Command pstore is the command-line entry point to the P-Store
 // reproduction: it regenerates every table and figure of the paper's
-// evaluation, generates synthetic load traces, fits load predictors, and
-// runs the predictive elasticity planner on a trace.
+// evaluation, generates synthetic load traces, fits load predictors, runs
+// the predictive elasticity planner on a trace, and serves a live cluster
+// replaying a trace under a provisioning controller.
 //
 // Usage:
 //
 //	pstore list                              list all experiments
 //	pstore experiment <id> [flags]           run one experiment (or "all")
+//	pstore serve [flags]                     run a live cluster against a trace
 //	pstore trace [flags]                     generate a synthetic load trace CSV
 //	pstore predict [flags]                   fit a predictor on a trace CSV and forecast
 //	pstore plan [flags]                      plan reconfigurations for a trace CSV
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
+	"pstore/internal/b2w"
+	"pstore/internal/cluster"
+	"pstore/internal/elastic"
 	"pstore/internal/experiments"
 	"pstore/internal/migration"
 	"pstore/internal/planner"
 	"pstore/internal/predictor"
+	"pstore/internal/squall"
+	"pstore/internal/store"
 	"pstore/internal/timeseries"
 	"pstore/internal/workload"
 )
@@ -39,6 +48,8 @@ func main() {
 		err = runList()
 	case "experiment":
 		err = runExperiment(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "trace":
 		err = runTrace(os.Args[2:])
 	case "predict":
@@ -62,6 +73,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   pstore list                     list all experiments
   pstore experiment <id|all>      run an experiment (-full for paper-size runs, -seed N)
+  pstore serve                    run a live cluster replaying a trace under a controller
   pstore trace                    generate a synthetic B2W-like load trace CSV
   pstore predict                  fit SPAR/AR/ARMA on a trace CSV and report accuracy
   pstore plan                     run the predictive elasticity planner on a trace CSV
@@ -104,6 +116,143 @@ func runExperiment(args []string) error {
 		fmt.Print(r.Text())
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// runServe boots the cluster runtime — engine, Squall executor, recorder
+// and the controller's monitoring/decision loop — and replays a compressed
+// synthetic retail trace through it, streaming the runtime's events to
+// stderr and printing a provisioning summary at the end.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	days := fs.Int("days", 1, "days to replay after the 28-day training window")
+	policy := fs.String("controller", "pstore", "provisioning controller: pstore, reactive, static")
+	initial := fs.Int("machines", 2, "initial machine count")
+	maxM := fs.Int("max", 8, "maximum machine count")
+	minute := fs.Duration("minute", 10*time.Millisecond, "wall time per trace minute")
+	cycleMin := fs.Int("cycle", 5, "controller cycle in trace minutes")
+	seed := fs.Int64("seed", 1, "random seed")
+	sloMs := fs.Float64("slo", 40, "latency SLO in ms on this substrate")
+	quiet := fs.Bool("quiet", false, "suppress the live event log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *days < 1 || *initial < 1 || *maxM < *initial || *cycleMin < 1 || *minute <= 0 {
+		return errors.New("serve: invalid sizing flags")
+	}
+
+	// Training month plus the replayed day(s).
+	full, err := workload.SyntheticB2W(workload.DefaultB2WConfig(*seed, 28+*days))
+	if err != nil {
+		return err
+	}
+	train := full.Slice(0, 28*workload.MinutesPerDay)
+	replay := full.Slice(28*workload.MinutesPerDay, full.Len())
+
+	engCfg := store.Config{
+		MaxMachines:          *maxM,
+		PartitionsPerMachine: 4,
+		Buckets:              640,
+		ServiceTime:          3 * time.Millisecond,
+		QueueCapacity:        1 << 15,
+		InitialMachines:      *initial,
+	}
+	// Size the trace so its peak demands ~3/4 of the cluster at Q-hat.
+	perMachine := 0.8 * float64(engCfg.PartitionsPerMachine) / engCfg.ServiceTime.Seconds()
+	rateScale := 0.75 * float64(*maxM) * perMachine * minute.Seconds() / replay.Max()
+	qMax := perMachine * minute.Seconds() / rateScale
+	model := migration.Model{Q: 0.65 / 0.8 * qMax, QMax: qMax, D: 10, P: engCfg.PartitionsPerMachine}
+
+	var ctrl elastic.Controller
+	switch *policy {
+	case "pstore":
+		cycleTrain, err := train.Resample(*cycleMin)
+		if err != nil {
+			return err
+		}
+		period := workload.MinutesPerDay / *cycleMin
+		spar := predictor.NewSPAR(period, 7, 6)
+		online := predictor.NewOnline(spar, 0, 9*period)
+		if err := online.ObserveAll(cycleTrain.Values); err != nil {
+			return err
+		}
+		ctrl = &elastic.Predictive{
+			Model: model, Predictor: online,
+			Horizon: 36, Inflation: 0.15, ScaleInConfirm: 6,
+			MaxMachines: *maxM, OnSpike: elastic.SpikeFastRate,
+		}
+	case "reactive":
+		ctrl = &elastic.Reactive{Model: model, MaxMachines: *maxM}
+	case "static":
+		ctrl = nil
+	default:
+		return fmt.Errorf("serve: unknown controller %q", *policy)
+	}
+
+	spec := b2w.LoadSpec{Carts: 2400, Checkouts: 600, Stocks: 1200, LinesPerCart: 3, Seed: *seed}
+	c, err := cluster.New(cluster.Config{
+		Engine:            engCfg,
+		Squall:            squall.DefaultConfig(),
+		Controller:        ctrl,
+		Cycle:             time.Duration(*cycleMin) * *minute,
+		RateScale:         rateScale,
+		CycleTraceMinutes: float64(*cycleMin),
+		RecorderWindow:    300 * time.Millisecond,
+		Bootstrap: func(eng *store.Engine) error {
+			return b2w.Load(eng, spec)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := b2w.Register(c.Engine()); err != nil {
+		return err
+	}
+
+	events, unsubscribe := c.Subscribe(4096)
+	defer unsubscribe()
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		for e := range events {
+			switch e.(type) {
+			case cluster.LoadObserved:
+				// Per-cycle observations are too chatty for the log.
+			default:
+				if !*quiet {
+					fmt.Fprintf(os.Stderr, "serve: %v\n", e)
+				}
+			}
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "serve: replaying %d day(s) (1 trace minute = %v) under %q on up to %d machines\n",
+		*days, *minute, *policy, *maxM)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := c.Start(ctx); err != nil {
+		return err
+	}
+	defer c.Stop()
+	start := time.Now()
+	driver := &b2w.Driver{Eng: c.Engine(), Spec: spec, Seed: *seed + 1}
+	stats, err := driver.Run(ctx, replay, *minute, rateScale)
+	c.Stop()
+	watch.Wait()
+	if err != nil && ctx.Err() == nil {
+		return err
+	}
+
+	rec := c.Recorder()
+	cs := c.Stats()
+	fmt.Printf("served %d transactions (%d failed) in %v\n",
+		stats.Executed, stats.Failed, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("SLA violations (>%g ms): p50 %d, p95 %d, p99 %d\n",
+		*sloMs, rec.SLAViolations(50, *sloMs), rec.SLAViolations(95, *sloMs), rec.SLAViolations(99, *sloMs))
+	fmt.Printf("machines: avg %.2f (initial %d, max %d)\n", rec.AverageMachines(), *initial, *maxM)
+	fmt.Printf("controller: %d decisions, %d moves (%d emergency), %d failures\n",
+		cs.Decisions, cs.Moves, cs.Emergencies, cs.Failures)
 	return nil
 }
 

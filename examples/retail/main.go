@@ -3,6 +3,11 @@
 // that ends with an unannounced evening flash sale. Both runs use the same
 // engine configuration, the same B2W transaction mix and the same trace;
 // the difference is purely when each controller decides to move data.
+//
+// The serving stack — engine, Squall executor, recorder and the
+// monitoring/decision loop — is owned by the pstore.Cluster runtime; this
+// example only assembles a configuration, replays the trace and watches the
+// runtime's event stream.
 package main
 
 import (
@@ -10,7 +15,6 @@ import (
 	"fmt"
 	"log"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"pstore"
@@ -74,19 +78,6 @@ func runPolicy(policy string, day, trainFive pstore.Series) (v50, v99 int, avgMa
 		QueueCapacity:        1 << 15,
 		InitialMachines:      2,
 	}
-	eng, err := pstore.NewEngine(engCfg)
-	if err != nil {
-		return 0, 0, 0, 0, err
-	}
-	if err := pstore.RegisterB2W(eng); err != nil {
-		return 0, 0, 0, 0, err
-	}
-	eng.Start()
-	defer eng.Stop()
-	spec := pstore.B2WLoadSpec{Carts: 2400, Checkouts: 600, Stocks: 1200, LinesPerCart: 3, Seed: 5}
-	if err := pstore.LoadB2W(eng, spec); err != nil {
-		return 0, 0, 0, 0, err
-	}
 
 	// Capacity in paper units (requests per trace minute per machine).
 	perMachine := 0.8 * float64(engCfg.PartitionsPerMachine) / engCfg.ServiceTime.Seconds()
@@ -114,68 +105,62 @@ func runPolicy(policy string, day, trainFive pstore.Series) (v50, v99 int, avgMa
 		ctrl = &pstore.ReactiveController{Model: model, MaxMachines: engCfg.MaxMachines}
 	}
 
-	rec, err := pstore.NewRecorder(time.Now(), 300*time.Millisecond)
+	spec := pstore.B2WLoadSpec{Carts: 2400, Checkouts: 600, Stocks: 1200, LinesPerCart: 3, Seed: 5}
+	clu, err := pstore.NewCluster(pstore.ClusterConfig{
+		Engine:            engCfg,
+		Squall:            pstore.DefaultSquallConfig(),
+		Controller:        ctrl,
+		Cycle:             cycleMinutes * minutePerSlot,
+		RateScale:         rateScale,
+		CycleTraceMinutes: cycleMinutes,
+		RecorderWindow:    300 * time.Millisecond,
+		Bootstrap: func(eng *pstore.Engine) error {
+			return pstore.LoadB2W(eng, spec)
+		},
+	})
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	eng.SetRecorder(rec)
-	rec.RecordMachines(time.Now(), engCfg.InitialMachines)
-	sq, err := pstore.NewSquall(eng, pstore.DefaultSquallConfig())
-	if err != nil {
+	if err := pstore.RegisterB2W(clu.Engine()); err != nil {
 		return 0, 0, 0, 0, err
 	}
-	sq.SetRecorder(rec)
 
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	var wg sync.WaitGroup
-	var moveCount atomic.Int64
-	wg.Add(1)
+	// Watch the runtime's event stream: every move and emergency is logged
+	// as it happens instead of being mined out of counters afterwards.
+	events, unsubscribe := clu.Subscribe(1024)
+	defer unsubscribe()
+	var watch sync.WaitGroup
+	watch.Add(1)
 	go func() {
-		defer wg.Done()
-		ticker := time.NewTicker(cycleMinutes * minutePerSlot)
-		defer ticker.Stop()
-		last, _, _ := eng.Counters()
-		var moving atomic.Bool
-		var moveWG sync.WaitGroup
-		defer moveWG.Wait()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-ticker.C:
-			}
-			sub, _, _ := eng.Counters()
-			load := float64(sub-last) / rateScale / cycleMinutes
-			last = sub
-			busy := moving.Load() || sq.InProgress()
-			dec, err := ctrl.Tick(eng.ActiveMachines(), busy, load)
-			if err != nil || dec == nil || busy {
-				continue
-			}
-			from := eng.ActiveMachines()
-			moveCount.Add(1)
-			moving.Store(true)
-			moveWG.Add(1)
-			go func(to int, rate float64) {
-				defer moveWG.Done()
-				defer moving.Store(false)
-				if err := sq.Reconfigure(from, to, rate); err != nil {
-					log.Printf("%s reconfigure: %v", policy, err)
+		defer watch.Done()
+		for e := range events {
+			switch ev := e.(type) {
+			case pstore.MoveStarted, pstore.EmergencyTriggered:
+				log.Printf("%s: %v", policy, ev)
+			case pstore.MoveFinished:
+				if ev.Err != nil {
+					log.Printf("%s: %v", policy, ev)
 				}
-			}(dec.Target, dec.RateFactor)
+			}
 		}
 	}()
 
-	driver := &pstore.B2WDriver{Eng: eng, Spec: spec, Seed: 6}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := clu.Start(ctx); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer clu.Stop()
+
+	driver := &pstore.B2WDriver{Eng: clu.Engine(), Spec: spec, Seed: 6}
 	if _, err := driver.Run(ctx, day, minutePerSlot, rateScale); err != nil && ctx.Err() == nil {
 		return 0, 0, 0, 0, err
 	}
-	cancel()
-	wg.Wait()
-	eng.SetRecorder(nil)
+	clu.Stop() // drains in-flight moves and closes the event stream
+	watch.Wait()
 
+	rec := clu.Recorder()
 	const sloMs = 40
 	return rec.SLAViolations(50, sloMs), rec.SLAViolations(99, sloMs),
-		rec.AverageMachines(), int(moveCount.Load()), nil
+		rec.AverageMachines(), int(clu.Stats().Moves), nil
 }

@@ -1,0 +1,379 @@
+// Package cluster is the P-Store serving runtime: it assembles the full
+// stack the paper runs as one closed loop (Section 6, Figures 9-11) — the
+// partitioned storage engine, the Squall migration executor, the latency
+// recorder, and a provisioning controller — behind a single lifecycle.
+//
+// A Cluster is the sole owner of move execution: the monitoring/decision
+// loop observes the aggregate load once per cycle, consults the controller,
+// and executes at most one reconfiguration at a time through the executor.
+// Observers subscribe to a typed event stream (MoveStarted, MoveFinished,
+// DecisionFailed, EmergencyTriggered, per-cycle LoadObserved) instead of
+// reaching into engine counters or executor state.
+//
+// Lifecycle: New(Config) builds the stack; register transactions on
+// Engine() before Start; Start(ctx) boots the engine, runs the optional
+// Bootstrap loader, attaches the recorder and launches the decision loop;
+// Stop() halts the loop, drains any in-flight move, detaches the recorder
+// and shuts the engine down.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/elastic"
+	"pstore/internal/metrics"
+	"pstore/internal/squall"
+	"pstore/internal/store"
+)
+
+// Config assembles a Cluster.
+type Config struct {
+	// Engine sizes the storage substrate.
+	Engine store.Config
+	// Squall tunes migration chunking and throttling.
+	Squall squall.Config
+	// Controller decides, once per Cycle, whether to reconfigure. Nil runs
+	// a static cluster (no monitoring loop).
+	Controller elastic.Controller
+	// Cycle is the wall time between controller ticks. Required when a
+	// Controller is set.
+	Cycle time.Duration
+	// RateScale converts paper-unit requests into substrate transactions:
+	// observed transaction counts are divided by it before reaching the
+	// controller. Zero means 1 (controller sees raw transactions).
+	RateScale float64
+	// CycleTraceMinutes is how many trace minutes one cycle spans; the
+	// observed load is averaged over it so the controller sees requests per
+	// trace minute. Zero means 1.
+	CycleTraceMinutes float64
+	// SpikeRateFactor overrides the migration rate of emergency moves (the
+	// paper's "rate R x 8" study, Figure 11). Zero keeps each decision's
+	// own rate.
+	SpikeRateFactor float64
+	// RecorderWindow is the latency recorder's aggregation window. Zero
+	// runs without a recorder.
+	RecorderWindow time.Duration
+	// Bootstrap, if set, runs during Start after the engine boots but
+	// before the recorder attaches and the decision loop begins — the place
+	// to load data so bulk loading is neither measured nor mistaken for
+	// offered load.
+	Bootstrap func(*store.Engine) error
+}
+
+// Stats summarizes the runtime's decision activity.
+type Stats struct {
+	// Decisions counts controller decisions accepted for execution.
+	Decisions int64
+	// Moves counts reconfigurations actually started.
+	Moves int64
+	// Failures counts controller errors plus failed reconfigurations.
+	Failures int64
+	// Emergencies counts decisions flagged as emergency scale-outs.
+	Emergencies int64
+}
+
+// ErrMoveInFlight is returned by Reconfigure while another move is running.
+var ErrMoveInFlight = errors.New("cluster: a reconfiguration is already in flight")
+
+// Cluster owns the serving stack and its monitoring/decision loop.
+type Cluster struct {
+	cfg Config
+	eng *store.Engine
+	ex  *squall.Executor
+	rec *metrics.Recorder
+
+	mu       sync.Mutex
+	started  bool
+	stopping bool
+	cancel   func()
+	loopDone chan struct{}
+	moving   bool // single owner of move state; guarded by mu
+	moveSeq  int
+	moveWG   sync.WaitGroup
+
+	stopOnce sync.Once
+
+	subMu  sync.Mutex
+	subs   map[int]chan Event
+	nextID int
+
+	decisions   atomic.Int64
+	moves       atomic.Int64
+	failures    atomic.Int64
+	emergencies atomic.Int64
+}
+
+// New builds the serving stack. The engine is not started; register
+// transactions on Engine() first, then call Start.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.RateScale == 0 {
+		cfg.RateScale = 1
+	}
+	if cfg.RateScale < 0 {
+		return nil, fmt.Errorf("cluster: RateScale %v must be positive", cfg.RateScale)
+	}
+	if cfg.CycleTraceMinutes == 0 {
+		cfg.CycleTraceMinutes = 1
+	}
+	if cfg.CycleTraceMinutes < 0 {
+		return nil, fmt.Errorf("cluster: CycleTraceMinutes %v must be positive", cfg.CycleTraceMinutes)
+	}
+	if cfg.Controller != nil && cfg.Cycle <= 0 {
+		return nil, fmt.Errorf("cluster: Cycle %v must be positive when a controller is set", cfg.Cycle)
+	}
+	eng, err := store.NewEngine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := squall.NewExecutor(eng, cfg.Squall)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{cfg: cfg, eng: eng, ex: ex, subs: map[int]chan Event{}}, nil
+}
+
+// Engine exposes the storage engine for transaction registration and driver
+// attachment. Register transactions before Start.
+func (c *Cluster) Engine() *store.Engine { return c.eng }
+
+// Recorder returns the latency recorder, or nil before Start or when no
+// RecorderWindow was configured. It stays readable after Stop.
+func (c *Cluster) Recorder() *metrics.Recorder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rec
+}
+
+// Stats snapshots the runtime's decision counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Decisions:   c.decisions.Load(),
+		Moves:       c.moves.Load(),
+		Failures:    c.failures.Load(),
+		Emergencies: c.emergencies.Load(),
+	}
+}
+
+// Start boots the engine, runs Bootstrap, attaches the recorder and starts
+// the monitoring/decision loop. The loop stops when ctx is cancelled or
+// Stop is called.
+func (c *Cluster) Start(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return errors.New("cluster: already started")
+	}
+	if c.stopping {
+		return errors.New("cluster: already stopped")
+	}
+	c.eng.Start()
+	if c.cfg.Bootstrap != nil {
+		if err := c.cfg.Bootstrap(c.eng); err != nil {
+			return fmt.Errorf("cluster: bootstrap: %w", err)
+		}
+	}
+	if c.cfg.RecorderWindow > 0 {
+		rec, err := metrics.NewRecorder(time.Now(), c.cfg.RecorderWindow)
+		if err != nil {
+			return err
+		}
+		c.rec = rec
+		c.eng.SetRecorder(rec)
+		c.ex.SetRecorder(rec)
+		rec.RecordMachines(time.Now(), c.eng.ActiveMachines())
+	}
+	c.started = true
+	if c.cfg.Controller != nil {
+		loopCtx, cancel := context.WithCancel(ctx)
+		c.cancel = cancel
+		c.loopDone = make(chan struct{})
+		go c.loop(loopCtx)
+	}
+	return nil
+}
+
+// Stop halts the decision loop, drains any in-flight move, detaches the
+// recorder and shuts the engine down. It is idempotent and safe to call
+// concurrently.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() {
+		c.mu.Lock()
+		c.stopping = true
+		cancel, loopDone := c.cancel, c.loopDone
+		c.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		if loopDone != nil {
+			<-loopDone
+		}
+		c.moveWG.Wait()
+		c.eng.SetRecorder(nil)
+		c.ex.SetRecorder(nil)
+		c.eng.Stop()
+		c.subMu.Lock()
+		for id, ch := range c.subs {
+			close(ch)
+			delete(c.subs, id)
+		}
+		c.subMu.Unlock()
+	})
+}
+
+// Submit routes one transaction through the engine and blocks until it
+// completes. It is safe for concurrent use.
+func (c *Cluster) Submit(name, key string, args any) (any, error) {
+	return c.eng.Execute(name, key, args)
+}
+
+// Subscribe registers an event observer. Events are delivered in emission
+// order on a channel with the given buffer (minimum 16); a subscriber that
+// falls behind loses the events that no longer fit rather than stalling the
+// runtime. The returned cancel function unsubscribes and closes the
+// channel; the channel is also closed by Stop.
+func (c *Cluster) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer < 16 {
+		buffer = 16
+	}
+	ch := make(chan Event, buffer)
+	c.subMu.Lock()
+	id := c.nextID
+	c.nextID++
+	c.subs[id] = ch
+	c.subMu.Unlock()
+	return ch, func() {
+		c.subMu.Lock()
+		defer c.subMu.Unlock()
+		if sub, ok := c.subs[id]; ok {
+			delete(c.subs, id)
+			close(sub)
+		}
+	}
+}
+
+// publish fans an event out to every subscriber, dropping it for
+// subscribers whose buffer is full.
+func (c *Cluster) publish(e Event) {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	for _, ch := range c.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// Reconfigure executes a manual move to the target machine count at the
+// given migration rate (<= 0 uses the configured default) and blocks until
+// it completes. It shares the single-move-at-a-time invariant with the
+// decision loop: ErrMoveInFlight is returned if a move is already running.
+func (c *Cluster) Reconfigure(target int, rateFactor float64) error {
+	done, err := c.beginMove(target, rateFactor, false)
+	if err != nil {
+		return err
+	}
+	if done == nil { // no-op move
+		return nil
+	}
+	return <-done
+}
+
+// beginMove starts a reconfiguration in the background. It returns a
+// channel that receives the move's result, or a nil channel for a no-op
+// (target already active). The caller must not hold c.mu.
+func (c *Cluster) beginMove(target int, rateFactor float64, emergency bool) (<-chan error, error) {
+	c.mu.Lock()
+	if !c.started || c.stopping {
+		c.mu.Unlock()
+		return nil, errors.New("cluster: not running")
+	}
+	if c.moving {
+		c.mu.Unlock()
+		return nil, ErrMoveInFlight
+	}
+	from := c.eng.ActiveMachines()
+	if target == from {
+		c.mu.Unlock()
+		return nil, nil
+	}
+	c.moving = true
+	c.moveSeq++
+	seq := c.moveSeq
+	c.moveWG.Add(1)
+	c.mu.Unlock()
+
+	c.moves.Add(1)
+	c.publish(MoveStarted{Time: time.Now(), Seq: seq, From: from, To: target, RateFactor: rateFactor, Emergency: emergency})
+	done := make(chan error, 1)
+	go func() {
+		start := time.Now()
+		err := c.ex.Reconfigure(from, target, rateFactor)
+		if err != nil {
+			c.failures.Add(1)
+		}
+		c.mu.Lock()
+		c.moving = false
+		c.mu.Unlock()
+		c.publish(MoveFinished{Time: time.Now(), Seq: seq, From: from, To: target, Duration: time.Since(start), Err: err})
+		done <- err
+		c.moveWG.Done()
+	}()
+	return done, nil
+}
+
+// loop is the monitoring/decision cycle (Section 6): every Cycle it
+// measures the load offered since the previous tick, converts it to paper
+// units, and asks the controller whether to reconfigure. Decisions execute
+// in the background through the Squall executor, one at a time.
+func (c *Cluster) loop(ctx context.Context) {
+	defer close(c.loopDone)
+	ticker := time.NewTicker(c.cfg.Cycle)
+	defer ticker.Stop()
+	// Start from the current counter so bootstrap work does not masquerade
+	// as offered load on the first cycle.
+	last, _, _ := c.eng.Counters()
+	for cycle := 0; ; cycle++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		sub, _, _ := c.eng.Counters()
+		delta := sub - last
+		last = sub
+		load := float64(delta) / c.cfg.RateScale / c.cfg.CycleTraceMinutes
+		c.mu.Lock()
+		busy := c.moving
+		c.mu.Unlock()
+		machines := c.eng.ActiveMachines()
+		c.publish(LoadObserved{Time: time.Now(), Cycle: cycle, Machines: machines, Load: load, Reconfiguring: busy})
+		dec, err := c.cfg.Controller.Tick(machines, busy, load)
+		if err != nil {
+			c.failures.Add(1)
+			c.publish(DecisionFailed{Time: time.Now(), Cycle: cycle, Err: err})
+			continue
+		}
+		if dec == nil || busy {
+			continue
+		}
+		c.decisions.Add(1)
+		rate := dec.RateFactor
+		if dec.Emergency {
+			c.emergencies.Add(1)
+			c.publish(EmergencyTriggered{Time: time.Now(), Cycle: cycle, Target: dec.Target, RateFactor: rate})
+			if c.cfg.SpikeRateFactor > 0 {
+				rate = c.cfg.SpikeRateFactor
+			}
+		}
+		if _, err := c.beginMove(dec.Target, rate, dec.Emergency); err != nil {
+			// Lost a race with a manual Reconfigure; skip this cycle.
+			c.failures.Add(1)
+		}
+	}
+}

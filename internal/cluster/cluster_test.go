@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pstore/internal/elastic"
+	"pstore/internal/squall"
+	"pstore/internal/store"
+)
+
+func testEngineConfig() store.Config {
+	return store.Config{
+		MaxMachines:          3,
+		PartitionsPerMachine: 2,
+		Buckets:              60,
+		ServiceTime:          50 * time.Microsecond,
+		QueueCapacity:        4096,
+		InitialMachines:      1,
+	}
+}
+
+func testSquallConfig() squall.Config {
+	return squall.Config{
+		ChunkRows:     50,
+		RowCost:       time.Microsecond,
+		ChunkOverhead: 10 * time.Microsecond,
+		Spacing:       100 * time.Microsecond,
+		RateFactor:    1,
+	}
+}
+
+// cycleController is a deterministic scripted controller: once it sees load
+// it scales out, and once the scale-out has landed it scales back in.
+type cycleController struct {
+	out, in int
+	phase   int
+}
+
+func (c *cycleController) Name() string { return "cycle" }
+
+func (c *cycleController) Tick(machines int, reconfiguring bool, load float64) (*elastic.Decision, error) {
+	if reconfiguring {
+		return nil, nil
+	}
+	switch c.phase {
+	case 0:
+		if load > 0 {
+			c.phase = 1
+			return &elastic.Decision{Target: c.out, RateFactor: 1}, nil
+		}
+	case 1:
+		if machines == c.out {
+			c.phase = 2
+			return &elastic.Decision{Target: c.in, RateFactor: 1}, nil
+		}
+	}
+	return nil, nil
+}
+
+// driveLoad submits no-op transactions until stop is closed.
+func driveLoad(t *testing.T, c *Cluster, stop <-chan struct{}, wg *sync.WaitGroup) {
+	t.Helper()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Submit("noop", fmt.Sprintf("key-%d", i), nil); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// TestClusterScaleOutScaleInEvents starts a cluster, drives load through a
+// full scale-out + scale-in cycle, and checks the typed event stream tells
+// the whole story in order.
+func TestClusterScaleOutScaleInEvents(t *testing.T) {
+	c, err := New(Config{
+		Engine:         testEngineConfig(),
+		Squall:         testSquallConfig(),
+		Controller:     &cycleController{out: 3, in: 1},
+		Cycle:          3 * time.Millisecond,
+		RecorderWindow: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Engine().Register("noop", func(tx *store.Tx) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	events, unsub := c.Subscribe(4096)
+	defer unsub()
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	driveLoad(t, c, stop, &wg)
+
+	// Collect events until both moves have finished.
+	var got []Event
+	finished := 0
+	deadline := time.After(20 * time.Second)
+	for finished < 2 {
+		select {
+		case e := <-events:
+			got = append(got, e)
+			if _, ok := e.(MoveFinished); ok {
+				finished++
+			}
+		case <-deadline:
+			t.Fatalf("timed out after %d moves; %d events so far", finished, len(got))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	c.Stop()
+
+	// The stream must open with at least one load observation before any
+	// move starts.
+	if len(got) == 0 {
+		t.Fatal("no events")
+	}
+	if _, ok := got[0].(LoadObserved); !ok {
+		t.Fatalf("first event %T, want LoadObserved", got[0])
+	}
+
+	// Extract the move events and check the full cycle in order.
+	var moves []Event
+	for _, e := range got {
+		switch e.(type) {
+		case MoveStarted, MoveFinished:
+			moves = append(moves, e)
+		}
+	}
+	if len(moves) != 4 {
+		t.Fatalf("got %d move events, want 4 (out start/finish, in start/finish): %v", len(moves), moves)
+	}
+	s1, ok := moves[0].(MoveStarted)
+	if !ok || s1.From != 1 || s1.To != 3 || s1.Seq != 1 {
+		t.Fatalf("move event 0 = %+v, want scale-out start 1->3 seq 1", moves[0])
+	}
+	f1, ok := moves[1].(MoveFinished)
+	if !ok || f1.Seq != s1.Seq || f1.Err != nil {
+		t.Fatalf("move event 1 = %+v, want successful finish of seq %d", moves[1], s1.Seq)
+	}
+	s2, ok := moves[2].(MoveStarted)
+	if !ok || s2.From != 3 || s2.To != 1 || s2.Seq != 2 {
+		t.Fatalf("move event 2 = %+v, want scale-in start 3->1 seq 2", moves[2])
+	}
+	f2, ok := moves[3].(MoveFinished)
+	if !ok || f2.Seq != s2.Seq || f2.Err != nil {
+		t.Fatalf("move event 3 = %+v, want successful finish of seq %d", moves[3], s2.Seq)
+	}
+
+	// While a move was in flight, every load observation must have said so
+	// consistently with the started/finished bracketing; and no second move
+	// may start before the first finishes (single-owner invariant).
+	if c.Engine().ActiveMachines() != 1 {
+		t.Errorf("final machines %d, want 1", c.Engine().ActiveMachines())
+	}
+	st := c.Stats()
+	if st.Decisions != 2 || st.Moves != 2 {
+		t.Errorf("stats %+v, want 2 decisions and 2 moves", st)
+	}
+	if st.Failures != 0 {
+		t.Errorf("stats %+v, want no failures", st)
+	}
+	if rec := c.Recorder(); rec == nil {
+		t.Error("no recorder attached")
+	} else if rec.MachineSeries() == nil {
+		t.Error("recorder has no machine timeline")
+	}
+}
+
+// errController always fails its Tick.
+type errController struct{}
+
+func (errController) Name() string { return "err" }
+func (errController) Tick(int, bool, float64) (*elastic.Decision, error) {
+	return nil, errors.New("boom")
+}
+
+func TestClusterDecisionFailedEvents(t *testing.T) {
+	c, err := New(Config{
+		Engine:     testEngineConfig(),
+		Squall:     testSquallConfig(),
+		Controller: errController{},
+		Cycle:      2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, unsub := c.Subscribe(64)
+	defer unsub()
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case e := <-events:
+			if df, ok := e.(DecisionFailed); ok {
+				if df.Err == nil {
+					t.Fatal("DecisionFailed with nil error")
+				}
+				if c.Stats().Failures == 0 {
+					t.Error("failure not counted")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no DecisionFailed event")
+		}
+	}
+}
+
+// emergencyController issues one emergency decision as soon as it runs.
+type emergencyController struct{ fired bool }
+
+func (e *emergencyController) Name() string { return "emergency" }
+func (e *emergencyController) Tick(machines int, reconfiguring bool, load float64) (*elastic.Decision, error) {
+	if e.fired || reconfiguring {
+		return nil, nil
+	}
+	e.fired = true
+	return &elastic.Decision{Target: 2, RateFactor: 1, Emergency: true}, nil
+}
+
+// TestClusterSpikeRateOverride checks the configured emergency rate
+// override reaches the executor (the Figure 11 knob) and that the
+// EmergencyTriggered event reports the controller's original rate.
+func TestClusterSpikeRateOverride(t *testing.T) {
+	c, err := New(Config{
+		Engine:          testEngineConfig(),
+		Squall:          testSquallConfig(),
+		Controller:      &emergencyController{},
+		Cycle:           2 * time.Millisecond,
+		SpikeRateFactor: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, unsub := c.Subscribe(256)
+	defer unsub()
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	var sawEmergency bool
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case e := <-events:
+			switch ev := e.(type) {
+			case EmergencyTriggered:
+				sawEmergency = true
+				if ev.RateFactor != 1 {
+					t.Errorf("EmergencyTriggered.RateFactor = %v, want the controller's 1", ev.RateFactor)
+				}
+			case MoveStarted:
+				if !sawEmergency {
+					t.Error("MoveStarted before EmergencyTriggered")
+				}
+				if !ev.Emergency {
+					t.Errorf("move not flagged emergency: %+v", ev)
+				}
+				if ev.RateFactor != 8 {
+					t.Errorf("MoveStarted.RateFactor = %v, want overridden 8", ev.RateFactor)
+				}
+				if got := c.Stats().Emergencies; got != 1 {
+					t.Errorf("emergencies %d, want 1", got)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no emergency move observed")
+		}
+	}
+}
+
+// TestClusterManualReconfigure exercises the synchronous operator-move path
+// and the single-move-at-a-time invariant.
+func TestClusterManualReconfigure(t *testing.T) {
+	c, err := New(Config{Engine: testEngineConfig(), Squall: testSquallConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Reconfigure(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Engine().ActiveMachines() != 3 {
+		t.Fatalf("machines %d, want 3", c.Engine().ActiveMachines())
+	}
+	if err := c.Reconfigure(3, 0); err != nil {
+		t.Fatalf("no-op reconfigure: %v", err)
+	}
+	if err := c.Reconfigure(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Moves != 2 {
+		t.Errorf("moves %d, want 2 (no-op must not count)", st.Moves)
+	}
+	c.Stop()
+	if err := c.Reconfigure(1, 0); err == nil {
+		t.Error("Reconfigure after Stop succeeded")
+	}
+}

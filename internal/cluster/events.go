@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Event is a typed notification from the cluster runtime. Observers
+// subscribe with Cluster.Subscribe instead of polling engine counters or
+// executor state; the runtime is the single owner of move execution, so the
+// event stream is the authoritative record of what happened and when.
+type Event interface {
+	// When returns the time the event was emitted.
+	When() time.Time
+	event()
+}
+
+// LoadObserved is emitted once per monitoring cycle with the aggregate load
+// measured over the cycle, before the controller is consulted.
+type LoadObserved struct {
+	Time time.Time
+	// Cycle is the monitoring cycle index, starting at 0.
+	Cycle int
+	// Machines is the active cluster size at observation time.
+	Machines int
+	// Load is the observed load in controller units (requests per trace
+	// minute at paper scale).
+	Load float64
+	// Reconfiguring reports whether a move was in flight during the cycle.
+	Reconfiguring bool
+}
+
+// MoveStarted is emitted when a reconfiguration begins executing.
+type MoveStarted struct {
+	Time time.Time
+	// Seq numbers moves within this cluster's lifetime, starting at 1.
+	Seq int
+	// From and To are the source and target machine counts.
+	From, To int
+	// RateFactor is the migration rate multiplier actually used (after any
+	// configured emergency override).
+	RateFactor float64
+	// Emergency marks a move issued because no feasible plan existed.
+	Emergency bool
+}
+
+// MoveFinished is emitted when a reconfiguration completes or fails.
+type MoveFinished struct {
+	Time time.Time
+	// Seq matches the MoveStarted event of the same move.
+	Seq      int
+	From, To int
+	// Duration is the wall time the move took.
+	Duration time.Duration
+	// Err is nil on success.
+	Err error
+}
+
+// DecisionFailed is emitted when the controller's Tick returns an error.
+type DecisionFailed struct {
+	Time  time.Time
+	Cycle int
+	Err   error
+}
+
+// EmergencyTriggered is emitted when the controller falls back to emergency
+// scaling (an unpredicted spike, Section 4.3.1); the corresponding
+// MoveStarted follows immediately.
+type EmergencyTriggered struct {
+	Time  time.Time
+	Cycle int
+	// Target is the emergency machine count.
+	Target int
+	// RateFactor is the rate the controller asked for, before any
+	// SpikeRateFactor override.
+	RateFactor float64
+}
+
+func (e LoadObserved) When() time.Time       { return e.Time }
+func (e MoveStarted) When() time.Time        { return e.Time }
+func (e MoveFinished) When() time.Time       { return e.Time }
+func (e DecisionFailed) When() time.Time     { return e.Time }
+func (e EmergencyTriggered) When() time.Time { return e.Time }
+
+func (LoadObserved) event()       {}
+func (MoveStarted) event()        {}
+func (MoveFinished) event()       {}
+func (DecisionFailed) event()     {}
+func (EmergencyTriggered) event() {}
+
+func (e LoadObserved) String() string {
+	return fmt.Sprintf("cycle %d: load %.1f on %d machines (reconfiguring=%v)",
+		e.Cycle, e.Load, e.Machines, e.Reconfiguring)
+}
+
+func (e MoveStarted) String() string {
+	kind := "move"
+	if e.Emergency {
+		kind = "emergency move"
+	}
+	return fmt.Sprintf("%s #%d started: %d -> %d machines (rate %gx)", kind, e.Seq, e.From, e.To, e.RateFactor)
+}
+
+func (e MoveFinished) String() string {
+	if e.Err != nil {
+		return fmt.Sprintf("move #%d failed after %v: %v", e.Seq, e.Duration.Round(time.Millisecond), e.Err)
+	}
+	return fmt.Sprintf("move #%d finished: %d -> %d machines in %v",
+		e.Seq, e.From, e.To, e.Duration.Round(time.Millisecond))
+}
+
+func (e DecisionFailed) String() string {
+	return fmt.Sprintf("cycle %d: controller error: %v", e.Cycle, e.Err)
+}
+
+func (e EmergencyTriggered) String() string {
+	return fmt.Sprintf("cycle %d: emergency scaling to %d machines (controller rate %gx)",
+		e.Cycle, e.Target, e.RateFactor)
+}

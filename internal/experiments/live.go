@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"pstore/internal/b2w"
+	"pstore/internal/cluster"
 	"pstore/internal/elastic"
 	"pstore/internal/metrics"
 	"pstore/internal/squall"
@@ -92,11 +92,20 @@ var (
 	calCache = map[string]calibration{}
 )
 
+// calKey fingerprints everything that changes what rampSingleNode measures:
+// the full substrate parameters (engine and squall configuration, load
+// spec, recorder window, SLO) plus quick mode, which shortens the ramp's
+// step duration. The driver seed is deliberately excluded — calibration
+// discovers a property of the substrate, not of one replay.
+func calKey(p liveParams, opts Options) string {
+	return fmt.Sprintf("%+v|quick=%v", p, opts.Quick)
+}
+
 // calibrate discovers the single-node saturation rate by ramping a
 // rate-limited workload, like Section 8.1 / Figure 7. Results are cached
-// per engine configuration.
+// per substrate fingerprint.
 func calibrate(p liveParams, opts Options) (calibration, error) {
-	key := fmt.Sprintf("%v/%v/%v", p.engineCfg.ServiceTime, p.engineCfg.PartitionsPerMachine, p.loadSpec.Carts)
+	key := calKey(p, opts)
 	calMu.Lock()
 	if c, ok := calCache[key]; ok {
 		calMu.Unlock()
@@ -221,110 +230,57 @@ type liveOutcome struct {
 	failures int
 }
 
-// run executes the experiment and returns the recorder for analysis.
+// run executes the experiment through the cluster runtime and returns the
+// recorder for analysis: the monitoring/decision loop, move execution and
+// measurement all live in internal/cluster; this layer only assembles the
+// configuration, replays the trace and harvests the outcome.
 func (lr *liveRun) run(opts Options) (*liveOutcome, error) {
 	p := lr.params
 	cfg := p.engineCfg
 	cfg.InitialMachines = lr.machines
-	eng, err := store.NewEngine(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := b2w.Register(eng); err != nil {
-		return nil, err
-	}
-	eng.Start()
-	defer eng.Stop()
-	if err := b2w.Load(eng, p.loadSpec); err != nil {
-		return nil, err
-	}
 	cal, err := calibrate(p, opts)
 	if err != nil {
 		return nil, err
 	}
 
-	rec, err := metrics.NewRecorder(time.Now(), p.recorderWin)
+	c, err := cluster.New(cluster.Config{
+		Engine:            cfg,
+		Squall:            p.squallCfg,
+		Controller:        lr.controller,
+		Cycle:             time.Duration(p.controllerEveryMin) * p.minutePerSlot,
+		RateScale:         lr.rateScale,
+		CycleTraceMinutes: float64(p.controllerEveryMin),
+		SpikeRateFactor:   lr.spikeRate,
+		RecorderWindow:    p.recorderWin,
+		Bootstrap: func(eng *store.Engine) error {
+			return b2w.Load(eng, p.loadSpec)
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	eng.SetRecorder(rec)
-	rec.RecordMachines(time.Now(), lr.machines)
-
-	ex, err := squall.NewExecutor(eng, p.squallCfg)
-	if err != nil {
+	if err := b2w.Register(c.Engine()); err != nil {
 		return nil, err
 	}
-	ex.SetRecorder(rec)
-
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-
-	out := &liveOutcome{rec: rec, cal: cal, dReal: estimateD(eng.TotalRows(), p.squallCfg)}
-
-	// Controller loop: every controllerEveryMin trace minutes, observe the
-	// offered load and ask the controller for a decision; execute moves in
-	// the background through Squall.
-	var ctlWG sync.WaitGroup
-	if lr.controller != nil {
-		cycle := time.Duration(p.controllerEveryMin) * p.minutePerSlot
-		ctlWG.Add(1)
-		go func() {
-			defer ctlWG.Done()
-			ticker := time.NewTicker(cycle)
-			defer ticker.Stop()
-			// Start from the current counter so bulk loading does not
-			// masquerade as offered load on the first cycle.
-			lastSubmitted, _, _ := eng.Counters()
-			var moveWG sync.WaitGroup
-			defer moveWG.Wait()
-			var moving atomic.Bool
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-ticker.C:
-				}
-				sub, _, _ := eng.Counters()
-				delta := sub - lastSubmitted
-				lastSubmitted = sub
-				// Convert to paper units: requests per trace minute.
-				loadPaper := float64(delta) / lr.rateScale / float64(p.controllerEveryMin)
-				busy := moving.Load() || ex.InProgress()
-				dec, err := lr.controller.Tick(eng.ActiveMachines(), busy, loadPaper)
-				if err != nil {
-					out.failures++
-					continue
-				}
-				if dec == nil || busy {
-					continue
-				}
-				out.decided++
-				rate := dec.RateFactor
-				if lr.spikeRate > 0 && dec.Emergency {
-					rate = lr.spikeRate
-				}
-				from := eng.ActiveMachines()
-				moving.Store(true)
-				moveWG.Add(1)
-				go func(from, to int, rate float64) {
-					defer moveWG.Done()
-					defer moving.Store(false)
-					if err := ex.Reconfigure(from, to, rate); err != nil {
-						out.failures++
-					}
-				}(from, dec.Target, rate)
-			}
-		}()
+	if err := c.Start(ctx); err != nil {
+		return nil, err
 	}
+	defer c.Stop()
 
-	driver := &b2w.Driver{Eng: eng, Spec: p.loadSpec, Seed: lr.seed}
+	out := &liveOutcome{rec: c.Recorder(), cal: cal, dReal: estimateD(c.Engine().TotalRows(), p.squallCfg)}
+
+	driver := &b2w.Driver{Eng: c.Engine(), Spec: p.loadSpec, Seed: lr.seed}
 	stats, err := driver.Run(ctx, lr.trace, p.minutePerSlot, lr.rateScale)
 	cancel()
-	ctlWG.Wait()
-	eng.SetRecorder(nil)
+	c.Stop() // halts the decision loop and drains any in-flight move
 	if err != nil && ctx.Err() == nil {
 		return nil, err
 	}
+	cs := c.Stats()
+	out.decided = int(cs.Decisions)
+	out.failures = int(cs.Failures)
 	out.stats = stats
 	return out, nil
 }

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// estimateD feeds the planner's D input, so its shape matters: more rows
+// must never migrate faster, and bigger chunks must never be slower (fewer
+// per-chunk overheads for the same rows).
+
+func TestEstimateDMonotoneInRows(t *testing.T) {
+	cfg := defaultLiveParams(false).squallCfg
+	prev := time.Duration(0)
+	for _, rows := range []int{1, 10, 100, 1000, 10000, 100000} {
+		d := estimateD(rows, cfg)
+		if d <= prev {
+			t.Fatalf("estimateD(%d rows) = %v, not above estimateD of fewer rows (%v)", rows, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestEstimateDMonotoneInChunkSize(t *testing.T) {
+	base := defaultLiveParams(false).squallCfg
+	const rows = 25000
+	prev := time.Duration(1 << 62)
+	for _, chunk := range []int{10, 50, 150, 600, 2400} {
+		cfg := base
+		cfg.ChunkRows = chunk
+		d := estimateD(rows, cfg)
+		if d > prev {
+			t.Fatalf("estimateD with ChunkRows=%d = %v, above smaller-chunk estimate %v", chunk, d, prev)
+		}
+		prev = d
+	}
+	// The chunk-size effect must be real, not flat: tiny chunks pay many
+	// more per-chunk overheads than huge ones.
+	small, big := base, base
+	small.ChunkRows, big.ChunkRows = 10, 10000
+	if estimateD(rows, small) <= estimateD(rows, big) {
+		t.Fatalf("tiny chunks (%v) not slower than huge chunks (%v)",
+			estimateD(rows, small), estimateD(rows, big))
+	}
+}
+
+// TestCalibrationKeyCoversRunParameters guards the calibration cache against
+// serving a quick-mode result to a full run (or across any substrate
+// parameter change): the key must vary with Quick, the recorder window, and
+// every other liveParams field that shapes the ramp.
+func TestCalibrationKeyCoversRunParameters(t *testing.T) {
+	base := defaultLiveParams(false)
+	opts := Options{Seed: 1}
+
+	if calKey(base, opts) != calKey(base, Options{Seed: 99}) {
+		t.Error("calibration key varies with seed; calibration is a substrate property")
+	}
+	if calKey(base, opts) == calKey(base, Options{Seed: 1, Quick: true}) {
+		t.Error("calibration key ignores Quick mode")
+	}
+	if calKey(defaultLiveParams(false), opts) == calKey(defaultLiveParams(true), opts) {
+		t.Error("calibration key ignores quick-mode params (recorder window, slot duration)")
+	}
+
+	mutations := []func(*liveParams){
+		func(p *liveParams) { p.recorderWin *= 2 },
+		func(p *liveParams) { p.minutePerSlot *= 2 },
+		func(p *liveParams) { p.latencySLOms += 1 },
+		func(p *liveParams) { p.engineCfg.ServiceTime *= 2 },
+		func(p *liveParams) { p.engineCfg.PartitionsPerMachine++ },
+		func(p *liveParams) { p.squallCfg.ChunkRows *= 2 },
+		func(p *liveParams) { p.loadSpec.Carts++ },
+	}
+	for i, mutate := range mutations {
+		mutated := base
+		mutate(&mutated)
+		if calKey(base, opts) == calKey(mutated, opts) {
+			t.Errorf("mutation %d does not change the calibration key", i)
+		}
+	}
+}
+
+// TestEstimateDUsesRateIndependentCosts pins down that D is priced at the
+// non-disruptive rate: the squall RateFactor must not leak into it.
+func TestEstimateDUsesRateIndependentCosts(t *testing.T) {
+	cfg := defaultLiveParams(false).squallCfg
+	fast := cfg
+	fast.RateFactor = 8
+	if estimateD(10000, cfg) != estimateD(10000, fast) {
+		t.Error("estimateD varies with RateFactor; D is defined at rate R")
+	}
+}

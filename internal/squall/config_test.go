@@ -1,0 +1,70 @@
+package squall
+
+import (
+	"testing"
+	"time"
+)
+
+// The migration configuration prices every chunk the planner's D input is
+// derived from, so its edge cases are load-bearing: a zero RateFactor must
+// mean "rate R" (factor 1), and nonsense costs must be rejected before an
+// executor is built around them.
+
+func TestConfigValidateEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"minimal one-row chunks", Config{ChunkRows: 1}, true},
+		{"zero rate factor means rate R", Config{ChunkRows: 100, RateFactor: 0}, true},
+		{"zero costs are free but legal", Config{ChunkRows: 100, RowCost: 0, ChunkOverhead: 0, Spacing: 0}, true},
+		{"fractional rate factor throttles below R", Config{ChunkRows: 100, RateFactor: 0.25}, true},
+		{"zero chunk rows", Config{ChunkRows: 0}, false},
+		{"negative chunk rows", Config{ChunkRows: -5}, false},
+		{"negative row cost", Config{ChunkRows: 100, RowCost: -time.Microsecond}, false},
+		{"negative chunk overhead", Config{ChunkRows: 100, ChunkOverhead: -time.Microsecond}, false},
+		{"negative spacing", Config{ChunkRows: 100, Spacing: -time.Millisecond}, false},
+		{"negative rate factor", Config{ChunkRows: 100, RateFactor: -1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("Validate(%+v) = %v, want nil", tc.cfg, err)
+			}
+			if !tc.ok && err == nil {
+				t.Errorf("Validate(%+v) accepted", tc.cfg)
+			}
+		})
+	}
+}
+
+// TestZeroRateFactorBehavesAsRateR proves the "zero means 1" contract end
+// to end: an executor built with RateFactor 0 and asked to move at rate 0
+// must complete a real migration exactly like an explicit rate-1 executor.
+func TestZeroRateFactorBehavesAsRateR(t *testing.T) {
+	e := testEngine(t, 3, 1)
+	load(t, e, 200)
+	cfg := fastConfig()
+	cfg.RateFactor = 0
+	ex, err := NewExecutor(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Reconfigure(1, 3, 0); err != nil {
+		t.Fatalf("reconfigure with zero rate factors: %v", err)
+	}
+	if e.ActiveMachines() != 3 {
+		t.Fatalf("ActiveMachines = %d, want 3", e.ActiveMachines())
+	}
+	checkBalanced(t, e, 3)
+	checkAllReadable(t, e, 200)
+}
+
+func TestNewExecutorRejectsInvalidConfig(t *testing.T) {
+	e := testEngine(t, 3, 1)
+	if _, err := NewExecutor(e, Config{ChunkRows: 100, RowCost: -1}); err == nil {
+		t.Error("NewExecutor accepted a negative row cost")
+	}
+}

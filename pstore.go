@@ -10,8 +10,17 @@
 // reconfigurations as live, throttled data migrations — before load spikes
 // arrive rather than after.
 //
+// The primary entry point is the Cluster runtime (internal/cluster): it
+// owns the whole serving stack — storage engine, Squall migration executor,
+// latency recorder and the provisioning controller's monitoring/decision
+// loop — behind one lifecycle (NewCluster, Start, Stop) and publishes a
+// typed event stream (MoveStarted, MoveFinished, DecisionFailed,
+// EmergencyTriggered, LoadObserved) for observers.
+//
 // The package is a facade over the internal subsystems:
 //
+//   - Cluster: the serving runtime combining everything below into the
+//     paper's closed loop (internal/cluster).
 //   - Engine: an H-Store-like storage engine — serial per-partition
 //     executors, hash-bucketed partitioning, single-partition transactions,
 //     and live bucket migration (internal/store).
@@ -37,6 +46,7 @@ import (
 	"time"
 
 	"pstore/internal/b2w"
+	"pstore/internal/cluster"
 	"pstore/internal/elastic"
 	"pstore/internal/experiments"
 	"pstore/internal/metrics"
@@ -49,6 +59,44 @@ import (
 	"pstore/internal/timeseries"
 	"pstore/internal/workload"
 )
+
+// --- cluster runtime (paper Section 6) --------------------------------------
+
+// Cluster is the serving runtime: engine + Squall executor + recorder + the
+// controller's monitoring/decision loop, under one lifecycle. It is the
+// single owner of move execution and publishes a typed event stream.
+type Cluster = cluster.Cluster
+
+// ClusterConfig assembles a Cluster.
+type ClusterConfig = cluster.Config
+
+// ClusterStats summarizes a runtime's decision activity.
+type ClusterStats = cluster.Stats
+
+// NewCluster builds the serving stack; register transactions on Engine(),
+// then Start it.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// ClusterEvent is a typed notification from the cluster runtime; subscribe
+// with Cluster.Subscribe.
+type ClusterEvent = cluster.Event
+
+// The concrete event types delivered on a cluster's event stream.
+type (
+	// LoadObserved reports each monitoring cycle's measured load.
+	LoadObserved = cluster.LoadObserved
+	// MoveStarted marks the start of a reconfiguration.
+	MoveStarted = cluster.MoveStarted
+	// MoveFinished marks the end (or failure) of a reconfiguration.
+	MoveFinished = cluster.MoveFinished
+	// DecisionFailed reports a controller error.
+	DecisionFailed = cluster.DecisionFailed
+	// EmergencyTriggered reports an emergency scale-out decision.
+	EmergencyTriggered = cluster.EmergencyTriggered
+)
+
+// ErrMoveInFlight is returned by Cluster.Reconfigure while a move runs.
+var ErrMoveInFlight = cluster.ErrMoveInFlight
 
 // --- capacity and migration model (paper Section 4) -----------------------
 

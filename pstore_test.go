@@ -120,6 +120,67 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeCluster drives the cluster runtime through the facade: build,
+// bootstrap, manual move, event stream, stats, stop.
+func TestFacadeCluster(t *testing.T) {
+	spec := pstore.B2WLoadSpec{Carts: 300, Checkouts: 80, Stocks: 150, LinesPerCart: 2, Seed: 1}
+	clu, err := pstore.NewCluster(pstore.ClusterConfig{
+		Engine: pstore.EngineConfig{
+			MaxMachines:          3,
+			PartitionsPerMachine: 2,
+			Buckets:              120,
+			ServiceTime:          0,
+			QueueCapacity:        4096,
+			InitialMachines:      1,
+		},
+		Squall:         pstore.DefaultSquallConfig(),
+		RecorderWindow: 50 * time.Millisecond,
+		Bootstrap: func(eng *pstore.Engine) error {
+			return pstore.LoadB2W(eng, spec)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pstore.RegisterB2W(clu.Engine()); err != nil {
+		t.Fatal(err)
+	}
+	events, unsubscribe := clu.Subscribe(64)
+	defer unsubscribe()
+	if err := clu.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Stop()
+
+	if rows := clu.Engine().TotalRows(); rows != 530 {
+		t.Fatalf("bootstrap loaded %d rows, want 530", rows)
+	}
+	if err := clu.Reconfigure(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if clu.Engine().ActiveMachines() != 3 {
+		t.Fatalf("ActiveMachines = %d, want 3", clu.Engine().ActiveMachines())
+	}
+	if st := clu.Stats(); st.Moves != 1 {
+		t.Fatalf("stats %+v, want 1 move", st)
+	}
+	start := <-events
+	if mv, ok := start.(pstore.MoveStarted); !ok || mv.From != 1 || mv.To != 3 {
+		t.Fatalf("first event %v, want MoveStarted 1->3", start)
+	}
+	finish := <-events
+	if mv, ok := finish.(pstore.MoveFinished); !ok || mv.Err != nil {
+		t.Fatalf("second event %v, want successful MoveFinished", finish)
+	}
+	if rec := clu.Recorder(); rec == nil {
+		t.Fatal("no recorder")
+	}
+	clu.Stop()
+	if _, open := <-events; open {
+		t.Error("event stream not closed by Stop")
+	}
+}
+
 // TestFacadeControllers exercises the controller types through the facade.
 func TestFacadeControllers(t *testing.T) {
 	model := pstore.MigrationModel{Q: 100, QMax: 130, D: 4, P: 2}

@@ -12,14 +12,17 @@
 //	pstore trace [flags]                     generate a synthetic load trace CSV
 //	pstore predict [flags]                   fit a predictor on a trace CSV and forecast
 //	pstore plan [flags]                      plan reconfigurations for a trace CSV
+//	pstore bench [flags]                     benchmark the engine hot path, emit JSON
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -28,6 +31,7 @@ import (
 	"pstore/internal/cluster"
 	"pstore/internal/elastic"
 	"pstore/internal/experiments"
+	"pstore/internal/metrics"
 	"pstore/internal/migration"
 	"pstore/internal/planner"
 	"pstore/internal/predictor"
@@ -56,6 +60,8 @@ func main() {
 		err = runPredict(os.Args[2:])
 	case "plan":
 		err = runPlan(os.Args[2:])
+	case "bench":
+		err = runBench(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -77,6 +83,7 @@ func usage() {
   pstore trace                    generate a synthetic B2W-like load trace CSV
   pstore predict                  fit SPAR/AR/ARMA on a trace CSV and report accuracy
   pstore plan                     run the predictive elasticity planner on a trace CSV
+  pstore bench                    benchmark the transaction hot path, emit BENCH_engine.json
 `)
 }
 
@@ -375,6 +382,151 @@ func runPredict(args []string) error {
 	fmt.Printf("%s: %d test forecasts at tau=%d slots\n", p.Name(), len(pred), *tau)
 	fmt.Printf("MRE  %.2f%%\n", mre*100)
 	fmt.Printf("RMSE %.1f\n", rmse)
+	return nil
+}
+
+// benchResult is the JSON schema of BENCH_engine.json: the hot-path numbers
+// the typed request pipeline is accountable for.
+type benchResult struct {
+	Benchmark    string  `json:"benchmark"`
+	GoVersion    string  `json:"go_version"`
+	Clients      int     `json:"clients"`
+	DurationSec  float64 `json:"duration_s"`
+	Transactions int64   `json:"txns"`
+	TPS          float64 `json:"tps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	NsPerTxn     float64 `json:"ns_per_txn"`
+	AllocsPerTxn float64 `json:"allocs_per_txn"`
+}
+
+// runBench measures the transaction hot path on an idle engine: a serial
+// single-client pass isolates allocations per transaction, then a concurrent
+// pass measures throughput and latency percentiles through the recorder.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_engine.json", "output JSON path (- for stdout)")
+	dur := fs.Duration("duration", 2*time.Second, "length of the throughput pass")
+	clients := fs.Int("clients", 8, "concurrent clients in the throughput pass")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clients < 1 || *dur <= 0 {
+		return errors.New("bench: invalid flags")
+	}
+
+	cfg := store.Config{
+		MaxMachines:          2,
+		PartitionsPerMachine: 2,
+		Buckets:              64,
+		ServiceTime:          0,
+		QueueCapacity:        1 << 14,
+		InitialMachines:      2,
+	}
+	eng, err := store.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	if err := eng.Register("noop", func(*store.Tx) (any, error) { return nil, nil }); err != nil {
+		return err
+	}
+	eng.Start()
+	defer eng.Stop()
+	id, ok := eng.Handle("noop")
+	if !ok {
+		return errors.New("bench: handle not found")
+	}
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-key-%04d", i)
+	}
+
+	// Pass 1: allocations per transaction, serial so nothing but the
+	// pipeline itself shows up. A warmup populates the request pool.
+	const allocTxns = 200_000
+	for i := 0; i < 10_000; i++ {
+		if _, err := eng.ExecuteID(id, keys[i&255], nil); err != nil {
+			return err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < allocTxns; i++ {
+		if _, err := eng.ExecuteID(id, keys[i&255], nil); err != nil {
+			return err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	allocsPerTxn := float64(after.Mallocs-before.Mallocs) / float64(allocTxns)
+
+	// Pass 2: throughput and latency with concurrent clients, recorded into
+	// one wide window so p50/p99 cover the whole pass.
+	rec, err := metrics.NewRecorder(time.Now(), 2**dur+time.Second)
+	if err != nil {
+		return err
+	}
+	eng.SetRecorder(rec)
+	var wg sync.WaitGroup
+	counts := make([]int64, *clients)
+	stop := make(chan struct{})
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := eng.ExecuteID(id, keys[i&255], nil); err != nil {
+					return
+				}
+				counts[c]++
+			}
+		}(c)
+	}
+	time.Sleep(*dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	eng.SetRecorder(nil)
+	var txns int64
+	for _, n := range counts {
+		txns += n
+	}
+	if txns == 0 {
+		return errors.New("bench: no transactions completed")
+	}
+
+	res := benchResult{
+		Benchmark:    "engine_execute",
+		GoVersion:    runtime.Version(),
+		Clients:      *clients,
+		DurationSec:  elapsed.Seconds(),
+		Transactions: txns,
+		TPS:          float64(txns) / elapsed.Seconds(),
+		P50Ms:        rec.Percentile(0, 50),
+		P99Ms:        rec.Percentile(0, 99),
+		NsPerTxn:     float64(elapsed.Nanoseconds()) * float64(*clients) / float64(txns),
+		AllocsPerTxn: allocsPerTxn,
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: %d txns, %.0f tps, p50 %.3f ms, p99 %.3f ms, %.2f allocs/txn -> %s\n",
+		res.Transactions, res.TPS, res.P50Ms, res.P99Ms, res.AllocsPerTxn, *out)
 	return nil
 }
 

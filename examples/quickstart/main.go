@@ -93,7 +93,7 @@ func main() {
 		defer wg.Done()
 		ticker := time.NewTicker(5 * minutePerSlot)
 		defer ticker.Stop()
-		last, _, _ := eng.Counters()
+		last := eng.Counters().Submitted
 		var moving atomic.Bool
 		for {
 			select {
@@ -101,7 +101,7 @@ func main() {
 				return
 			case <-ticker.C:
 			}
-			sub, _, _ := eng.Counters()
+			sub := eng.Counters().Submitted
 			load := float64(sub-last) / rateScale / 5 // requests per trace-minute
 			last = sub
 			busy := moving.Load() || sq.InProgress()
@@ -130,12 +130,11 @@ func main() {
 	if err != nil && ctx.Err() == nil {
 		log.Fatal(err)
 	}
-	_, completed, errored := eng.Counters()
+	counters := eng.Counters()
 	fmt.Printf("\nday replayed: %d transactions executed (%d business errors), %d completed OK\n",
-		stats.Executed, stats.Failed, completed)
-	fmt.Printf("final cluster size: %d machines, %d rows intact\n",
-		eng.ActiveMachines(), eng.TotalRows())
-	_ = errored
+		stats.Executed, stats.Failed, counters.Completed)
+	fmt.Printf("final cluster size: %d machines, %d rows intact (%d forwarded mid-move)\n",
+		eng.ActiveMachines(), eng.TotalRows(), counters.Forwarded)
 }
 
 var start = time.Now()

@@ -292,6 +292,49 @@ func TestDriverRunsTrace(t *testing.T) {
 	}
 }
 
+// TestDriverShedsUnderOverload caps in-flight submissions at one while
+// arrivals far outpace the (slowed) engine: the driver must shed the excess
+// and report it rather than spawning unbounded goroutines.
+func TestDriverShedsUnderOverload(t *testing.T) {
+	cfg := store.Config{
+		MaxMachines:          2,
+		PartitionsPerMachine: 2,
+		Buckets:              64,
+		ServiceTime:          2 * time.Millisecond,
+		QueueCapacity:        4096,
+		InitialMachines:      2,
+	}
+	e, err := store.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(e); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	t.Cleanup(e.Stop)
+	spec := LoadSpec{Carts: 40, Checkouts: 15, Stocks: 25, LinesPerCart: 2, Seed: 5, Loaders: 4}
+	if err := Load(e, spec); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = 100
+	}
+	series := workload.NewSeries(time.Now(), time.Minute, vals)
+	d := &Driver{Eng: e, Spec: spec, Seed: 6, MaxInFlight: 1}
+	stats, err := d.Run(context.Background(), series, 10*time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shed == 0 {
+		t.Error("overloaded driver shed no arrivals")
+	}
+	if stats.Executed+stats.Failed == 0 {
+		t.Error("driver executed nothing")
+	}
+}
+
 func TestDriverContextCancel(t *testing.T) {
 	e := testEngine(t)
 	spec := DefaultLoadSpec()
@@ -327,7 +370,7 @@ func TestChooserDistribution(t *testing.T) {
 	rng := newTestRand()
 	counts := map[string]int{}
 	for i := 0; i < 40000; i++ {
-		counts[c.pick(rng)]++
+		counts[c.names[c.pick(rng)]]++
 	}
 	ratio := float64(counts[TxnGetCart]) / float64(counts[TxnAddLineToCart])
 	if ratio < 2.6 || ratio > 3.4 {

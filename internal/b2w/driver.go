@@ -57,10 +57,16 @@ type Driver struct {
 	Mix Mix
 	// Seed makes the replay reproducible.
 	Seed int64
+	// MaxInFlight caps concurrent submissions so overload cannot grow
+	// goroutines without bound; arrivals beyond the cap are shed and
+	// counted. Zero sizes the cap from the engine's per-partition queue
+	// capacity.
+	MaxInFlight int
 
 	inFlight sync.WaitGroup
 	executed atomic.Int64
 	failed   atomic.Int64
+	shed     atomic.Int64
 }
 
 // Stats reports what the driver executed.
@@ -70,6 +76,10 @@ type Stats struct {
 	// Failed is the number of transactions that returned an error
 	// (including expected business errors like insufficient stock).
 	Failed int64
+	// Shed is the number of Poisson arrivals dropped because MaxInFlight
+	// submissions were already outstanding — the driver's admission
+	// control under overload.
+	Shed int64
 }
 
 // Run replays the trace: slot i of series lasts slotDur of wall time and
@@ -91,7 +101,23 @@ func (d *Driver) Run(ctx context.Context, series workload.Series, slotDur time.D
 	if err != nil {
 		return Stats{}, err
 	}
+	// Resolve every mixed transaction name to its dense handle once; the
+	// per-arrival hot path then never touches the engine's name map.
+	ids := make([]store.TxnID, len(chooser.names))
+	for i, name := range chooser.names {
+		id, ok := d.Eng.Handle(name)
+		if !ok {
+			return Stats{}, fmt.Errorf("b2w: transaction %s not registered", name)
+		}
+		ids[i] = id
+	}
 	rng := rand.New(rand.NewSource(d.Seed + 1))
+
+	cap := d.MaxInFlight
+	if cap <= 0 {
+		cap = d.Eng.Config().QueueCapacity
+	}
+	sem := make(chan struct{}, cap)
 
 	start := time.Now()
 	for {
@@ -102,20 +128,29 @@ func (d *Driver) Run(ctx context.Context, series workload.Series, slotDur time.D
 		if err := sleepUntil(ctx, start.Add(at)); err != nil {
 			break // context cancelled: stop issuing, wait for in-flight
 		}
-		name := chooser.pick(rng)
-		key, args := d.keyAndArgs(rng, name)
+		pick := chooser.pick(rng)
+		key, args := d.keyAndArgs(rng, chooser.names[pick])
+		select {
+		case sem <- struct{}{}:
+		default:
+			d.shed.Add(1)
+			continue
+		}
 		d.inFlight.Add(1)
-		go func(name, key string, args any) {
-			defer d.inFlight.Done()
-			if _, err := d.Eng.Execute(name, key, args); err != nil {
+		go func(id store.TxnID, key string, args any) {
+			defer func() {
+				<-sem
+				d.inFlight.Done()
+			}()
+			if _, err := d.Eng.ExecuteID(id, key, args); err != nil {
 				d.failed.Add(1)
 				return
 			}
 			d.executed.Add(1)
-		}(name, key, args)
+		}(ids[pick], key, args)
 	}
 	d.inFlight.Wait()
-	return Stats{Executed: d.executed.Load(), Failed: d.failed.Load()}, ctx.Err()
+	return Stats{Executed: d.executed.Load(), Failed: d.failed.Load(), Shed: d.shed.Load()}, ctx.Err()
 }
 
 func sleepUntil(ctx context.Context, t time.Time) error {
@@ -210,12 +245,13 @@ func newChooser(mix Mix) (*chooser, error) {
 	return c, nil
 }
 
-func (c *chooser) pick(rng *rand.Rand) string {
+// pick draws one transaction and returns its index into names.
+func (c *chooser) pick(rng *rand.Rand) int {
 	x := rng.Float64() * c.total
 	for i, cm := range c.cumul {
 		if x < cm {
-			return c.names[i]
+			return i
 		}
 	}
-	return c.names[len(c.names)-1]
+	return len(c.names) - 1
 }

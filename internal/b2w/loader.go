@@ -55,8 +55,19 @@ func Load(eng *store.Engine, spec LoadSpec) error {
 	}
 	lines := max(spec.LinesPerCart, 1)
 
+	// Resolve the bootstrap procedures' handles once up front.
+	handles := make(map[string]store.TxnID, 3)
+	for _, name := range []string{txnLoadStock, txnLoadCart, txnLoadCheckout} {
+		id, ok := eng.Handle(name)
+		if !ok {
+			return fmt.Errorf("b2w: bootstrap transaction %s not registered", name)
+		}
+		handles[name] = id
+	}
+
 	type job struct {
-		txn  string
+		txn  store.TxnID
+		name string
 		key  string
 		args any
 	}
@@ -68,9 +79,9 @@ func Load(eng *store.Engine, spec LoadSpec) error {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				if _, err := eng.Execute(j.txn, j.key, j.args); err != nil {
+				if _, err := eng.ExecuteID(j.txn, j.key, j.args); err != nil {
 					select {
-					case errCh <- fmt.Errorf("b2w: loading %s %s: %w", j.txn, j.key, err):
+					case errCh <- fmt.Errorf("b2w: loading %s %s: %w", j.name, j.key, err):
 					default:
 					}
 					return
@@ -81,7 +92,7 @@ func Load(eng *store.Engine, spec LoadSpec) error {
 
 	rng := rand.New(rand.NewSource(spec.Seed))
 	for i := 0; i < spec.Stocks; i++ {
-		jobs <- job{txn: txnLoadStock, key: StockKey(i), args: StockItem{
+		jobs <- job{txn: handles[txnLoadStock], name: txnLoadStock, key: StockKey(i), args: StockItem{
 			SKU:       StockKey(i),
 			Available: 50 + rng.Intn(200),
 		}}
@@ -98,7 +109,7 @@ func Load(eng *store.Engine, spec LoadSpec) error {
 			cart.Lines = append(cart.Lines, line)
 			cart.Total += int64(line.Quantity) * line.UnitPrice
 		}
-		jobs <- job{txn: txnLoadCart, key: CartKey(i), args: cart}
+		jobs <- job{txn: handles[txnLoadCart], name: txnLoadCart, key: CartKey(i), args: cart}
 	}
 	for i := 0; i < spec.Checkouts; i++ {
 		line := CartLine{
@@ -106,7 +117,7 @@ func Load(eng *store.Engine, spec LoadSpec) error {
 			Quantity:  1,
 			UnitPrice: int64(500 + rng.Intn(100000)),
 		}
-		jobs <- job{txn: txnLoadCheckout, key: CheckoutKey(i), args: Checkout{
+		jobs <- job{txn: handles[txnLoadCheckout], name: txnLoadCheckout, key: CheckoutKey(i), args: Checkout{
 			CartID: CartKey(rng.Intn(max(spec.Carts, 1))),
 			Lines:  []CartLine{line},
 			Total:  int64(line.Quantity) * line.UnitPrice,

@@ -226,9 +226,21 @@ func (c *Cluster) Stop() {
 }
 
 // Submit routes one transaction through the engine and blocks until it
-// completes. It is safe for concurrent use.
+// completes. It is safe for concurrent use. Hot loops should resolve a
+// Handle once and call SubmitID.
 func (c *Cluster) Submit(name, key string, args any) (any, error) {
 	return c.eng.Execute(name, key, args)
+}
+
+// Handle resolves a registered transaction name to its dense engine id.
+func (c *Cluster) Handle(name string) (store.TxnID, bool) {
+	return c.eng.Handle(name)
+}
+
+// SubmitID routes a pre-resolved transaction through the engine's
+// allocation-free hot path and blocks until it completes.
+func (c *Cluster) SubmitID(id store.TxnID, key string, args any) (any, error) {
+	return c.eng.ExecuteID(id, key, args)
 }
 
 // Subscribe registers an event observer. Events are delivered in emission
@@ -337,14 +349,14 @@ func (c *Cluster) loop(ctx context.Context) {
 	defer ticker.Stop()
 	// Start from the current counter so bootstrap work does not masquerade
 	// as offered load on the first cycle.
-	last, _, _ := c.eng.Counters()
+	last := c.eng.Counters().Submitted
 	for cycle := 0; ; cycle++ {
 		select {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
 		}
-		sub, _, _ := c.eng.Counters()
+		sub := c.eng.Counters().Submitted
 		delta := sub - last
 		last = sub
 		load := float64(delta) / c.cfg.RateScale / c.cfg.CycleTraceMinutes

@@ -55,9 +55,62 @@ func Murmur2(data []byte, seed uint64) uint64 {
 	return h
 }
 
+// Murmur2String computes the same hash as Murmur2 directly over a string,
+// avoiding the []byte(s) conversion allocation on the engine's hot routing
+// path.
+func Murmur2String(s string, seed uint64) uint64 {
+	const (
+		m = 0xc6a4a7935bd1e995
+		r = 47
+	)
+	h := seed ^ uint64(len(s))*m
+
+	n := len(s) / 8 * 8
+	for i := 0; i < n; i += 8 {
+		k := uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 |
+			uint64(s[i+3])<<24 | uint64(s[i+4])<<32 | uint64(s[i+5])<<40 |
+			uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+		k *= m
+		k ^= k >> r
+		k *= m
+		h ^= k
+		h *= m
+	}
+
+	tail := s[n:]
+	switch len(tail) {
+	case 7:
+		h ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		h ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		h ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		h ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		h ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		h ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		h ^= uint64(tail[0])
+		h *= m
+	}
+
+	h ^= h >> r
+	h *= m
+	h ^= h >> r
+	return h
+}
+
 // String hashes a string key with the default seed used across the engine.
 func String(s string) uint64 {
-	return Murmur2([]byte(s), 0x9747b28c)
+	return Murmur2String(s, 0x9747b28c)
 }
 
 // Partition maps a string key onto one of n partitions. n must be positive.

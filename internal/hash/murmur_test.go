@@ -88,3 +88,27 @@ func TestStringMatchesMurmur2(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMurmur2StringMatchesByteVariant pins the allocation-free string path
+// to the byte-slice implementation across seeds and tail lengths.
+func TestMurmur2StringMatchesByteVariant(t *testing.T) {
+	f := func(s string, seed uint64) bool {
+		return Murmur2String(s, seed) == Murmur2([]byte(s), seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	data := "abcdefghijklmnop"
+	for n := 0; n <= len(data); n++ {
+		if Murmur2String(data[:n], 7) != Murmur2([]byte(data[:n]), 7) {
+			t.Errorf("length-%d tail diverges", n)
+		}
+	}
+}
+
+func BenchmarkMurmur2String(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = String("cart-00123456")
+	}
+}

@@ -11,16 +11,46 @@ import (
 	"time"
 )
 
+// recordShards is the number of independent append buffers Record spreads
+// over. Must be a power of two.
+const recordShards = 64
+
+// sample is one recorded latency, tagged with its aggregation window.
+type sample struct {
+	w  int32
+	ms float64
+}
+
+// recordShard is one append buffer. The leading pad keeps neighboring
+// shards' locks off the same cache line.
+type recordShard struct {
+	_   [64]byte
+	mu  sync.Mutex
+	buf []sample
+}
+
 // Recorder accumulates per-transaction latencies into fixed-width time
 // windows (the paper uses one-second windows for SLA accounting). It is
-// safe for concurrent use by many client goroutines.
+// safe for concurrent use by many client goroutines: Record appends to one
+// of several sharded buffers chosen by the record timestamp — there is no
+// shared mutex on the record path — and readers merge the shards into the
+// windowed view on demand.
 type Recorder struct {
-	mu sync.Mutex
+	start  time.Time
+	window time.Duration
 
-	start     time.Time
-	window    time.Duration
+	shards [recordShards]recordShard
+
+	// mu guards the merged window state and the timeline below.
+	mu        sync.Mutex
 	latencies [][]float64 // per window, milliseconds
 	counts    []int
+	// sorted caches each window's sorted latencies; sortedN is the sample
+	// count the cache covers. Percentile re-sorts a window only when new
+	// samples arrived since — the cluster decision loop reads percentiles
+	// every cycle, almost always from settled windows.
+	sorted  [][]float64
+	sortedN []int
 
 	machines      []machineSample
 	reconfiguring []reconfigSpan
@@ -45,21 +75,43 @@ func NewRecorder(start time.Time, window time.Duration) (*Recorder, error) {
 }
 
 // Record files one completed transaction that finished at `at` with the
-// given latency.
+// given latency. The shard is picked by mixing the record timestamp, so
+// concurrent recorders spread over independent buffers instead of
+// serializing on one lock.
 func (r *Recorder) Record(at time.Time, latency time.Duration) {
-	w := int(at.Sub(r.start) / r.window)
+	since := at.Sub(r.start)
+	w := int(since / r.window)
 	if w < 0 {
 		w = 0
 	}
 	ms := float64(latency) / float64(time.Millisecond)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for len(r.latencies) <= w {
-		r.latencies = append(r.latencies, nil)
-		r.counts = append(r.counts, 0)
+	h := uint64(since) * 0x9E3779B97F4A7C15
+	s := &r.shards[(h>>32)&(recordShards-1)]
+	s.mu.Lock()
+	s.buf = append(s.buf, sample{w: int32(w), ms: ms})
+	s.mu.Unlock()
+}
+
+// flushLocked merges every shard's pending samples into the windowed view.
+// The caller must hold r.mu.
+func (r *Recorder) flushLocked() {
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for _, smp := range s.buf {
+			w := int(smp.w)
+			for len(r.latencies) <= w {
+				r.latencies = append(r.latencies, nil)
+				r.counts = append(r.counts, 0)
+				r.sorted = append(r.sorted, nil)
+				r.sortedN = append(r.sortedN, 0)
+			}
+			r.latencies[w] = append(r.latencies[w], smp.ms)
+			r.counts[w]++
+		}
+		s.buf = s.buf[:0]
+		s.mu.Unlock()
 	}
-	r.latencies[w] = append(r.latencies[w], ms)
-	r.counts[w]++
 }
 
 // RecordMachines notes that the cluster size changed to n at time `at`.
@@ -81,6 +133,7 @@ func (r *Recorder) RecordReconfiguration(from, to time.Time) {
 func (r *Recorder) Windows() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.flushLocked()
 	return len(r.latencies)
 }
 
@@ -89,6 +142,7 @@ func (r *Recorder) Windows() int {
 func (r *Recorder) Throughput(w int) float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.flushLocked()
 	if w < 0 || w >= len(r.counts) {
 		return 0
 	}
@@ -100,16 +154,23 @@ func (r *Recorder) Throughput(w int) float64 {
 func (r *Recorder) Percentile(w int, p float64) float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return percentileLocked(r.latencies, w, p)
+	r.flushLocked()
+	return r.percentileLocked(w, p)
 }
 
-func percentileLocked(latencies [][]float64, w int, p float64) float64 {
-	if w < 0 || w >= len(latencies) || len(latencies[w]) == 0 {
+// percentileLocked serves a percentile from the sorted-window cache,
+// re-sorting only windows that received samples since the last call. The
+// caller must hold r.mu and have flushed.
+func (r *Recorder) percentileLocked(w int, p float64) float64 {
+	if w < 0 || w >= len(r.latencies) || len(r.latencies[w]) == 0 {
 		return 0
 	}
-	vals := append([]float64(nil), latencies[w]...)
-	sort.Float64s(vals)
-	return percentileOfSorted(vals, p)
+	if r.sortedN[w] != len(r.latencies[w]) {
+		r.sorted[w] = append(r.sorted[w][:0], r.latencies[w]...)
+		sort.Float64s(r.sorted[w])
+		r.sortedN[w] = len(r.latencies[w])
+	}
+	return percentileOfSorted(r.sorted[w], p)
 }
 
 func percentileOfSorted(sorted []float64, p float64) float64 {
@@ -136,9 +197,10 @@ func percentileOfSorted(sorted []float64, p float64) float64 {
 func (r *Recorder) PercentileSeries(p float64) []float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.flushLocked()
 	out := make([]float64, len(r.latencies))
 	for w := range r.latencies {
-		out[w] = percentileLocked(r.latencies, w, p)
+		out[w] = r.percentileLocked(w, p)
 	}
 	return out
 }
@@ -147,6 +209,7 @@ func (r *Recorder) PercentileSeries(p float64) []float64 {
 func (r *Recorder) ThroughputSeries() []float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.flushLocked()
 	out := make([]float64, len(r.counts))
 	for w, c := range r.counts {
 		out[w] = float64(c) / r.window.Seconds()
@@ -173,6 +236,7 @@ func (r *Recorder) SLAViolations(p float64, thresholdMs float64) int {
 func (r *Recorder) MachineSeries() []float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.flushLocked()
 	out := make([]float64, len(r.latencies))
 	if len(r.machines) == 0 {
 		return out
@@ -209,6 +273,7 @@ func (r *Recorder) AverageMachines() float64 {
 func (r *Recorder) ReconfiguringWindows() []bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.flushLocked()
 	out := make([]bool, len(r.latencies))
 	for _, span := range r.reconfiguring {
 		w0 := int(span.from.Sub(r.start) / r.window)

@@ -155,6 +155,58 @@ func TestRecorderConcurrent(t *testing.T) {
 	}
 }
 
+// TestRecorderShardedMergePreservesSamples records from many goroutines
+// across several windows and checks that the merged view loses nothing and
+// percentiles reflect all samples regardless of shard interleaving.
+func TestRecorderShardedMergePreservesSamples(t *testing.T) {
+	r, start := newTestRecorder(t)
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Spread samples over 4 windows with distinct latencies.
+				w := (g + i) % 4
+				at := start.Add(time.Duration(w)*time.Second + time.Duration(g*perG+i)*time.Microsecond)
+				r.Record(at, time.Duration(i%100+1)*time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0.0
+	for w := 0; w < r.Windows(); w++ {
+		total += r.Throughput(w)
+	}
+	if int(total) != goroutines*perG {
+		t.Errorf("merged %v samples, want %d", total, goroutines*perG)
+	}
+	// Samples are 1..100 ms uniform; p50 of every window must sit near 50.
+	for w := 0; w < r.Windows(); w++ {
+		if p := r.Percentile(w, 50); p < 40 || p > 60 {
+			t.Errorf("window %d p50 = %v, want ~50", w, p)
+		}
+	}
+}
+
+func BenchmarkRecorderRecord(b *testing.B) {
+	start := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	r, err := NewRecorder(start, time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			r.Record(start.Add(time.Duration(i)*time.Microsecond), time.Millisecond)
+			i++
+		}
+	})
+}
+
 func TestRecordBeforeStartClamps(t *testing.T) {
 	r, start := newTestRecorder(t)
 	r.Record(start.Add(-5*time.Second), time.Millisecond)

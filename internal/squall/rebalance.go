@@ -108,7 +108,7 @@ func (ex *Executor) Rebalance(threshold float64) (int, error) {
 	// Execute the plan as throttled single-bucket migrations.
 	moved := 0
 	for _, op := range plan {
-		if err := ex.eng.MoveBuckets([]int{op.bucket}, op.from, op.to, ex.cfg.RowCost, ex.cfg.ChunkOverhead); err != nil {
+		if _, err := ex.eng.MoveBuckets([]int{op.bucket}, op.from, op.to, ex.cfg.RowCost, ex.cfg.ChunkOverhead); err != nil {
 			return moved, fmt.Errorf("squall: rebalancing bucket %d: %w", op.bucket, err)
 		}
 		moved++

@@ -141,7 +141,9 @@ func (ex *Executor) Reconfigure(from, to int, rateFactor float64) error {
 	}
 
 	// Chunk size in buckets: ChunkRows is a row budget per chunk, so size
-	// chunks by the average rows per bucket (rounded to nearest).
+	// chunks by the average rows per bucket (rounded to nearest). The row
+	// count comes from the engine's typed per-partition counters — never
+	// from walking the nested bucket maps.
 	avgRows := 1
 	if rows := ex.eng.TotalRows(); rows > 0 {
 		avgRows = max((rows+cfg.Buckets/2)/cfg.Buckets, 1)
@@ -274,7 +276,7 @@ func (ex *Executor) stream(from, to int, buckets []int, chunkBuckets int, rateFa
 	for lo := 0; lo < len(buckets); lo += chunkBuckets {
 		hi := min(lo+chunkBuckets, len(buckets))
 		chunk := buckets[lo:hi]
-		if err := ex.eng.MoveBuckets(chunk, from, to, ex.cfg.RowCost, ex.cfg.ChunkOverhead); err != nil {
+		if _, err := ex.eng.MoveBuckets(chunk, from, to, ex.cfg.RowCost, ex.cfg.ChunkOverhead); err != nil {
 			return fmt.Errorf("squall: moving %d buckets %d -> %d: %w", len(chunk), from, to, err)
 		}
 		if spacing > 0 && hi < len(buckets) {

@@ -1,0 +1,154 @@
+package store
+
+import "sort"
+
+// tableMap is the contents of one bucket: table -> key -> row.
+type tableMap map[string]map[string]any
+
+// BucketData is a typed bundle of bucket contents in flight between
+// partitions during migration. Row counts are tracked per bucket as rows are
+// written, so extraction and chunk accounting never re-derive counts by
+// walking the nested maps.
+type BucketData struct {
+	data map[int]tableMap
+	rows map[int]int
+}
+
+// Rows returns the total number of rows carried by the bundle.
+func (d BucketData) Rows() int {
+	total := 0
+	for _, n := range d.rows {
+		total += n
+	}
+	return total
+}
+
+// BucketRows returns the number of rows carried for one bucket.
+func (d BucketData) BucketRows(bucket int) int { return d.rows[bucket] }
+
+// Buckets lists the bucket ids carried by the bundle, sorted ascending.
+func (d BucketData) Buckets() []int {
+	out := make([]int, 0, len(d.data))
+	for b := range d.data {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// bucketStore is a partition's data plane: the rows of every bucket the
+// partition owns, plus per-bucket row counts maintained incrementally. It is
+// confined to the owning executor goroutine — no locking.
+type bucketStore struct {
+	data map[int]tableMap
+	rows map[int]int
+}
+
+func newBucketStore() *bucketStore {
+	return &bucketStore{data: make(map[int]tableMap), rows: make(map[int]int)}
+}
+
+// get returns the row stored under (bucket, table, key).
+func (s *bucketStore) get(bucket int, table, key string) (any, bool) {
+	t, ok := s.data[bucket][table]
+	if !ok {
+		return nil, false
+	}
+	v, ok := t[key]
+	return v, ok
+}
+
+// put stores a row under (bucket, table, key) and reports whether the row is
+// new (true) or an overwrite (false).
+func (s *bucketStore) put(bucket int, table, key string, v any) bool {
+	b := s.data[bucket]
+	if b == nil {
+		b = make(tableMap)
+		s.data[bucket] = b
+	}
+	t := b[table]
+	if t == nil {
+		t = make(map[string]any)
+		b[table] = t
+	}
+	_, exists := t[key]
+	t[key] = v
+	if !exists {
+		s.rows[bucket]++
+	}
+	return !exists
+}
+
+// del removes the row under (bucket, table, key) and reports whether a row
+// was actually removed.
+func (s *bucketStore) del(bucket int, table, key string) bool {
+	t, ok := s.data[bucket][table]
+	if !ok {
+		return false
+	}
+	if _, exists := t[key]; !exists {
+		return false
+	}
+	delete(t, key)
+	s.rows[bucket]--
+	return true
+}
+
+// extract removes the given buckets from the store and returns them as a
+// BucketData bundle. Buckets with no data are simply absent from the bundle.
+func (s *bucketStore) extract(buckets []int) BucketData {
+	out := BucketData{data: make(map[int]tableMap, len(buckets)), rows: make(map[int]int, len(buckets))}
+	for _, b := range buckets {
+		if tables, ok := s.data[b]; ok {
+			out.data[b] = tables
+			out.rows[b] = s.rows[b]
+			delete(s.data, b)
+			delete(s.rows, b)
+		}
+	}
+	return out
+}
+
+// install merges a BucketData bundle into the store and returns the number
+// of rows actually added. Buckets already present are merged table by table
+// (a row carried by the bundle wins on key collision); per-bucket row counts
+// are maintained incrementally, never by walking unrelated data.
+func (s *bucketStore) install(d BucketData) int {
+	added := 0
+	for b, tables := range d.data {
+		if s.data[b] == nil {
+			s.data[b] = tables
+			s.rows[b] += d.rows[b]
+			added += d.rows[b]
+			continue
+		}
+		for tn, t := range tables {
+			if s.data[b][tn] == nil {
+				s.data[b][tn] = t
+				s.rows[b] += len(t)
+				added += len(t)
+				continue
+			}
+			for k, v := range t {
+				if _, exists := s.data[b][tn][k]; !exists {
+					s.rows[b]++
+					added++
+				}
+				s.data[b][tn][k] = v
+			}
+		}
+	}
+	return added
+}
+
+// totalRows returns the store's row count across all buckets.
+func (s *bucketStore) totalRows() int {
+	total := 0
+	for _, n := range s.rows {
+		total += n
+	}
+	return total
+}
+
+// bucketRows returns the row count of one bucket.
+func (s *bucketStore) bucketRows(bucket int) int { return s.rows[bucket] }

@@ -11,15 +11,48 @@ import (
 	"pstore/internal/metrics"
 )
 
+// TxnID is the dense identifier of a registered transaction type. Handles
+// are resolved once (Engine.Handle) and index a slice on the hot path — no
+// per-execution map lookups.
+type TxnID int32
+
+// NoTxn is an invalid handle; executing it returns ErrUnknownTxn.
+const NoTxn TxnID = -1
+
+// proc is one registered transaction type. The procs slice is immutable
+// after Start, so executors index it without synchronization.
+type proc struct {
+	name string
+	fn   TxnFunc
+	svc  time.Duration
+}
+
+// Counters are the engine's cumulative transaction counts.
+type Counters struct {
+	// Submitted counts transactions accepted by Execute/ExecuteID.
+	Submitted int64
+	// Completed counts transactions that finished without error.
+	Completed int64
+	// Errored counts transactions that returned an error.
+	Errored int64
+	// Forwarded counts ownership-chase hops: transactions that reached a
+	// partition which no longer owned their bucket (mid-migration) and were
+	// re-routed to the current owner.
+	Forwarded int64
+}
+
 // Engine is a multi-machine, shared-nothing, main-memory OLTP engine. Every
 // machine hosts PartitionsPerMachine partitions; every partition is driven
 // by one executor goroutine. The engine routes transactions to the
 // partition owning their key's bucket and supports live bucket migration
 // between partitions for elasticity.
 type Engine struct {
-	cfg  Config
-	txns map[string]TxnFunc
-	svc  map[string]time.Duration
+	cfg     Config
+	handles map[string]TxnID
+	procs   []proc
+	// svcOverride stages SetServiceTime calls until Start bakes them into
+	// the procs slice.
+	svcOverride map[string]time.Duration
 
 	parts   []*partition
 	plan    atomic.Pointer[[]int32]
@@ -31,10 +64,7 @@ type Engine struct {
 	submitted      atomic.Int64
 	completed      atomic.Int64
 	errored        atomic.Int64
-
-	// accesses counts transactions routed per bucket since the last
-	// snapshot; it feeds skew detection (E-Store-style hot spots).
-	accesses []int64
+	forwarded      atomic.Int64
 
 	recorder atomic.Pointer[metrics.Recorder]
 }
@@ -45,10 +75,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:      cfg,
-		txns:     make(map[string]TxnFunc),
-		svc:      make(map[string]time.Duration),
-		accesses: make([]int64, cfg.Buckets),
+		cfg:         cfg,
+		handles:     make(map[string]TxnID),
+		svcOverride: make(map[string]time.Duration),
 	}
 	total := cfg.MaxMachines * cfg.PartitionsPerMachine
 	e.parts = make([]*partition, total)
@@ -67,16 +96,25 @@ func NewEngine(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Register adds a named transaction. It must be called before Start.
+// Register adds a named transaction and assigns it the next dense TxnID. It
+// must be called before Start.
 func (e *Engine) Register(name string, fn TxnFunc) error {
 	if e.started.Load() {
 		return errors.New("store: Register after Start")
 	}
-	if _, dup := e.txns[name]; dup {
+	if _, dup := e.handles[name]; dup {
 		return fmt.Errorf("store: transaction %q already registered", name)
 	}
-	e.txns[name] = fn
+	e.handles[name] = TxnID(len(e.procs))
+	e.procs = append(e.procs, proc{name: name, fn: fn, svc: e.cfg.ServiceTime})
 	return nil
+}
+
+// Handle resolves a registered transaction name to its dense id. Resolve
+// once at setup; the hot path then indexes a slice instead of a map.
+func (e *Engine) Handle(name string) (TxnID, bool) {
+	id, ok := e.handles[name]
+	return id, ok
 }
 
 // SetServiceTime overrides the simulated execution time for one transaction
@@ -85,7 +123,7 @@ func (e *Engine) SetServiceTime(name string, d time.Duration) error {
 	if e.started.Load() {
 		return errors.New("store: SetServiceTime after Start")
 	}
-	e.svc[name] = d
+	e.svcOverride[name] = d
 	return nil
 }
 
@@ -93,10 +131,16 @@ func (e *Engine) SetServiceTime(name string, d time.Duration) error {
 // filed into it. Safe to call at any time.
 func (e *Engine) SetRecorder(r *metrics.Recorder) { e.recorder.Store(r) }
 
-// Start launches all partition executors.
+// Start bakes service-time overrides into the procedure table and launches
+// all partition executors.
 func (e *Engine) Start() {
 	if !e.started.CompareAndSwap(false, true) {
 		return
+	}
+	for name, d := range e.svcOverride {
+		if id, ok := e.handles[name]; ok {
+			e.procs[id].svc = d
+		}
 	}
 	for _, p := range e.parts {
 		go p.run()
@@ -146,14 +190,6 @@ func (e *Engine) setOwner(buckets []int, dest int) {
 	e.plan.Store(&next)
 }
 
-// serviceTime returns the simulated execution time for a transaction type.
-func (e *Engine) serviceTime(name string) time.Duration {
-	if d, ok := e.svc[name]; ok {
-		return d
-	}
-	return e.cfg.ServiceTime
-}
-
 // maxForwards bounds ownership-chase hops for one request; ownership
 // settles after a migration, so a handful of hops always suffices.
 const maxForwards = 64
@@ -161,19 +197,20 @@ const maxForwards = 64
 // forward re-submits a transaction to the current owner of its bucket. It
 // runs on an executor goroutine, so the actual send happens asynchronously
 // to avoid executor-to-executor deadlock on full queues.
-func (e *Engine) forward(r txnRequest) {
+func (e *Engine) forward(r *txnRequest) {
+	e.forwarded.Add(1)
 	r.forwards++
 	if r.forwards > maxForwards {
-		r.reply <- txnResult{err: fmt.Errorf("store: transaction %q forwarded too many times", r.name)}
+		r.reply <- txnResult{err: fmt.Errorf("store: transaction %q forwarded too many times", e.procs[r.id].name)}
 		return
 	}
-	dest := e.parts[e.ownerOf(r.bucket)]
+	dest := e.parts[e.ownerOf(int(r.bucket))]
 	select {
-	case dest.ch <- r:
+	case dest.ch <- request{txn: r}:
 	default:
 		go func() {
 			select {
-			case dest.ch <- r:
+			case dest.ch <- request{txn: r}:
 			case <-dest.stop:
 				r.reply <- txnResult{err: ErrStopped}
 			}
@@ -183,31 +220,50 @@ func (e *Engine) forward(r txnRequest) {
 
 // Execute routes a transaction to the partition owning key and blocks until
 // it completes, returning the procedure's result. Safe for concurrent use.
+// It resolves the name per call; hot loops should resolve a Handle once and
+// call ExecuteID.
 func (e *Engine) Execute(name, key string, args any) (any, error) {
+	id, ok := e.handles[name]
+	if !ok {
+		id = NoTxn
+	}
+	return e.ExecuteID(id, key, args)
+}
+
+// ExecuteID routes a pre-resolved transaction to the partition owning key
+// and blocks until it completes. The steady-state path performs no
+// allocations: requests and their reply channels are pooled, and the
+// procedure table is indexed, not looked up.
+func (e *Engine) ExecuteID(id TxnID, key string, args any) (any, error) {
 	if e.stopped.Load() {
 		return nil, ErrStopped
 	}
 	if !e.started.Load() {
 		return nil, errors.New("store: engine not started")
 	}
-	bucket := e.bucketOf(key)
-	req := txnRequest{
-		name:   name,
-		key:    key,
-		bucket: bucket,
-		args:   args,
-		submit: time.Now(),
-		reply:  make(chan txnResult, 1),
+	if id < 0 || int(id) >= len(e.procs) {
+		e.submitted.Add(1)
+		e.errored.Add(1)
+		return nil, ErrUnknownTxn
 	}
+	bucket := e.bucketOf(key)
+	req := acquireTxnReq()
+	req.id = id
+	req.key = key
+	req.bucket = int32(bucket)
+	req.args = args
+	req.submit = time.Now()
 	e.submitted.Add(1)
-	atomic.AddInt64(&e.accesses[bucket], 1)
 	dest := e.parts[e.ownerOf(bucket)]
 	select {
-	case dest.ch <- req:
+	case dest.ch <- request{txn: req}:
 	case <-dest.stop:
+		releaseTxnReq(req)
 		return nil, ErrStopped
 	}
 	res := <-req.reply
+	submit := req.submit
+	releaseTxnReq(req)
 	now := time.Now()
 	if res.err != nil {
 		e.errored.Add(1)
@@ -215,28 +271,30 @@ func (e *Engine) Execute(name, key string, args any) (any, error) {
 		e.completed.Add(1)
 	}
 	if r := e.recorder.Load(); r != nil {
-		r.Record(now, now.Sub(req.submit))
+		r.Record(now, now.Sub(submit))
 	}
 	return res.value, res.err
 }
 
-// MoveBuckets live-migrates buckets between two partitions. The source
-// executor is occupied for overhead + rows*perRow and the destination for
-// half that — the transaction-processing interference of migration. It
-// blocks until the destination has installed the data.
-func (e *Engine) MoveBuckets(buckets []int, from, to int, perRow, overhead time.Duration) error {
+// MoveBuckets live-migrates buckets between two partitions and returns the
+// number of rows moved. The source executor is occupied for
+// overhead + rows*perRow and the destination for half that — the
+// transaction-processing interference of migration. It blocks until the
+// destination has installed the data.
+func (e *Engine) MoveBuckets(buckets []int, from, to int, perRow, overhead time.Duration) (int, error) {
 	if from == to {
-		return nil
+		return 0, nil
 	}
 	if from < 0 || from >= len(e.parts) || to < 0 || to >= len(e.parts) {
-		return fmt.Errorf("store: partition out of range (%d -> %d)", from, to)
+		return 0, fmt.Errorf("store: partition out of range (%d -> %d)", from, to)
 	}
 	for _, b := range buckets {
 		if own := e.ownerOf(b); own != from {
-			return fmt.Errorf("store: bucket %d owned by partition %d, not %d", b, own, from)
+			return 0, fmt.Errorf("store: bucket %d owned by partition %d, not %d", b, own, from)
 		}
 	}
-	req := moveOutRequest{
+	req := &ctlRequest{
+		kind:     ctlMoveOut,
 		buckets:  buckets,
 		dest:     e.parts[to],
 		perRow:   perRow,
@@ -245,27 +303,32 @@ func (e *Engine) MoveBuckets(buckets []int, from, to int, perRow, overhead time.
 	}
 	src := e.parts[from]
 	select {
-	case src.ch <- req:
+	case src.ch <- request{ctl: req}:
 	case <-src.stop:
-		return ErrStopped
+		return 0, ErrStopped
 	}
 	res := <-req.done
-	return res.err
+	return res.rows, res.err
 }
 
 // OwnerOf returns the partition currently owning a bucket.
 func (e *Engine) OwnerOf(bucket int) int { return e.ownerOf(bucket) }
 
-// BucketAccesses snapshots the per-bucket access counts accumulated since
-// the last reset; reset clears the counters so the next window starts
-// fresh. It is the monitoring signal for skew-aware rebalancing.
+// BucketAccesses aggregates the per-partition access-counter blocks into one
+// per-bucket snapshot of the transactions routed since the last reset; reset
+// clears the counters so the next window starts fresh. It is the monitoring
+// signal for skew-aware rebalancing. Counters are sharded per partition
+// (each executor writes only its own cache-line-padded block), so the hot
+// path never contends on a shared slice; aggregation happens lazily here.
 func (e *Engine) BucketAccesses(reset bool) []int64 {
-	out := make([]int64, len(e.accesses))
-	for b := range e.accesses {
-		if reset {
-			out[b] = atomic.SwapInt64(&e.accesses[b], 0)
-		} else {
-			out[b] = atomic.LoadInt64(&e.accesses[b])
+	out := make([]int64, e.cfg.Buckets)
+	for _, p := range e.parts {
+		for b := range p.accesses {
+			if reset {
+				out[b] += atomic.SwapInt64(&p.accesses[b], 0)
+			} else {
+				out[b] += atomic.LoadInt64(&p.accesses[b])
+			}
 		}
 	}
 	return out
@@ -313,18 +376,31 @@ func (e *Engine) SetActiveMachines(n int) error {
 // ActiveMachines returns the current active cluster size.
 func (e *Engine) ActiveMachines() int { return int(e.activeMachines.Load()) }
 
-// Counters returns cumulative submitted, completed and errored transaction
-// counts.
-func (e *Engine) Counters() (submitted, completed, errored int64) {
-	return e.submitted.Load(), e.completed.Load(), e.errored.Load()
+// Counters returns the engine's cumulative transaction counts.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		Submitted: e.submitted.Load(),
+		Completed: e.completed.Load(),
+		Errored:   e.errored.Load(),
+		Forwarded: e.forwarded.Load(),
+	}
+}
+
+// PartitionRows returns the current row count of one partition. It is an
+// estimate while transactions are in flight.
+func (e *Engine) PartitionRows(part int) int {
+	if part < 0 || part >= len(e.parts) {
+		return 0
+	}
+	return int(atomic.LoadInt64(&e.parts[part].rowsAtomic))
 }
 
 // TotalRows returns the number of rows across all partitions. It is an
 // estimate while transactions are in flight.
 func (e *Engine) TotalRows() int {
-	// Row counts are maintained by executor goroutines; snapshot them via
-	// a fence request would be heavyweight, so read the plan and sum the
-	// per-partition counters (races only smear in-flight increments).
+	// Row counts are maintained by executor goroutines; snapshotting them
+	// via a fence request would be heavyweight, so sum the per-partition
+	// counters (races only smear in-flight increments).
 	total := 0
 	for _, p := range e.parts {
 		total += int(atomic.LoadInt64(&p.rowsAtomic))

@@ -205,9 +205,9 @@ func TestEngineConcurrentClients(t *testing.T) {
 	if v != clients*perClient {
 		t.Fatalf("counter = %v, want %d (lost updates!)", v, clients*perClient)
 	}
-	sub, comp, errd := e.Counters()
-	if comp != clients*perClient+1 || errd != 0 || sub != comp {
-		t.Errorf("counters = %d submitted, %d completed, %d errored", sub, comp, errd)
+	c := e.Counters()
+	if c.Completed != clients*perClient+1 || c.Errored != 0 || c.Submitted != c.Completed {
+		t.Errorf("counters = %d submitted, %d completed, %d errored", c.Submitted, c.Completed, c.Errored)
 	}
 }
 
@@ -274,8 +274,12 @@ func TestEngineMoveBucketsPreservesData(t *testing.T) {
 	if len(buckets) == 0 {
 		t.Fatal("partition 0 owns no buckets")
 	}
-	if err := e.MoveBuckets(buckets, 0, 2, time.Millisecond, time.Millisecond); err != nil {
+	moved, err := e.MoveBuckets(buckets, 0, 2, time.Millisecond, time.Millisecond)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if moved <= 0 {
+		t.Fatalf("MoveBuckets reported %d rows moved, want > 0", moved)
 	}
 	if got := e.OwnedBuckets(0); len(got) != 0 {
 		t.Fatalf("partition 0 still owns %d buckets", len(got))
@@ -298,13 +302,13 @@ func TestEngineMoveBucketsPreservesData(t *testing.T) {
 func TestEngineMoveBucketsValidation(t *testing.T) {
 	e := testEngine(t, smallConfig())
 	e.Start()
-	if err := e.MoveBuckets([]int{0}, 0, 99, 0, 0); err == nil {
+	if _, err := e.MoveBuckets([]int{0}, 0, 99, 0, 0); err == nil {
 		t.Error("out-of-range destination accepted")
 	}
-	if err := e.MoveBuckets([]int{0}, 1, 2, 0, 0); err == nil {
+	if _, err := e.MoveBuckets([]int{0}, 1, 2, 0, 0); err == nil {
 		t.Error("moving unowned bucket accepted")
 	}
-	if err := e.MoveBuckets([]int{0}, 3, 3, 0, 0); err != nil {
+	if _, err := e.MoveBuckets([]int{0}, 3, 3, 0, 0); err != nil {
 		t.Errorf("no-op move rejected: %v", err)
 	}
 }
@@ -370,7 +374,7 @@ func TestEngineLiveMigrationUnderLoad(t *testing.T) {
 		buckets := e.OwnedBuckets(mv.from)
 		for lo := 0; lo < len(buckets); lo += 4 {
 			hi := min(lo+4, len(buckets))
-			if err := e.MoveBuckets(buckets[lo:hi], mv.from, mv.to, 200*time.Microsecond, 100*time.Microsecond); err != nil {
+			if _, err := e.MoveBuckets(buckets[lo:hi], mv.from, mv.to, 200*time.Microsecond, 100*time.Microsecond); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -2,60 +2,33 @@ package store
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 )
 
-// request kinds processed by a partition executor.
-type txnRequest struct {
-	name     string
-	key      string
-	bucket   int
-	args     any
-	submit   time.Time
-	forwards int
-	reply    chan txnResult
-}
+// accessPad keeps one partition's access-counter block from sharing cache
+// lines with neighboring heap objects: the counters are sliced out of the
+// middle of a slightly larger allocation so a full cache line of padding
+// sits on each side of the hot region.
+const accessPad = 8 // int64s (64 bytes) of padding on each side
 
-type txnResult struct {
-	value any
-	err   error
-}
-
-// moveOutRequest asks the executor to extract the given buckets, hand them
-// to the destination partition and flip ownership. The executor is occupied
-// for overhead + rows*perRow, modelling the CPU the migration steals from
-// transaction processing on the source; the destination pays half per row
-// on installation.
-type moveOutRequest struct {
-	buckets  []int
-	dest     *partition
-	perRow   time.Duration
-	overhead time.Duration
-	done     chan moveResult
-}
-
-// installRequest carries extracted bucket data into the destination
-// executor, occupying it for `cost`.
-type installRequest struct {
-	buckets map[int]map[string]map[string]any
-	rows    int
-	cost    time.Duration
-	done    chan moveResult
-}
-
-type moveResult struct {
-	rows int
-	err  error
-}
-
-// partition is one serially executed data partition. Its data maps are
+// partition is one serially executed data partition. Its bucketStore is
 // touched only by its executor goroutine.
 type partition struct {
-	id   int
-	eng  *Engine
-	ch   chan any
-	data map[int]map[string]map[string]any // bucket -> table -> key -> row
+	id    int
+	eng   *Engine
+	ch    chan request
+	store *bucketStore
+	// tx is the reusable execution context handed to procedures; the
+	// executor is serial, so one per partition suffices and the hot path
+	// allocates nothing.
+	tx Tx
+	// accesses counts transactions executed per bucket since the last
+	// BucketAccesses reset. Only this partition's executor writes it
+	// (single-writer, cache-line-padded block); the engine aggregates
+	// lazily across partitions.
+	accesses []int64
 	// rowsAtomic tracks the partition's row count; it is written by the
 	// executor goroutine and read by Engine.TotalRows.
 	rowsAtomic int64
@@ -64,13 +37,15 @@ type partition struct {
 }
 
 func newPartition(id int, eng *Engine, queueCap int) *partition {
+	block := make([]int64, eng.cfg.Buckets+2*accessPad)
 	return &partition{
-		id:   id,
-		eng:  eng,
-		ch:   make(chan any, queueCap),
-		data: make(map[int]map[string]map[string]any),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		id:       id,
+		eng:      eng,
+		ch:       make(chan request, queueCap),
+		store:    newBucketStore(),
+		accesses: block[accessPad : accessPad+eng.cfg.Buckets],
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 }
 
@@ -93,13 +68,11 @@ func (p *partition) drain() {
 	for {
 		select {
 		case req := <-p.ch:
-			switch r := req.(type) {
-			case txnRequest:
-				r.reply <- txnResult{err: ErrStopped}
-			case moveOutRequest:
-				r.done <- moveResult{err: ErrStopped}
-			case installRequest:
-				r.done <- moveResult{err: ErrStopped}
+			switch {
+			case req.txn != nil:
+				req.txn.reply <- txnResult{err: ErrStopped}
+			case req.ctl != nil:
+				req.ctl.done <- moveResult{err: ErrStopped}
 			}
 		default:
 			return
@@ -107,45 +80,47 @@ func (p *partition) drain() {
 	}
 }
 
-func (p *partition) handle(req any) {
-	switch r := req.(type) {
-	case txnRequest:
-		p.execute(r)
-	case moveOutRequest:
-		p.moveOut(r)
-	case installRequest:
-		p.install(r)
+func (p *partition) handle(req request) {
+	switch {
+	case req.txn != nil:
+		p.execute(req.txn)
+	case req.ctl != nil:
+		switch req.ctl.kind {
+		case ctlMoveOut:
+			p.moveOut(req.ctl)
+		case ctlInstall:
+			p.install(req.ctl)
+		}
 	}
 }
 
 // execute runs one transaction, forwarding it if this partition no longer
 // owns the bucket (Squall-style redirection of in-flight requests).
-func (p *partition) execute(r txnRequest) {
-	owner := p.eng.ownerOf(r.bucket)
-	if owner != p.id {
+func (p *partition) execute(r *txnRequest) {
+	if owner := p.eng.ownerOf(int(r.bucket)); owner != p.id {
 		p.eng.forward(r)
 		return
 	}
-	fn, ok := p.eng.txns[r.name]
-	if !ok {
-		r.reply <- txnResult{err: ErrUnknownTxn}
-		return
+	atomic.AddInt64(&p.accesses[r.bucket], 1)
+	pr := &p.eng.procs[r.id]
+	if pr.svc > 0 {
+		time.Sleep(pr.svc)
 	}
-	if st := p.eng.serviceTime(r.name); st > 0 {
-		time.Sleep(st)
-	}
-	tx := &Tx{p: p, bucket: r.bucket, Key: r.key, Args: r.args}
-	v, err := runTxn(fn, tx)
+	p.tx = Tx{p: p, bucket: int(r.bucket), Key: r.key, Args: r.args}
+	v, err := runTxn(pr.fn, &p.tx)
+	p.tx = Tx{} // release references to the request's key/args
 	r.reply <- txnResult{value: v, err: err}
 }
 
 // runTxn executes a stored procedure, converting a panic into an error so a
-// buggy procedure cannot take its partition executor down with it.
+// buggy procedure cannot take its partition executor down with it. The
+// goroutine stack at the panic site is preserved in the error, since the
+// executor's own stack says nothing about which procedure misbehaved.
 func runTxn(fn TxnFunc, tx *Tx) (v any, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			v = nil
-			err = fmt.Errorf("store: transaction panicked: %v", rec)
+			err = fmt.Errorf("store: transaction panicked: %v\n%s", rec, debug.Stack())
 		}
 	}()
 	return fn(tx)
@@ -155,34 +130,25 @@ func runTxn(fn TxnFunc, tx *Tx) (v any, err error) {
 // then flips ownership. Requests already queued behind this one see the new
 // ownership and are forwarded, landing behind the install in the
 // destination's FIFO queue — so no transaction can observe missing data.
-func (p *partition) moveOut(r moveOutRequest) {
-	extracted := make(map[int]map[string]map[string]any, len(r.buckets))
-	rows := 0
-	for _, b := range r.buckets {
-		if data, ok := p.data[b]; ok {
-			extracted[b] = data
-			for _, t := range data {
-				rows += len(t)
-			}
-			delete(p.data, b)
-		}
-	}
+func (p *partition) moveOut(r *ctlRequest) {
+	data := p.store.extract(r.buckets)
+	rows := data.Rows()
 	// The executor is busy packing and sending in proportion to the data
 	// actually extracted.
 	if cost := r.overhead + time.Duration(rows)*r.perRow; cost > 0 {
 		time.Sleep(cost)
 	}
 	atomic.AddInt64(&p.rowsAtomic, -int64(rows))
-	install := installRequest{
-		buckets: extracted,
-		rows:    rows,
-		cost:    r.overhead/2 + time.Duration(rows)*r.perRow/2,
-		done:    r.done,
+	install := &ctlRequest{
+		kind: ctlInstall,
+		data: data,
+		cost: r.overhead/2 + time.Duration(rows)*r.perRow/2,
+		done: r.done,
 	}
 	// Enqueue the install before flipping ownership: once the flip is
 	// visible, forwarded transactions always queue behind the install.
 	select {
-	case r.dest.ch <- install:
+	case r.dest.ch <- request{ctl: install}:
 	case <-r.dest.stop:
 		r.done <- moveResult{err: ErrStopped}
 		return
@@ -191,25 +157,12 @@ func (p *partition) moveOut(r moveOutRequest) {
 }
 
 // install merges migrated buckets into this partition's data.
-func (p *partition) install(r installRequest) {
+func (p *partition) install(r *ctlRequest) {
 	if r.cost > 0 {
 		time.Sleep(r.cost)
 	}
-	for b, tables := range r.buckets {
-		if p.data[b] == nil {
-			p.data[b] = tables
-			continue
-		}
-		for tn, t := range tables {
-			if p.data[b][tn] == nil {
-				p.data[b][tn] = t
-				continue
-			}
-			for k, v := range t {
-				p.data[b][tn][k] = v
-			}
-		}
-	}
-	atomic.AddInt64(&p.rowsAtomic, int64(r.rows))
-	r.done <- moveResult{rows: r.rows}
+	rows := r.data.Rows()
+	added := p.store.install(r.data)
+	atomic.AddInt64(&p.rowsAtomic, int64(added))
+	r.done <- moveResult{rows: rows}
 }

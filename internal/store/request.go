@@ -1,0 +1,91 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// The partition queues carry a typed request union instead of `chan any`:
+// sending a small struct by value avoids the per-request interface boxing
+// allocation, and the hot transaction path reuses pooled txnRequest objects
+// (including their reply channels) so a steady-state Execute performs no
+// per-call allocation at all.
+type request struct {
+	// txn is set for transaction executions — the hot path.
+	txn *txnRequest
+	// ctl is set for control-plane work (bucket move-out / install).
+	ctl *ctlRequest
+}
+
+// txnRequest is one transaction submission. Instances are pooled: the reply
+// channel is allocated once per pooled object and reused across requests.
+type txnRequest struct {
+	id       TxnID
+	key      string
+	bucket   int32
+	forwards int32
+	args     any
+	submit   time.Time
+	reply    chan txnResult
+}
+
+type txnResult struct {
+	value any
+	err   error
+}
+
+var txnReqPool = sync.Pool{
+	New: func() any {
+		return &txnRequest{reply: make(chan txnResult, 1)}
+	},
+}
+
+// acquireTxnReq returns a pooled request ready for reuse.
+func acquireTxnReq() *txnRequest {
+	return txnReqPool.Get().(*txnRequest)
+}
+
+// releaseTxnReq returns a request to the pool. The caller must have consumed
+// the (exactly one) reply, so the channel is empty and no other goroutine
+// still references the object.
+func releaseTxnReq(r *txnRequest) {
+	r.key = ""
+	r.args = nil
+	r.forwards = 0
+	txnReqPool.Put(r)
+}
+
+// ctlKind discriminates control-plane requests.
+type ctlKind uint8
+
+const (
+	ctlMoveOut ctlKind = iota
+	ctlInstall
+)
+
+// ctlRequest is a migration step processed by a partition executor. A
+// moveOut asks the executor to extract the given buckets, hand them to the
+// destination partition and flip ownership; an install carries the extracted
+// BucketData into the destination executor. The executor is occupied for the
+// simulated transfer cost on each side — the transaction-processing
+// interference of migration.
+type ctlRequest struct {
+	kind ctlKind
+
+	// moveOut fields.
+	buckets  []int
+	dest     *partition
+	perRow   time.Duration
+	overhead time.Duration
+
+	// install fields.
+	data BucketData
+	cost time.Duration
+
+	done chan moveResult
+}
+
+type moveResult struct {
+	rows int
+	err  error
+}

@@ -43,11 +43,7 @@ func (tx *Tx) Get(table, key string) (any, bool, error) {
 	if err := tx.check(key); err != nil {
 		return nil, false, err
 	}
-	t, ok := tx.p.data[tx.bucket][table]
-	if !ok {
-		return nil, false, nil
-	}
-	v, ok := t[key]
+	v, ok := tx.p.store.get(tx.bucket, table, key)
 	return v, ok, nil
 }
 
@@ -56,20 +52,9 @@ func (tx *Tx) Put(table, key string, v any) error {
 	if err := tx.check(key); err != nil {
 		return err
 	}
-	b := tx.p.data[tx.bucket]
-	if b == nil {
-		b = make(map[string]map[string]any)
-		tx.p.data[tx.bucket] = b
-	}
-	t := b[table]
-	if t == nil {
-		t = make(map[string]any)
-		b[table] = t
-	}
-	if _, exists := t[key]; !exists {
+	if tx.p.store.put(tx.bucket, table, key, v) {
 		atomic.AddInt64(&tx.p.rowsAtomic, 1)
 	}
-	t[key] = v
 	return nil
 }
 
@@ -78,11 +63,8 @@ func (tx *Tx) Delete(table, key string) error {
 	if err := tx.check(key); err != nil {
 		return err
 	}
-	if t, ok := tx.p.data[tx.bucket][table]; ok {
-		if _, exists := t[key]; exists {
-			atomic.AddInt64(&tx.p.rowsAtomic, -1)
-			delete(t, key)
-		}
+	if tx.p.store.del(tx.bucket, table, key) {
+		atomic.AddInt64(&tx.p.rowsAtomic, -1)
 	}
 	return nil
 }

@@ -185,6 +185,18 @@ type Tx = store.Tx
 // TxnFunc is a stored procedure body.
 type TxnFunc = store.TxnFunc
 
+// TxnID is a resolved transaction handle: resolve a registered name once
+// with Engine.Handle, then submit through Engine.ExecuteID so the hot path
+// never touches the name map.
+type TxnID = store.TxnID
+
+// NoTxn is the invalid transaction handle.
+const NoTxn = store.NoTxn
+
+// EngineCounters are an engine's cumulative transaction counts (submitted,
+// completed, errored, forwarded mid-migration).
+type EngineCounters = store.Counters
+
 // NewEngine constructs an engine; register transactions, then Start it.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return store.NewEngine(cfg) }
 

@@ -31,6 +31,7 @@ import (
 	"pstore/internal/cluster"
 	"pstore/internal/elastic"
 	"pstore/internal/experiments"
+	"pstore/internal/faults"
 	"pstore/internal/metrics"
 	"pstore/internal/migration"
 	"pstore/internal/planner"
@@ -140,6 +141,7 @@ func runServe(args []string) error {
 	cycleMin := fs.Int("cycle", 5, "controller cycle in trace minutes")
 	seed := fs.Int64("seed", 1, "random seed")
 	sloMs := fs.Float64("slo", 40, "latency SLO in ms on this substrate")
+	faultSpec := fs.String("faults", "", "fault-injection spec, e.g. seed=42,chunk-drop=0.05 (keys: seed, chunk-drop, chunk-slow, slow-delay, stall, stall-delay, crash-pair=F:T, crash-part=N)")
 	quiet := fs.Bool("quiet", false, "suppress the live event log")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -196,8 +198,20 @@ func runServe(args []string) error {
 		return fmt.Errorf("serve: unknown controller %q", *policy)
 	}
 
+	var inj *faults.Injector
+	if *faultSpec != "" {
+		fcfg, err := faults.Parse(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		if inj, err = faults.New(fcfg); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "serve: fault plane armed: %s\n", fcfg)
+	}
+
 	spec := b2w.LoadSpec{Carts: 2400, Checkouts: 600, Stocks: 1200, LinesPerCart: 3, Seed: *seed}
-	c, err := cluster.New(cluster.Config{
+	clusterCfg := cluster.Config{
 		Engine:            engCfg,
 		Squall:            squall.DefaultConfig(),
 		Controller:        ctrl,
@@ -208,7 +222,11 @@ func runServe(args []string) error {
 		Bootstrap: func(eng *store.Engine) error {
 			return b2w.Load(eng, spec)
 		},
-	})
+	}
+	if inj != nil {
+		clusterCfg.FaultInjector = inj
+	}
+	c, err := cluster.New(clusterCfg)
 	if err != nil {
 		return err
 	}
@@ -260,6 +278,14 @@ func runServe(args []string) error {
 	fmt.Printf("machines: avg %.2f (initial %d, max %d)\n", rec.AverageMachines(), *initial, *maxM)
 	fmt.Printf("controller: %d decisions, %d moves (%d emergency), %d failures\n",
 		cs.Decisions, cs.Moves, cs.Emergencies, cs.Failures)
+	mc := rec.MigrationCounters()
+	fmt.Printf("migration: %d chunk retries, %d aborts, %d chunks rolled back\n",
+		mc.Retries, mc.Aborts, mc.RollbackChunks)
+	if inj != nil {
+		ist := inj.Stats()
+		fmt.Printf("faults: %d chunk sends offered, %d dropped, %d crashed, %d slowed, %d stalled\n",
+			ist.Offered, ist.Drops, ist.Crashes, ist.Slows, ist.Stalls)
+	}
 	return nil
 }
 
@@ -400,14 +426,38 @@ type benchResult struct {
 	AllocsPerTxn float64 `json:"allocs_per_txn"`
 }
 
+// benchMigrationResult is the JSON schema of BENCH_migration.json: how the
+// migration path behaves under a fixed-seed fault schedule — move durations,
+// retry work, and rollback volume are the numbers the fault plane is
+// accountable for.
+type benchMigrationResult struct {
+	Benchmark      string  `json:"benchmark"`
+	GoVersion      string  `json:"go_version"`
+	FaultSpec      string  `json:"fault_spec"`
+	Rows           int     `json:"rows"`
+	Machines       int     `json:"machines"`
+	MoveOutMs      float64 `json:"move_out_ms"`
+	MoveInMs       float64 `json:"move_in_ms"`
+	ChunksMoved    int64   `json:"chunks_moved"`
+	Retries        int64   `json:"retries"`
+	Aborts         int64   `json:"aborts"`
+	RollbackChunks int64   `json:"rollback_chunks"`
+	FaultsOffered  int64   `json:"faults_offered"`
+	FaultsDropped  int64   `json:"faults_dropped"`
+}
+
 // runBench measures the transaction hot path on an idle engine: a serial
 // single-client pass isolates allocations per transaction, then a concurrent
-// pass measures throughput and latency percentiles through the recorder.
+// pass measures throughput and latency percentiles through the recorder. A
+// third pass measures the migration path under a fixed-seed fault schedule
+// and emits BENCH_migration.json.
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	out := fs.String("out", "BENCH_engine.json", "output JSON path (- for stdout)")
 	dur := fs.Duration("duration", 2*time.Second, "length of the throughput pass")
 	clients := fs.Int("clients", 8, "concurrent clients in the throughput pass")
+	migOut := fs.String("migration-out", "BENCH_migration.json", "migration bench output JSON path (- for stdout, empty to skip)")
+	migFaults := fs.String("migration-faults", "seed=42,chunk-drop=0.05", "fault spec for the migration pass (empty for a clean run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -519,14 +569,126 @@ func runBench(args []string) error {
 	}
 	data = append(data, '\n')
 	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench: %d txns, %.0f tps, p50 %.3f ms, p99 %.3f ms, %.2f allocs/txn -> %s\n",
+			res.Transactions, res.TPS, res.P50Ms, res.P99Ms, res.AllocsPerTxn, *out)
+	}
+	if *migOut != "" {
+		return runBenchMigration(*migOut, *migFaults)
+	}
+	return nil
+}
+
+// runBenchMigration measures a scale-out and scale-in round trip on a loaded
+// engine with the given fault schedule armed, at a fixed seed so the numbers
+// are reproducible run to run.
+func runBenchMigration(out, spec string) error {
+	cfg := store.Config{
+		MaxMachines:          4,
+		PartitionsPerMachine: 2,
+		Buckets:              256,
+		ServiceTime:          0,
+		QueueCapacity:        1 << 14,
+		InitialMachines:      1,
+	}
+	eng, err := store.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	if err := eng.Register("put", func(tx *store.Tx) (any, error) {
+		return nil, tx.Put("kv", tx.Key, tx.Args)
+	}); err != nil {
+		return err
+	}
+	eng.Start()
+	defer eng.Stop()
+	const rows = 20_000
+	for i := 0; i < rows; i++ {
+		if _, err := eng.Execute("put", fmt.Sprintf("mig-key-%05d", i), i); err != nil {
+			return err
+		}
+	}
+
+	var inj *faults.Injector
+	if spec != "" {
+		fcfg, err := faults.Parse(spec)
+		if err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+		if inj, err = faults.New(fcfg); err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+		eng.SetFaultInjector(inj)
+	}
+
+	sqCfg := squall.Config{
+		ChunkRows:       200,
+		RowCost:         time.Microsecond,
+		ChunkOverhead:   50 * time.Microsecond,
+		Spacing:         200 * time.Microsecond,
+		RateFactor:      1,
+		MaxChunkRetries: 5,
+		RetryBackoff:    200 * time.Microsecond,
+		MaxRetryBackoff: 2 * time.Millisecond,
+	}
+	ex, err := squall.NewExecutor(eng, sqCfg)
+	if err != nil {
+		return err
+	}
+
+	startOut := time.Now()
+	if err := ex.Reconfigure(1, cfg.MaxMachines, 0); err != nil {
+		return fmt.Errorf("bench: scale-out aborted (raise retries or lower the fault rate): %w", err)
+	}
+	moveOut := time.Since(startOut)
+	startIn := time.Now()
+	if err := ex.Reconfigure(cfg.MaxMachines, 1, 0); err != nil {
+		return fmt.Errorf("bench: scale-in aborted: %w", err)
+	}
+	moveIn := time.Since(startIn)
+	if got := eng.TotalRows(); got != rows {
+		return fmt.Errorf("bench: %d rows after round trip, want %d", got, rows)
+	}
+
+	st := ex.Stats()
+	res := benchMigrationResult{
+		Benchmark:      "migration_round_trip",
+		GoVersion:      runtime.Version(),
+		FaultSpec:      spec,
+		Rows:           rows,
+		Machines:       cfg.MaxMachines,
+		MoveOutMs:      float64(moveOut.Microseconds()) / 1000,
+		MoveInMs:       float64(moveIn.Microseconds()) / 1000,
+		ChunksMoved:    st.ChunksMoved,
+		Retries:        st.Retries,
+		Aborts:         st.Aborts,
+		RollbackChunks: st.RollbackChunks,
+	}
+	if inj != nil {
+		ist := inj.Stats()
+		res.FaultsOffered = ist.Offered
+		res.FaultsDropped = ist.Drops
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
 		_, err = os.Stdout.Write(data)
 		return err
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench: %d txns, %.0f tps, p50 %.3f ms, p99 %.3f ms, %.2f allocs/txn -> %s\n",
-		res.Transactions, res.TPS, res.P50Ms, res.P99Ms, res.AllocsPerTxn, *out)
+	fmt.Printf("bench: migration 1->%d->1 of %d rows: out %.1f ms, in %.1f ms, %d retries, %d rolled back -> %s\n",
+		cfg.MaxMachines, rows, res.MoveOutMs, res.MoveInMs, res.Retries, res.RollbackChunks, out)
 	return nil
 }
 

@@ -135,12 +135,8 @@ func runPolicy(policy string, day, trainFive pstore.Series) (v50, v99 int, avgMa
 		defer watch.Done()
 		for e := range events {
 			switch ev := e.(type) {
-			case pstore.MoveStarted, pstore.EmergencyTriggered:
+			case pstore.MoveStarted, pstore.EmergencyTriggered, pstore.MoveFailed:
 				log.Printf("%s: %v", policy, ev)
-			case pstore.MoveFinished:
-				if ev.Err != nil {
-					log.Printf("%s: %v", policy, ev)
-				}
 			}
 		}
 	}()

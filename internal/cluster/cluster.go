@@ -63,6 +63,10 @@ type Config struct {
 	// to load data so bulk loading is neither measured nor mistaken for
 	// offered load.
 	Bootstrap func(*store.Engine) error
+	// FaultInjector, if set, is attached to the engine's migration path
+	// for chaos runs (see internal/faults). Failed moves roll back and
+	// surface as MoveFailed events; the runtime itself keeps serving.
+	FaultInjector store.FaultInjector
 }
 
 // Stats summarizes the runtime's decision activity.
@@ -95,6 +99,10 @@ type Cluster struct {
 	moving   bool // single owner of move state; guarded by mu
 	moveSeq  int
 	moveWG   sync.WaitGroup
+	// outcomes queues finished-move results for the decision loop, which
+	// delivers them to a MoveObserver controller on its own goroutine so
+	// controller state is never touched concurrently. Guarded by mu.
+	outcomes []moveOutcome
 
 	stopOnce sync.Once
 
@@ -134,7 +142,16 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.FaultInjector != nil {
+		eng.SetFaultInjector(cfg.FaultInjector)
+	}
 	return &Cluster{cfg: cfg, eng: eng, ex: ex, subs: map[int]chan Event{}}, nil
+}
+
+// moveOutcome is one finished move's result, queued for the decision loop.
+type moveOutcome struct {
+	target int
+	err    error
 }
 
 // Engine exposes the storage engine for transaction registration and driver
@@ -331,8 +348,19 @@ func (c *Cluster) beginMove(target int, rateFactor float64, emergency bool) (<-c
 		}
 		c.mu.Lock()
 		c.moving = false
+		c.outcomes = append(c.outcomes, moveOutcome{target: target, err: err})
 		c.mu.Unlock()
-		c.publish(MoveFinished{Time: time.Now(), Seq: seq, From: from, To: target, Duration: time.Since(start), Err: err})
+		if err != nil {
+			rolledBack := true
+			var me *squall.MoveError
+			if errors.As(err, &me) {
+				rolledBack = me.RolledBack
+			}
+			c.publish(MoveFailed{Time: time.Now(), Seq: seq, From: from, To: target,
+				Duration: time.Since(start), Err: err, RolledBack: rolledBack})
+		} else {
+			c.publish(MoveFinished{Time: time.Now(), Seq: seq, From: from, To: target, Duration: time.Since(start)})
+		}
 		done <- err
 		c.moveWG.Done()
 	}()
@@ -362,7 +390,18 @@ func (c *Cluster) loop(ctx context.Context) {
 		load := float64(delta) / c.cfg.RateScale / c.cfg.CycleTraceMinutes
 		c.mu.Lock()
 		busy := c.moving
+		outcomes := c.outcomes
+		c.outcomes = nil
 		c.mu.Unlock()
+		// Deliver finished-move results before the controller decides, on
+		// this goroutine, so a MoveObserver controller learns a move died
+		// (and can re-plan around the misprediction) without ever being
+		// called concurrently with its own Tick.
+		if obs, ok := c.cfg.Controller.(elastic.MoveObserver); ok {
+			for _, o := range outcomes {
+				obs.MoveResult(o.target, o.err)
+			}
+		}
 		machines := c.eng.ActiveMachines()
 		c.publish(LoadObserved{Time: time.Now(), Cycle: cycle, Machines: machines, Load: load, Reconfiguring: busy})
 		dec, err := c.cfg.Controller.Tick(machines, busy, load)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pstore/internal/elastic"
+	"pstore/internal/faults"
 	"pstore/internal/squall"
 	"pstore/internal/store"
 )
@@ -152,7 +153,7 @@ func TestClusterScaleOutScaleInEvents(t *testing.T) {
 		t.Fatalf("move event 0 = %+v, want scale-out start 1->3 seq 1", moves[0])
 	}
 	f1, ok := moves[1].(MoveFinished)
-	if !ok || f1.Seq != s1.Seq || f1.Err != nil {
+	if !ok || f1.Seq != s1.Seq {
 		t.Fatalf("move event 1 = %+v, want successful finish of seq %d", moves[1], s1.Seq)
 	}
 	s2, ok := moves[2].(MoveStarted)
@@ -160,7 +161,7 @@ func TestClusterScaleOutScaleInEvents(t *testing.T) {
 		t.Fatalf("move event 2 = %+v, want scale-in start 3->1 seq 2", moves[2])
 	}
 	f2, ok := moves[3].(MoveFinished)
-	if !ok || f2.Seq != s2.Seq || f2.Err != nil {
+	if !ok || f2.Seq != s2.Seq {
 		t.Fatalf("move event 3 = %+v, want successful finish of seq %d", moves[3], s2.Seq)
 	}
 
@@ -322,5 +323,135 @@ func TestClusterManualReconfigure(t *testing.T) {
 	c.Stop()
 	if err := c.Reconfigure(1, 0); err == nil {
 		t.Error("Reconfigure after Stop succeeded")
+	}
+}
+
+// observingController never decides but records every move outcome the
+// runtime delivers, so tests can assert the MoveObserver plumbing.
+type observingController struct {
+	mu      sync.Mutex
+	results []error
+}
+
+func (o *observingController) Name() string { return "observing" }
+func (o *observingController) Tick(int, bool, float64) (*elastic.Decision, error) {
+	return nil, nil
+}
+func (o *observingController) MoveResult(target int, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.results = append(o.results, err)
+}
+func (o *observingController) snapshot() []error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]error(nil), o.results...)
+}
+
+// TestClusterMoveFailureEventAndRecovery wires a fault injector that kills
+// one partition pair into the runtime and checks the full failure story: the
+// reconfiguration fails with a rolled-back MoveFailed event, the failure is
+// counted, the controller hears about it on the decision loop, and the
+// runtime immediately accepts and completes a subsequent move once the
+// fault clears.
+func TestClusterMoveFailureEventAndRecovery(t *testing.T) {
+	inj, err := faults.New(faults.Config{Seed: 1, CrashPairs: []faults.PartitionPair{{From: 0, To: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := &observingController{}
+	c, err := New(Config{
+		Engine:        testEngineConfig(),
+		Squall:        testSquallConfig(),
+		Controller:    ctrl,
+		Cycle:         2 * time.Millisecond,
+		FaultInjector: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, unsub := c.Subscribe(256)
+	defer unsub()
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	moveErr := c.Reconfigure(2, 0)
+	if moveErr == nil {
+		t.Fatal("reconfiguration over a crashed pair succeeded")
+	}
+	var me *squall.MoveError
+	if !errors.As(moveErr, &me) || !me.RolledBack {
+		t.Fatalf("error %v, want a rolled-back *squall.MoveError", moveErr)
+	}
+	if got := c.Engine().ActiveMachines(); got != 1 {
+		t.Fatalf("machines %d after failed move, want 1", got)
+	}
+	if got := c.Stats().Failures; got != 1 {
+		t.Errorf("Failures = %d, want 1", got)
+	}
+
+	// The event stream must show started -> failed, with the failure typed.
+	var failed *MoveFailed
+	deadline := time.After(10 * time.Second)
+	for failed == nil {
+		select {
+		case e := <-events:
+			switch ev := e.(type) {
+			case MoveFinished:
+				t.Fatalf("MoveFinished %+v for a failed move", ev)
+			case MoveFailed:
+				failed = &ev
+			}
+		case <-deadline:
+			t.Fatal("no MoveFailed event")
+		}
+	}
+	if failed.Err == nil || !failed.RolledBack || failed.From != 1 || failed.To != 2 {
+		t.Fatalf("MoveFailed %+v, want rolled-back 1->2 with error", failed)
+	}
+
+	// The decision loop must deliver the outcome to the observer.
+	deadline = time.After(10 * time.Second)
+	for {
+		if rs := ctrl.snapshot(); len(rs) > 0 {
+			if rs[0] == nil {
+				t.Fatal("observer saw nil error for the failed move")
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("controller never heard about the failed move")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// Clear the fault plane: the runtime must accept a fresh move at once.
+	c.Engine().SetFaultInjector(nil)
+	if err := c.Reconfigure(2, 0); err != nil {
+		t.Fatalf("reconfiguration after recovered failure: %v", err)
+	}
+	if got := c.Engine().ActiveMachines(); got != 2 {
+		t.Fatalf("machines %d after recovery, want 2", got)
+	}
+	deadline = time.After(10 * time.Second)
+	for {
+		rs := ctrl.snapshot()
+		if len(rs) >= 2 {
+			if rs[1] != nil {
+				t.Fatalf("observer saw error %v for the successful move", rs[1])
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("controller never heard about the successful move")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if st := c.Stats(); st.Moves != 2 || st.Failures != 1 {
+		t.Errorf("stats %+v, want 2 moves and 1 failure", st)
 	}
 }

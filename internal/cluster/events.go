@@ -44,7 +44,8 @@ type MoveStarted struct {
 	Emergency bool
 }
 
-// MoveFinished is emitted when a reconfiguration completes or fails.
+// MoveFinished is emitted when a reconfiguration completes successfully.
+// Failed moves emit MoveFailed instead.
 type MoveFinished struct {
 	Time time.Time
 	// Seq matches the MoveStarted event of the same move.
@@ -52,8 +53,22 @@ type MoveFinished struct {
 	From, To int
 	// Duration is the wall time the move took.
 	Duration time.Duration
-	// Err is nil on success.
+}
+
+// MoveFailed is emitted when a reconfiguration aborts. The runtime stays
+// usable: a failed move rolls back to the pre-move bucket plan, so the next
+// decision (or a manual Reconfigure) can start a fresh move immediately.
+type MoveFailed struct {
+	Time time.Time
+	// Seq matches the MoveStarted event of the same move.
+	Seq      int
+	From, To int
+	// Duration is the wall time until the abort completed.
+	Duration time.Duration
+	// Err is the typed failure (a *squall.MoveError for aborted moves).
 	Err error
+	// RolledBack reports whether the pre-move bucket plan was restored.
+	RolledBack bool
 }
 
 // DecisionFailed is emitted when the controller's Tick returns an error.
@@ -79,12 +94,14 @@ type EmergencyTriggered struct {
 func (e LoadObserved) When() time.Time       { return e.Time }
 func (e MoveStarted) When() time.Time        { return e.Time }
 func (e MoveFinished) When() time.Time       { return e.Time }
+func (e MoveFailed) When() time.Time         { return e.Time }
 func (e DecisionFailed) When() time.Time     { return e.Time }
 func (e EmergencyTriggered) When() time.Time { return e.Time }
 
 func (LoadObserved) event()       {}
 func (MoveStarted) event()        {}
 func (MoveFinished) event()       {}
+func (MoveFailed) event()         {}
 func (DecisionFailed) event()     {}
 func (EmergencyTriggered) event() {}
 
@@ -102,11 +119,17 @@ func (e MoveStarted) String() string {
 }
 
 func (e MoveFinished) String() string {
-	if e.Err != nil {
-		return fmt.Sprintf("move #%d failed after %v: %v", e.Seq, e.Duration.Round(time.Millisecond), e.Err)
-	}
 	return fmt.Sprintf("move #%d finished: %d -> %d machines in %v",
 		e.Seq, e.From, e.To, e.Duration.Round(time.Millisecond))
+}
+
+func (e MoveFailed) String() string {
+	state := "rolled back"
+	if !e.RolledBack {
+		state = "NOT rolled back"
+	}
+	return fmt.Sprintf("move #%d failed after %v (%s): %v",
+		e.Seq, e.Duration.Round(time.Millisecond), state, e.Err)
 }
 
 func (e DecisionFailed) String() string {

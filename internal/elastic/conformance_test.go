@@ -1,6 +1,7 @@
 package elastic
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -8,35 +9,23 @@ import (
 	"pstore/internal/predictor"
 )
 
-// TestControllerConformance runs every Controller implementation through
-// the same varied load replay and asserts the documented contract:
-//
-//  1. Tick never returns a Decision while reconfiguring is true.
-//  2. Every Decision's Target is >= 1 and <= the configured maximum.
-//
-// The replay mixes a diurnal wave with a flash spike steep enough to push
-// Predictive into its emergency path and Reactive past its thresholds, and
-// interleaves reconfiguring ticks the way the cluster runtime does: a
-// decision keeps the cluster "reconfiguring" for the following ticks while
-// the move drains.
-func TestControllerConformance(t *testing.T) {
-	const (
-		maxMachines = 8
-		steps       = 600
-		moveTicks   = 3 // ticks a simulated move stays in flight
-	)
-	m := migration.Model{Q: 100, QMax: 130, D: 4, P: 2}
-
-	load := func(i int) float64 {
-		day := 1 + 0.9*math.Sin(2*math.Pi*float64(i)/96)
-		v := 250 * day
-		if i >= 300 && i < 340 { // unforecastable flash crowd
-			v *= 3.5
-		}
-		return v
+// conformanceLoad is the shared replay: a diurnal wave with a flash spike
+// steep enough to push Predictive into its emergency path and Reactive past
+// its thresholds.
+func conformanceLoad(i int) float64 {
+	day := 1 + 0.9*math.Sin(2*math.Pi*float64(i)/96)
+	v := 250 * day
+	if i >= 300 && i < 340 { // unforecastable flash crowd
+		v *= 3.5
 	}
+	return v
+}
 
-	controllers := map[string]func() Controller{
+// conformanceControllers builds a fresh instance of every Controller
+// implementation, shared by the conformance replays.
+func conformanceControllers(t *testing.T, m migration.Model, maxMachines, steps int, load func(int) float64) map[string]func() Controller {
+	t.Helper()
+	return map[string]func() Controller{
 		"static": func() Controller { return Static{} },
 		"simple": func() Controller {
 			return &Simple{SlotsPerDay: 96, MorningSlot: 32, NightSlot: 80, DayMachines: 6, NightMachines: 2}
@@ -83,8 +72,27 @@ func TestControllerConformance(t *testing.T) {
 			}
 		},
 	}
+}
 
-	for name, fresh := range controllers {
+// TestControllerConformance runs every Controller implementation through
+// the same varied load replay and asserts the documented contract:
+//
+//  1. Tick never returns a Decision while reconfiguring is true.
+//  2. Every Decision's Target is >= 1 and <= the configured maximum.
+//
+// Reconfiguring ticks interleave the way the cluster runtime does: a
+// decision keeps the cluster "reconfiguring" for the following ticks while
+// the move drains.
+func TestControllerConformance(t *testing.T) {
+	const (
+		maxMachines = 8
+		steps       = 600
+		moveTicks   = 3 // ticks a simulated move stays in flight
+	)
+	m := migration.Model{Q: 100, QMax: 130, D: 4, P: 2}
+	load := conformanceLoad
+
+	for name, fresh := range conformanceControllers(t, m, maxMachines, steps, load) {
 		t.Run(name, func(t *testing.T) {
 			ctrl := fresh()
 			machines := 2
@@ -126,6 +134,94 @@ func TestControllerConformance(t *testing.T) {
 			// contract; a replay with zero decisions proves nothing.
 			if name != "static" && decisions == 0 {
 				t.Fatalf("%s made no decisions over %d steps", name, steps)
+			}
+		})
+	}
+}
+
+// TestControllerConformanceUnderMoveFailures is the fault axis of the
+// conformance suite: the same replay, but every other move the controller
+// starts fails and rolls back — the machine count stays where it was, and
+// controllers that implement MoveObserver are told, exactly the way the
+// cluster runtime delivers outcomes. The contract under faults:
+//
+//  1. Tick never errors and never decides while reconfiguring, no matter how
+//     many moves die.
+//  2. Targets stay within [1, max] — failure handling must not panic-scale.
+//  3. Every non-static controller keeps emitting decisions after failures
+//     (a controller that wedges after its first dead move fails the test,
+//     since the replay's spike forces later scale-outs).
+func TestControllerConformanceUnderMoveFailures(t *testing.T) {
+	const (
+		maxMachines = 8
+		steps       = 600
+		moveTicks   = 3
+	)
+	m := migration.Model{Q: 100, QMax: 130, D: 4, P: 2}
+	load := conformanceLoad
+
+	for name, fresh := range conformanceControllers(t, m, maxMachines, steps, load) {
+		t.Run(name, func(t *testing.T) {
+			ctrl := fresh()
+			machines := 2
+			inFlight := 0
+			pending := 0 // target of the in-flight move
+			moveSeq := 0
+			decisions, failures, afterFailure := 0, 0, 0
+			for i := 0; i < steps; i++ {
+				reconfiguring := inFlight > 0
+				dec, err := ctrl.Tick(machines, reconfiguring, load(i))
+				if err != nil {
+					t.Fatalf("tick %d: %v", i, err)
+				}
+				if dec != nil {
+					if reconfiguring {
+						t.Fatalf("tick %d: decision %+v returned while reconfiguring", i, dec)
+					}
+					if dec.Target < 1 || dec.Target > maxMachines {
+						t.Fatalf("tick %d: decision target %d outside [1, %d]", i, dec.Target, maxMachines)
+					}
+					if dec.RateFactor < 0 {
+						t.Fatalf("tick %d: negative rate factor %v", i, dec.RateFactor)
+					}
+					decisions++
+					if failures > 0 {
+						afterFailure++
+					}
+					moveSeq++
+					pending = dec.Target
+					inFlight = moveTicks
+					continue
+				}
+				if inFlight > 0 {
+					inFlight--
+					if inFlight == 0 {
+						if moveSeq%2 == 1 {
+							// The move aborts and rolls back: machines stays.
+							failures++
+							if obs, ok := ctrl.(MoveObserver); ok {
+								obs.MoveResult(pending, errors.New("elastic_test: injected move failure"))
+							}
+						} else {
+							machines = pending
+							if obs, ok := ctrl.(MoveObserver); ok {
+								obs.MoveResult(pending, nil)
+							}
+						}
+					}
+				}
+			}
+			if name == "static" {
+				return
+			}
+			if decisions == 0 {
+				t.Fatalf("%s made no decisions over %d faulted steps", name, steps)
+			}
+			if failures == 0 {
+				t.Fatalf("%s never had a move fail — fault axis not exercised", name)
+			}
+			if afterFailure == 0 {
+				t.Fatalf("%s wedged after its first failed move: no decisions followed %d failures", name, failures)
 			}
 		})
 	}

@@ -37,6 +37,16 @@ type Controller interface {
 	Tick(machines int, reconfiguring bool, load float64) (*Decision, error)
 }
 
+// MoveObserver is optionally implemented by controllers that want to learn
+// the fate of the moves their decisions started. The executing world calls
+// MoveResult on the same goroutine that calls Tick, never concurrently with
+// it: a nil err means the move landed, a non-nil err means it aborted (and
+// the cluster rolled back to the pre-move plan, so `machines` on the next
+// Tick is unchanged).
+type MoveObserver interface {
+	MoveResult(target int, err error)
+}
+
 // Static never reconfigures: the paper's peak-provisioned (10 machines) and
 // under-provisioned (4 machines) baselines of Figure 9a/9b.
 type Static struct{}

@@ -53,10 +53,20 @@ type Predictive struct {
 	// per-cycle measurement is noisy; the paper's five-minute production
 	// windows average millions of requests and need no smoothing.
 	SmoothWindow int
+	// FallbackCycles is how many monitoring cycles the controller hands
+	// decisions to the reactive fallback after one of its moves fails
+	// (default 8). A dead move means the plan the predictor optimized for
+	// did not happen — the same epistemic state as a misprediction — so
+	// the controller stops trusting the horizon and scales on what it can
+	// see, at the paper's rate-R x 8 escape hatch, until the window ends.
+	FallbackCycles int
 
 	scaleInStreak int
 	lastPlan      *planner.Plan
 	recentLoads   []float64
+	fallbackLeft  int
+	failedMoves   int
+	fallback      *Reactive
 }
 
 // Name implements Controller.
@@ -64,6 +74,41 @@ func (p *Predictive) Name() string { return "P-Store" }
 
 // LastPlan exposes the most recent plan for instrumentation.
 func (p *Predictive) LastPlan() *planner.Plan { return p.lastPlan }
+
+// FailedMoves reports how many of this controller's moves have aborted.
+func (p *Predictive) FailedMoves() int { return p.failedMoves }
+
+// InFallback reports whether the controller is currently delegating to the
+// reactive fallback because a move failed.
+func (p *Predictive) InFallback() bool { return p.fallbackLeft > 0 }
+
+// MoveResult implements MoveObserver: a failed move is treated as a
+// misprediction. The plan is discarded and the next FallbackCycles ticks
+// re-plan reactively from observed load, with decisions flagged Emergency at
+// the rate-R x 8 escape hatch so the executing world prioritizes capacity
+// over migration smoothness.
+func (p *Predictive) MoveResult(_ int, err error) {
+	if err == nil {
+		return
+	}
+	p.failedMoves++
+	p.lastPlan = nil
+	p.scaleInStreak = 0
+	if p.FallbackCycles < 1 {
+		p.FallbackCycles = 8
+	}
+	p.fallbackLeft = p.FallbackCycles
+	if p.fallback == nil {
+		// React on the first confirming tick: the failed move already
+		// proved the capacity need, so the usual detection lag would only
+		// deepen the shortfall.
+		p.fallback = &Reactive{
+			Model:           p.Model,
+			MaxMachines:     p.MaxMachines,
+			ScaleOutConfirm: 1,
+		}
+	}
+}
 
 // Tick implements Controller.
 func (p *Predictive) Tick(machines int, reconfiguring bool, load float64) (*Decision, error) {
@@ -100,6 +145,20 @@ func (p *Predictive) Tick(machines int, reconfiguring bool, load float64) (*Deci
 	if reconfiguring {
 		p.scaleInStreak = 0
 		return nil, nil
+	}
+	// After a failed move, decide reactively for a while: the horizon plan
+	// already diverged from reality, so scale on observation, urgently.
+	if p.fallbackLeft > 0 {
+		p.fallbackLeft--
+		dec, err := p.fallback.Tick(machines, false, load)
+		if err != nil {
+			return nil, fmt.Errorf("elastic: reactive fallback: %w", err)
+		}
+		if dec != nil && dec.Target > machines {
+			dec.Emergency = true
+			dec.RateFactor = 8
+		}
+		return dec, nil
 	}
 	if !p.Predictor.Ready(p.Horizon) {
 		return nil, nil

@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pstore/internal/store"
+)
+
+func op(from, to int, buckets ...int) store.MoveOp {
+	return store.MoveOp{From: from, To: to, Buckets: buckets}
+}
+
+// TestInjectorDeterministic is the property the chaos suite stands on: two
+// injectors with the same seed must make identical decisions for the same
+// sequence of moves, and a different seed must (for a schedule this dense)
+// produce a different decision sequence.
+func TestInjectorDeterministic(t *testing.T) {
+	mk := func(seed int64) *Injector {
+		in, err := New(Config{Seed: seed, ChunkDrop: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	script := func(in *Injector) []bool {
+		var out []bool
+		for from := 0; from < 4; from++ {
+			for b := 0; b < 16; b++ {
+				for attempt := 0; attempt < 3; attempt++ {
+					out = append(out, in.BeforeMove(op(from, from+4, b, b+100)) != nil)
+				}
+			}
+		}
+		return out
+	}
+	a, b := script(mk(42)), script(mk(42))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical seeds", i)
+		}
+	}
+	c := script(mk(43))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 192-decision schedules")
+	}
+	// ~30% of 192 decisions should be drops; allow a wide band.
+	drops := 0
+	for _, d := range a {
+		if d {
+			drops++
+		}
+	}
+	if drops < 20 || drops > 120 {
+		t.Errorf("drop rate implausible: %d/192 at p=0.3", drops)
+	}
+}
+
+// TestInjectorRetryRerolls: the same chunk's successive attempts must get
+// fresh decisions, so a retry loop can eventually get through a p<1 drop.
+func TestInjectorRetryRerolls(t *testing.T) {
+	in, err := New(Config{Seed: 7, ChunkDrop: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With p=0.5, 64 attempts at the same chunk succeed at least once with
+	// probability 1 - 2^-64.
+	passed := false
+	for attempt := 0; attempt < 64; attempt++ {
+		if in.BeforeMove(op(1, 2, 9)) == nil {
+			passed = true
+			break
+		}
+	}
+	if !passed {
+		t.Error("64 retries of one chunk never passed at drop=0.5: attempts are not re-rolled")
+	}
+}
+
+func TestInjectorCrashesAndExemptions(t *testing.T) {
+	in, err := New(Config{
+		Seed:       1,
+		CrashPairs: []PartitionPair{{From: 2, To: 5}},
+		CrashParts: []int{7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.BeforeMove(op(2, 5, 0)); !errors.Is(err, ErrInjected) {
+		t.Errorf("crashed pair 2->5 not injected: %v", err)
+	}
+	if err := in.BeforeMove(op(5, 2, 0)); err != nil {
+		t.Errorf("reverse direction of crashed pair failed: %v", err)
+	}
+	if err := in.BeforeMove(op(7, 3, 0)); !errors.Is(err, ErrInjected) {
+		t.Errorf("crashed partition 7 as source not injected: %v", err)
+	}
+	if err := in.BeforeMove(op(3, 7, 0)); !errors.Is(err, ErrInjected) {
+		t.Errorf("crashed partition 7 as destination not injected: %v", err)
+	}
+	// Rollback ops are exempt even on crashed paths.
+	rb := store.MoveOp{From: 2, To: 5, Buckets: []int{0}, Rollback: true}
+	if err := in.BeforeMove(rb); err != nil {
+		t.Errorf("rollback on crashed pair injected: %v", err)
+	}
+	st := in.Stats()
+	if st.Crashes != 3 {
+		t.Errorf("Crashes = %d, want 3", st.Crashes)
+	}
+}
+
+func TestInjectorFullDrop(t *testing.T) {
+	in, err := New(Config{Seed: 3, ChunkDrop: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if err := in.BeforeMove(op(0, 1, i)); !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d passed at drop=1", i)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cfg, err := Parse("seed=42,chunk-drop=0.05,chunk-slow=0.1,slow-delay=3ms,stall=0.01,stall-delay=80ms,crash-pair=3:7,crash-pair=1:2,crash-part=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 || cfg.ChunkDrop != 0.05 || cfg.ChunkSlow != 0.1 ||
+		cfg.SlowDelay != 3*time.Millisecond || cfg.Stall != 0.01 || cfg.StallDelay != 80*time.Millisecond {
+		t.Errorf("parsed %+v", cfg)
+	}
+	if len(cfg.CrashPairs) != 2 || cfg.CrashPairs[0] != (PartitionPair{3, 7}) {
+		t.Errorf("crash pairs %v", cfg.CrashPairs)
+	}
+	if len(cfg.CrashParts) != 1 || cfg.CrashParts[0] != 4 {
+		t.Errorf("crash parts %v", cfg.CrashParts)
+	}
+	if _, err := Parse(""); err != nil {
+		t.Errorf("empty spec rejected: %v", err)
+	}
+	for _, bad := range []string{"chunk-drop", "chunk-drop=2", "nope=1", "crash-pair=3", "seed=x", "stall=-0.1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

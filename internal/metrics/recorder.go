@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,6 +55,20 @@ type Recorder struct {
 
 	machines      []machineSample
 	reconfiguring []reconfigSpan
+
+	// Migration-path health counters, plain atomics so the retry/abort
+	// paths never contend with the latency record path.
+	migRetries        atomic.Int64
+	migAborts         atomic.Int64
+	migRollbackChunks atomic.Int64
+}
+
+// MigrationCounters are the cumulative migration-path health counters: chunk
+// retries, aborted reconfigurations, and chunks rolled back during aborts.
+type MigrationCounters struct {
+	Retries        int64
+	Aborts         int64
+	RollbackChunks int64
 }
 
 type machineSample struct {
@@ -127,6 +142,24 @@ func (r *Recorder) RecordReconfiguration(from, to time.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.reconfiguring = append(r.reconfiguring, reconfigSpan{from: from, to: to})
+}
+
+// CountMigrationRetry files one retried migration chunk.
+func (r *Recorder) CountMigrationRetry() { r.migRetries.Add(1) }
+
+// CountMigrationAbort files one aborted (rolled back) reconfiguration.
+func (r *Recorder) CountMigrationAbort() { r.migAborts.Add(1) }
+
+// AddMigrationRollbackChunks files n chunks restored during an abort.
+func (r *Recorder) AddMigrationRollbackChunks(n int64) { r.migRollbackChunks.Add(n) }
+
+// MigrationCounters snapshots the migration-path health counters.
+func (r *Recorder) MigrationCounters() MigrationCounters {
+	return MigrationCounters{
+		Retries:        r.migRetries.Load(),
+		Aborts:         r.migAborts.Load(),
+		RollbackChunks: r.migRollbackChunks.Load(),
+	}
 }
 
 // Windows returns the number of aggregation windows observed so far.

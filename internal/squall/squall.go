@@ -39,17 +39,35 @@ type Config struct {
 	// RateFactor accelerates migration by shrinking Spacing: the paper's
 	// "rate R x 8" reactive fallback uses RateFactor = 8. Zero means 1.
 	RateFactor float64
+	// MaxChunkRetries is how many times a failed chunk send is retried
+	// before the whole reconfiguration aborts and rolls back. Zero means a
+	// single attempt per chunk.
+	MaxChunkRetries int
+	// RetryBackoff is the wait before the first retry of a failed chunk;
+	// it doubles per retry, capped at MaxRetryBackoff.
+	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the exponential retry backoff. Zero leaves the
+	// backoff uncapped.
+	MaxRetryBackoff time.Duration
+	// MoveTimeout bounds one whole reconfiguration: when exceeded, streams
+	// stop at their next chunk boundary and the move aborts with rollback.
+	// Zero disables the timeout. Note a timeout makes the abort point
+	// timing-dependent; the deterministic chaos suite runs without one.
+	MoveTimeout time.Duration
 }
 
 // DefaultConfig returns a throttled configuration suitable for the scaled
 // test substrate.
 func DefaultConfig() Config {
 	return Config{
-		ChunkRows:     200,
-		RowCost:       3 * time.Microsecond,
-		ChunkOverhead: 300 * time.Microsecond,
-		Spacing:       2 * time.Millisecond,
-		RateFactor:    1,
+		ChunkRows:       200,
+		RowCost:         3 * time.Microsecond,
+		ChunkOverhead:   300 * time.Microsecond,
+		Spacing:         2 * time.Millisecond,
+		RateFactor:      1,
+		MaxChunkRetries: 3,
+		RetryBackoff:    500 * time.Microsecond,
+		MaxRetryBackoff: 8 * time.Millisecond,
 	}
 }
 
@@ -64,6 +82,12 @@ func (c Config) Validate() error {
 	if c.RateFactor < 0 {
 		return fmt.Errorf("squall: RateFactor %v must be non-negative", c.RateFactor)
 	}
+	if c.MaxChunkRetries < 0 {
+		return fmt.Errorf("squall: MaxChunkRetries %d must be non-negative", c.MaxChunkRetries)
+	}
+	if c.RetryBackoff < 0 || c.MaxRetryBackoff < 0 || c.MoveTimeout < 0 {
+		return fmt.Errorf("squall: retry backoffs and MoveTimeout must be non-negative")
+	}
 	return nil
 }
 
@@ -75,7 +99,67 @@ type Executor struct {
 	mu         sync.Mutex // serializes reconfigurations
 	inProgress atomic.Bool
 	rec        atomic.Pointer[metrics.Recorder]
+
+	chunksMoved    atomic.Int64
+	retries        atomic.Int64
+	aborts         atomic.Int64
+	rollbackChunks atomic.Int64
 }
+
+// Stats are the executor's cumulative migration health counters.
+type Stats struct {
+	// ChunksMoved counts successfully moved forward chunks.
+	ChunksMoved int64
+	// Retries counts failed chunk sends that were retried.
+	Retries int64
+	// Aborts counts reconfigurations that failed and rolled back.
+	Aborts int64
+	// RollbackChunks counts chunks moved back during aborts.
+	RollbackChunks int64
+}
+
+// Stats snapshots the executor's migration counters.
+func (ex *Executor) Stats() Stats {
+	return Stats{
+		ChunksMoved:    ex.chunksMoved.Load(),
+		Retries:        ex.retries.Load(),
+		Aborts:         ex.aborts.Load(),
+		RollbackChunks: ex.rollbackChunks.Load(),
+	}
+}
+
+// ErrMoveTimeout is the cause of a MoveError when a reconfiguration exceeds
+// the configured MoveTimeout.
+var ErrMoveTimeout = errors.New("squall: move exceeded MoveTimeout")
+
+// MoveError is the typed failure of an aborted reconfiguration. The executor
+// never leaves a half-moved plan behind: by the time a MoveError is
+// returned, every successfully moved chunk has been migrated back and the
+// active machine count restored, so the engine is immediately reusable for
+// the next plan — unless RolledBack is false, which only happens when the
+// engine itself is shutting down mid-recovery.
+type MoveError struct {
+	// From and To are the machine counts of the failed move.
+	From, To int
+	// Cause is the first chunk error that triggered the abort.
+	Cause error
+	// RolledBack reports whether the pre-move bucket plan was restored.
+	RolledBack bool
+	// RollbackErr is the error that interrupted restoration, if any.
+	RollbackErr error
+}
+
+// Error implements error.
+func (e *MoveError) Error() string {
+	state := "rolled back"
+	if !e.RolledBack {
+		state = fmt.Sprintf("rollback failed: %v", e.RollbackErr)
+	}
+	return fmt.Sprintf("squall: move %d -> %d aborted (%s): %v", e.From, e.To, state, e.Cause)
+}
+
+// Unwrap exposes the abort cause to errors.Is/As.
+func (e *MoveError) Unwrap() error { return e.Cause }
 
 // NewExecutor returns a migration executor for the engine.
 func NewExecutor(eng *store.Engine, cfg Config) (*Executor, error) {
@@ -150,9 +234,45 @@ func (ex *Executor) Reconfigure(from, to int, rateFactor float64) error {
 	}
 	chunkBuckets := max(ex.cfg.ChunkRows/avgRows, 1)
 
+	// journal records every chunk that completed, in completion order, so an
+	// abort can undo the move exactly: chunks migrate back in reverse and
+	// the pre-move bucket plan and row counters are restored.
+	var (
+		jmu     sync.Mutex
+		journal []movedChunk
+	)
+	record := func(c movedChunk) {
+		jmu.Lock()
+		journal = append(journal, c)
+		jmu.Unlock()
+	}
+	// abort is closed when MoveTimeout fires; streams notice it at chunk
+	// boundaries and stop early with ErrMoveTimeout.
+	abort := make(chan struct{})
+	if ex.cfg.MoveTimeout > 0 {
+		var once sync.Once
+		timer := time.AfterFunc(ex.cfg.MoveTimeout, func() { once.Do(func() { close(abort) }) })
+		defer timer.Stop()
+	}
+	// fail aborts the reconfiguration: roll the journal back, restore the
+	// machine count, and surface the typed failure.
+	fail := func(cause error) error {
+		ex.aborts.Add(1)
+		restored, rbErr := ex.rollback(journal)
+		ex.rollbackChunks.Add(int64(restored))
+		if r := ex.rec.Load(); r != nil {
+			r.CountMigrationAbort()
+			r.AddMigrationRollbackChunks(int64(restored))
+		}
+		if rbErr == nil {
+			rbErr = ex.eng.SetActiveMachines(from)
+		}
+		return &MoveError{From: from, To: to, Cause: cause, RolledBack: rbErr == nil, RollbackErr: rbErr}
+	}
+
 	for i, round := range sched.Rounds {
 		if err := ex.eng.SetActiveMachines(allocatedDuringRound(sched, i, from, to)); err != nil {
-			return err
+			return fail(err)
 		}
 		var wg sync.WaitGroup
 		errs := make([]error, len(round)*cfg.PartitionsPerMachine)
@@ -167,20 +287,49 @@ func (ex *Executor) Reconfigure(from, to int, rateFactor float64) error {
 				wg.Add(1)
 				go func(slot, fromPart, toPart int, buckets []int) {
 					defer wg.Done()
-					if err := ex.stream(fromPart, toPart, buckets, chunkBuckets, rateFactor); err != nil {
+					if err := ex.stream(fromPart, toPart, buckets, chunkBuckets, rateFactor, abort, record); err != nil {
 						errs[slot] = err
 					}
 				}(j*cfg.PartitionsPerMachine+k, fromPart, toPart, buckets)
 			}
 		}
+		// A failing stream skips its own remaining chunks but never cuts
+		// the other streams short: every pair's chunk/attempt sequence in a
+		// started round is fully determined by the fault schedule, which
+		// keeps chaos runs byte-identical across interleavings.
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
-				return err
+				return fail(err)
 			}
 		}
 	}
-	return ex.eng.SetActiveMachines(to)
+	if err := ex.eng.SetActiveMachines(to); err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+// movedChunk is one journal entry: a chunk that reached its destination.
+type movedChunk struct {
+	from, to int
+	buckets  []int
+}
+
+// rollback migrates journaled chunks back to their sources, newest first,
+// through the injection-exempt rollback path. It returns how many chunks
+// were restored; an error (only possible when the engine is stopping)
+// interrupts restoration.
+func (ex *Executor) rollback(journal []movedChunk) (int, error) {
+	restored := 0
+	for i := len(journal) - 1; i >= 0; i-- {
+		c := journal[i]
+		if _, err := ex.eng.MoveBucketsRollback(c.buckets, c.to, c.from, ex.cfg.RowCost, ex.cfg.ChunkOverhead); err != nil {
+			return restored, err
+		}
+		restored++
+	}
+	return restored, nil
 }
 
 // allocatedDuringRound returns the machine count to report while round i
@@ -270,18 +419,62 @@ func targetCount(buckets, nParts, part int) int {
 	return base
 }
 
-// stream moves one partition pair's buckets in throttled chunks.
-func (ex *Executor) stream(from, to int, buckets []int, chunkBuckets int, rateFactor float64) error {
+// stream moves one partition pair's buckets in throttled chunks, retrying
+// each failed chunk with capped exponential backoff. The first chunk to
+// exhaust its retries fails the stream; remaining chunks are skipped.
+func (ex *Executor) stream(from, to int, buckets []int, chunkBuckets int, rateFactor float64, abort <-chan struct{}, record func(movedChunk)) error {
 	spacing := time.Duration(float64(ex.cfg.Spacing) / rateFactor)
 	for lo := 0; lo < len(buckets); lo += chunkBuckets {
+		select {
+		case <-abort:
+			return ErrMoveTimeout
+		default:
+		}
 		hi := min(lo+chunkBuckets, len(buckets))
 		chunk := buckets[lo:hi]
-		if _, err := ex.eng.MoveBuckets(chunk, from, to, ex.cfg.RowCost, ex.cfg.ChunkOverhead); err != nil {
-			return fmt.Errorf("squall: moving %d buckets %d -> %d: %w", len(chunk), from, to, err)
+		if err := ex.moveChunk(chunk, from, to, abort); err != nil {
+			return err
 		}
+		record(movedChunk{from: from, to: to, buckets: chunk})
 		if spacing > 0 && hi < len(buckets) {
-			time.Sleep(spacing)
+			select {
+			case <-abort:
+				return ErrMoveTimeout
+			case <-time.After(spacing):
+			}
 		}
 	}
 	return nil
+}
+
+// moveChunk sends one chunk with up to MaxChunkRetries retries. Backoff
+// doubles per retry and is capped at MaxRetryBackoff.
+func (ex *Executor) moveChunk(chunk []int, from, to int, abort <-chan struct{}) error {
+	backoff := ex.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		_, err := ex.eng.MoveBuckets(chunk, from, to, ex.cfg.RowCost, ex.cfg.ChunkOverhead)
+		if err == nil {
+			ex.chunksMoved.Add(1)
+			return nil
+		}
+		if errors.Is(err, store.ErrStopped) || attempt >= ex.cfg.MaxChunkRetries {
+			return fmt.Errorf("squall: moving %d buckets %d -> %d failed after %d attempt(s): %w",
+				len(chunk), from, to, attempt+1, err)
+		}
+		ex.retries.Add(1)
+		if r := ex.rec.Load(); r != nil {
+			r.CountMigrationRetry()
+		}
+		if backoff > 0 {
+			select {
+			case <-abort:
+				return ErrMoveTimeout
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if ex.cfg.MaxRetryBackoff > 0 && backoff > ex.cfg.MaxRetryBackoff {
+				backoff = ex.cfg.MaxRetryBackoff
+			}
+		}
+	}
 }

@@ -41,6 +41,32 @@ type Counters struct {
 	Forwarded int64
 }
 
+// MoveOp describes one chunk-level bucket move about to execute, as offered
+// to a FaultInjector. Rollback marks the undo path of an aborted migration:
+// injectors must never fail rollback operations, or chaos testing could
+// wedge recovery itself.
+type MoveOp struct {
+	// From and To are partition ids.
+	From, To int
+	// Buckets are the bucket ids the chunk carries.
+	Buckets []int
+	// Rollback is true when the move restores a previously moved chunk.
+	Rollback bool
+}
+
+// FaultInjector intercepts chunk-level bucket moves for chaos testing.
+// BeforeMove runs on the migration coordinator's goroutine before the chunk
+// is handed to the partition executors: returning an error fails the move
+// (the chunk never leaves the source), and the injector may sleep first to
+// simulate a slow or stalled transfer.
+type FaultInjector interface {
+	BeforeMove(op MoveOp) error
+}
+
+// faultHolder wraps the injector interface so it can live in an
+// atomic.Pointer (and be cleared by storing a holder with a nil injector).
+type faultHolder struct{ fi FaultInjector }
+
 // Engine is a multi-machine, shared-nothing, main-memory OLTP engine. Every
 // machine hosts PartitionsPerMachine partitions; every partition is driven
 // by one executor goroutine. The engine routes transactions to the
@@ -67,6 +93,7 @@ type Engine struct {
 	forwarded      atomic.Int64
 
 	recorder atomic.Pointer[metrics.Recorder]
+	faults   atomic.Pointer[faultHolder]
 }
 
 // NewEngine constructs an engine; register transactions, then call Start.
@@ -130,6 +157,13 @@ func (e *Engine) SetServiceTime(name string, d time.Duration) error {
 // SetRecorder attaches a latency recorder; every completed transaction is
 // filed into it. Safe to call at any time.
 func (e *Engine) SetRecorder(r *metrics.Recorder) { e.recorder.Store(r) }
+
+// SetFaultInjector attaches (or, with nil, detaches) a migration fault
+// injector. Every forward MoveBuckets chunk is offered to it before
+// executing; rollback moves bypass injection. Safe to call at any time.
+func (e *Engine) SetFaultInjector(fi FaultInjector) {
+	e.faults.Store(&faultHolder{fi: fi})
+}
 
 // Start bakes service-time overrides into the procedure table and launches
 // all partition executors.
@@ -280,8 +314,21 @@ func (e *Engine) ExecuteID(id TxnID, key string, args any) (any, error) {
 // number of rows moved. The source executor is occupied for
 // overhead + rows*perRow and the destination for half that — the
 // transaction-processing interference of migration. It blocks until the
-// destination has installed the data.
+// destination has installed the data. An attached FaultInjector is consulted
+// first; an injected error fails the move before any data leaves the source,
+// so a failed chunk is all-or-nothing.
 func (e *Engine) MoveBuckets(buckets []int, from, to int, perRow, overhead time.Duration) (int, error) {
+	return e.moveBuckets(buckets, from, to, perRow, overhead, false)
+}
+
+// MoveBucketsRollback is MoveBuckets for the undo path of an aborted
+// migration: fault injection is bypassed, so recovery cannot itself be
+// failed by the chaos plane.
+func (e *Engine) MoveBucketsRollback(buckets []int, from, to int, perRow, overhead time.Duration) (int, error) {
+	return e.moveBuckets(buckets, from, to, perRow, overhead, true)
+}
+
+func (e *Engine) moveBuckets(buckets []int, from, to int, perRow, overhead time.Duration, rollback bool) (int, error) {
 	if from == to {
 		return 0, nil
 	}
@@ -291,6 +338,11 @@ func (e *Engine) MoveBuckets(buckets []int, from, to int, perRow, overhead time.
 	for _, b := range buckets {
 		if own := e.ownerOf(b); own != from {
 			return 0, fmt.Errorf("store: bucket %d owned by partition %d, not %d", b, own, from)
+		}
+	}
+	if h := e.faults.Load(); h != nil && h.fi != nil {
+		if err := h.fi.BeforeMove(MoveOp{From: from, To: to, Buckets: buckets, Rollback: rollback}); err != nil {
+			return 0, err
 		}
 	}
 	req := &ctlRequest{
@@ -313,6 +365,17 @@ func (e *Engine) MoveBuckets(buckets []int, from, to int, perRow, overhead time.
 
 // OwnerOf returns the partition currently owning a bucket.
 func (e *Engine) OwnerOf(bucket int) int { return e.ownerOf(bucket) }
+
+// Plan returns a snapshot of the bucket plan: the owning partition of every
+// bucket, indexed by bucket id. It is the canonical fingerprint of the
+// cluster's data placement, used by the chaos suite to assert byte-identical
+// outcomes across runs and exact restoration after an aborted migration.
+func (e *Engine) Plan() []int32 {
+	plan := *e.plan.Load()
+	out := make([]int32, len(plan))
+	copy(out, plan)
+	return out
+}
 
 // BucketAccesses aggregates the per-partition access-counter blocks into one
 // per-bucket snapshot of the transactions routed since the last reset; reset

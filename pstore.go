@@ -87,8 +87,11 @@ type (
 	LoadObserved = cluster.LoadObserved
 	// MoveStarted marks the start of a reconfiguration.
 	MoveStarted = cluster.MoveStarted
-	// MoveFinished marks the end (or failure) of a reconfiguration.
+	// MoveFinished marks the successful end of a reconfiguration.
 	MoveFinished = cluster.MoveFinished
+	// MoveFailed marks an aborted reconfiguration (rolled back to the
+	// pre-move bucket plan).
+	MoveFailed = cluster.MoveFailed
 	// DecisionFailed reports a controller error.
 	DecisionFailed = cluster.DecisionFailed
 	// EmergencyTriggered reports an emergency scale-out decision.

@@ -169,7 +169,7 @@ func TestFacadeCluster(t *testing.T) {
 		t.Fatalf("first event %v, want MoveStarted 1->3", start)
 	}
 	finish := <-events
-	if mv, ok := finish.(pstore.MoveFinished); !ok || mv.Err != nil {
+	if mv, ok := finish.(pstore.MoveFinished); !ok || mv.Seq != 1 {
 		t.Fatalf("second event %v, want successful MoveFinished", finish)
 	}
 	if rec := clu.Recorder(); rec == nil {

@@ -36,6 +36,7 @@ import (
 	"pstore/internal/migration"
 	"pstore/internal/planner"
 	"pstore/internal/predictor"
+	"pstore/internal/recovery"
 	"pstore/internal/squall"
 	"pstore/internal/store"
 	"pstore/internal/timeseries"
@@ -142,6 +143,8 @@ func runServe(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	sloMs := fs.Float64("slo", 40, "latency SLO in ms on this substrate")
 	faultSpec := fs.String("faults", "", "fault-injection spec, e.g. seed=42,chunk-drop=0.05 (keys: seed, chunk-drop, chunk-slow, slow-delay, stall, stall-delay, crash-pair=F:T, crash-part=N)")
+	crashSpec := fs.String("crash", "", "machine-crash schedule, e.g. seed=42,rate=0.02,downtime=4,at=1@10+5 (keys: seed, rate, downtime, at=M@T[+D] in controller cycles)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint the recovery command log every N controller cycles (0 = 10 when -crash is set)")
 	quiet := fs.Bool("quiet", false, "suppress the live event log")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -209,6 +212,15 @@ func runServe(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "serve: fault plane armed: %s\n", fcfg)
 	}
+	var crash *faults.CrashSchedule
+	if *crashSpec != "" {
+		cs, err := faults.ParseCrash(*crashSpec)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		crash = &cs
+		fmt.Fprintf(os.Stderr, "serve: crash plane armed: %s\n", cs)
+	}
 
 	spec := b2w.LoadSpec{Carts: 2400, Checkouts: 600, Stocks: 1200, LinesPerCart: 3, Seed: *seed}
 	clusterCfg := cluster.Config{
@@ -222,6 +234,8 @@ func runServe(args []string) error {
 		Bootstrap: func(eng *store.Engine) error {
 			return b2w.Load(eng, spec)
 		},
+		Crash:           crash,
+		CheckpointEvery: *ckptEvery,
 	}
 	if inj != nil {
 		clusterCfg.FaultInjector = inj
@@ -281,6 +295,12 @@ func runServe(args []string) error {
 	mc := rec.MigrationCounters()
 	fmt.Printf("migration: %d chunk retries, %d aborts, %d chunks rolled back\n",
 		mc.Retries, mc.Aborts, mc.RollbackChunks)
+	if rm := c.Recovery(); rm != nil {
+		rs := rm.Stats()
+		fmt.Printf("recovery: %d crashes, %d recoveries, %d commands replayed (max lag %d), downtime %v, %d checkpoints\n",
+			rs.Crashes, rs.Recoveries, rs.ReplayedCommands, rs.MaxReplayLag,
+			rs.Downtime.Round(time.Millisecond), rs.Checkpoints)
+	}
 	if inj != nil {
 		ist := inj.Stats()
 		fmt.Printf("faults: %d chunk sends offered, %d dropped, %d crashed, %d slowed, %d stalled\n",
@@ -458,6 +478,7 @@ func runBench(args []string) error {
 	clients := fs.Int("clients", 8, "concurrent clients in the throughput pass")
 	migOut := fs.String("migration-out", "BENCH_migration.json", "migration bench output JSON path (- for stdout, empty to skip)")
 	migFaults := fs.String("migration-faults", "seed=42,chunk-drop=0.05", "fault spec for the migration pass (empty for a clean run)")
+	recOut := fs.String("recovery-out", "BENCH_recovery.json", "crash-recovery bench output JSON path (- for stdout, empty to skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -580,7 +601,12 @@ func runBench(args []string) error {
 			res.Transactions, res.TPS, res.P50Ms, res.P99Ms, res.AllocsPerTxn, *out)
 	}
 	if *migOut != "" {
-		return runBenchMigration(*migOut, *migFaults)
+		if err := runBenchMigration(*migOut, *migFaults); err != nil {
+			return err
+		}
+	}
+	if *recOut != "" {
+		return runBenchRecovery(*recOut)
 	}
 	return nil
 }
@@ -689,6 +715,118 @@ func runBenchMigration(out, spec string) error {
 	}
 	fmt.Printf("bench: migration 1->%d->1 of %d rows: out %.1f ms, in %.1f ms, %d retries, %d rolled back -> %s\n",
 		cfg.MaxMachines, rows, res.MoveOutMs, res.MoveInMs, res.Retries, res.RollbackChunks, out)
+	return nil
+}
+
+// benchRecoveryResult is the JSON schema of BENCH_recovery.json: how fast a
+// crashed machine comes back as a function of the command-log tail behind
+// the last checkpoint — recovery latency and replay lag are the numbers the
+// checkpoint + command-log plane is accountable for.
+type benchRecoveryResult struct {
+	Benchmark    string                  `json:"benchmark"`
+	GoVersion    string                  `json:"go_version"`
+	Rows         int                     `json:"rows"`
+	Machines     int                     `json:"machines"`
+	MaxReplayLag int64                   `json:"max_replay_lag"`
+	Scenarios    []benchRecoveryScenario `json:"scenarios"`
+}
+
+type benchRecoveryScenario struct {
+	// LogTail is how many transactions ran between the checkpoint and the
+	// crash; Replayed is how many of them landed on the crashed machine's
+	// buckets and had to be replayed.
+	LogTail      int     `json:"log_tail_txns"`
+	Replayed     int     `json:"replayed_commands"`
+	CheckpointMs float64 `json:"checkpoint_ms"`
+	RecoveryMs   float64 `json:"recovery_ms"`
+}
+
+// runBenchRecovery crashes and recovers a machine on a loaded engine with
+// increasingly stale checkpoints. The key layout is deterministic, so the
+// numbers are reproducible run to run.
+func runBenchRecovery(out string) error {
+	cfg := store.Config{
+		MaxMachines:          2,
+		PartitionsPerMachine: 2,
+		Buckets:              256,
+		ServiceTime:          0,
+		QueueCapacity:        1 << 14,
+		InitialMachines:      2,
+	}
+	eng, err := store.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	if err := eng.Register("put", func(tx *store.Tx) (any, error) {
+		return nil, tx.Put("kv", tx.Key, tx.Args)
+	}); err != nil {
+		return err
+	}
+	rm := recovery.NewManager(eng)
+	eng.Start()
+	defer eng.Stop()
+	const rows = 20_000
+	for i := 0; i < rows; i++ {
+		if _, err := eng.Execute("put", fmt.Sprintf("rec-key-%05d", i), i); err != nil {
+			return err
+		}
+	}
+
+	res := benchRecoveryResult{
+		Benchmark: "crash_recovery",
+		GoVersion: runtime.Version(),
+		Rows:      rows,
+		Machines:  cfg.MaxMachines,
+	}
+	for _, tail := range []int{0, 5_000, 20_000} {
+		ckStart := time.Now()
+		if _, err := rm.Checkpoint(); err != nil {
+			return err
+		}
+		ckMs := float64(time.Since(ckStart).Microseconds()) / 1000
+		// The post-checkpoint tail rewrites existing rows, so every scenario
+		// recovers the same data set from a different image/log split.
+		for i := 0; i < tail; i++ {
+			if _, err := eng.Execute("put", fmt.Sprintf("rec-key-%05d", i%rows), i); err != nil {
+				return err
+			}
+		}
+		if err := rm.Crash(1); err != nil {
+			return err
+		}
+		recStart := time.Now()
+		st, err := rm.Restore(1)
+		if err != nil {
+			return err
+		}
+		recMs := float64(time.Since(recStart).Microseconds()) / 1000
+		if got := eng.TotalRows(); got != rows {
+			return fmt.Errorf("bench: %d rows after recovery, want %d", got, rows)
+		}
+		res.Scenarios = append(res.Scenarios, benchRecoveryScenario{
+			LogTail:      tail,
+			Replayed:     st.Replayed,
+			CheckpointMs: ckMs,
+			RecoveryMs:   recMs,
+		})
+	}
+	res.MaxReplayLag = rm.Stats().MaxReplayLag
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	last := res.Scenarios[len(res.Scenarios)-1]
+	fmt.Printf("bench: recovery of %d rows: %.1f ms with a %d-txn log tail (%d replayed), max lag %d -> %s\n",
+		rows, last.RecoveryMs, last.LogTail, last.Replayed, res.MaxReplayLag, out)
 	return nil
 }
 

@@ -92,3 +92,36 @@ type StockTransaction struct {
 	// Status is one of the StockTx* constants.
 	Status string
 }
+
+// The clone methods below give every mutating procedure a private copy of a
+// stored row before it writes. Stored rows are immutable once Put — the
+// copy-on-write convention the recovery subsystem's fuzzy checkpoints rely
+// on: a checkpoint image aliases row values, so a later transaction must
+// never mutate a row the image also references.
+
+// clone returns a deep copy of the cart (the Lines slice is copied).
+func (c *Cart) clone() *Cart {
+	out := *c
+	out.Lines = append([]CartLine(nil), c.Lines...)
+	return &out
+}
+
+// clone returns a copy of the stock item (all fields are scalar).
+func (s *StockItem) clone() *StockItem {
+	out := *s
+	return &out
+}
+
+// clone returns a copy of the stock transaction (all fields are scalar).
+func (st *StockTransaction) clone() *StockTransaction {
+	out := *st
+	return &out
+}
+
+// clone returns a deep copy of the checkout (Lines and Payments are copied).
+func (c *Checkout) clone() *Checkout {
+	out := *c
+	out.Lines = append([]CartLine(nil), c.Lines...)
+	out.Payments = append([]Payment(nil), c.Payments...)
+	return &out
+}

@@ -169,6 +169,8 @@ func addLineToCart(tx *store.Tx) (any, error) {
 	}
 	if c == nil {
 		c = &Cart{ID: tx.Key, Customer: args.Customer}
+	} else {
+		c = c.clone()
 	}
 	for i := range c.Lines {
 		if c.Lines[i].SKU == args.SKU {
@@ -192,6 +194,7 @@ func deleteLineFromCart(tx *store.Tx) (any, error) {
 	if err != nil || c == nil {
 		return nil, err
 	}
+	c = c.clone()
 	for i := range c.Lines {
 		if c.Lines[i].SKU == args.SKU {
 			c.Total -= int64(c.Lines[i].Quantity) * c.Lines[i].UnitPrice
@@ -232,6 +235,7 @@ func reserveCart(tx *store.Tx) (any, error) {
 	if c == nil {
 		return nil, ErrNotFound
 	}
+	c = c.clone()
 	for i := range c.Lines {
 		c.Lines[i].Reserved = true
 	}
@@ -306,6 +310,7 @@ func reserveStock(tx *store.Tx) (any, error) {
 	if s.Available < args.Quantity {
 		return nil, ErrInsufficientStock
 	}
+	s = s.clone()
 	s.Available -= args.Quantity
 	s.Reserved += args.Quantity
 	return s.Available, tx.Put(TableStock, tx.Key, s)
@@ -324,6 +329,7 @@ func purchaseStock(tx *store.Tx) (any, error) {
 	if s == nil {
 		return nil, ErrNotFound
 	}
+	s = s.clone()
 	n := min(args.Quantity, s.Reserved)
 	s.Reserved -= n
 	s.Purchased += n
@@ -343,6 +349,7 @@ func cancelStockReservation(tx *store.Tx) (any, error) {
 	if s == nil {
 		return nil, ErrNotFound
 	}
+	s = s.clone()
 	n := min(args.Quantity, s.Reserved)
 	s.Reserved -= n
 	s.Available += n
@@ -394,7 +401,7 @@ func updateStockTransaction(tx *store.Tx) (any, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
-	st := v.(*StockTransaction)
+	st := v.(*StockTransaction).clone()
 	st.Status = args.Status
 	return st.Status, tx.Put(TableStockTx, tx.Key, st)
 }
@@ -446,6 +453,7 @@ func createCheckoutPayment(tx *store.Tx) (any, error) {
 	if c == nil {
 		return nil, ErrNotFound
 	}
+	c = c.clone()
 	c.Payments = append(c.Payments, args)
 	return len(c.Payments), tx.Put(TableCheckout, tx.Key, c)
 }
@@ -463,6 +471,7 @@ func addLineToCheckout(tx *store.Tx) (any, error) {
 	if c == nil {
 		return nil, ErrNotFound
 	}
+	c = c.clone()
 	c.Lines = append(c.Lines, CartLine{SKU: args.SKU, Quantity: args.Quantity, UnitPrice: args.UnitPrice})
 	c.Total += int64(args.Quantity) * args.UnitPrice
 	return len(c.Lines), tx.Put(TableCheckout, tx.Key, c)
@@ -478,6 +487,7 @@ func deleteLineFromCheckout(tx *store.Tx) (any, error) {
 	if err != nil || c == nil {
 		return nil, err
 	}
+	c = c.clone()
 	for i := range c.Lines {
 		if c.Lines[i].SKU == args.SKU {
 			c.Total -= int64(c.Lines[i].Quantity) * c.Lines[i].UnitPrice

@@ -21,12 +21,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pstore/internal/elastic"
+	"pstore/internal/faults"
 	"pstore/internal/metrics"
+	"pstore/internal/recovery"
 	"pstore/internal/squall"
 	"pstore/internal/store"
 )
@@ -67,6 +70,17 @@ type Config struct {
 	// for chaos runs (see internal/faults). Failed moves roll back and
 	// surface as MoveFailed events; the runtime itself keeps serving.
 	FaultInjector store.FaultInjector
+	// Crash, if set and non-empty, arms the deterministic machine-crash
+	// schedule: the decision loop consults it every monitoring cycle,
+	// crashes fire as MachineFailed events, and crashed machines recover
+	// automatically after their downtime (in cycles) through the recovery
+	// manager. Requires Cycle > 0; a controller is optional.
+	Crash *faults.CrashSchedule
+	// CheckpointEvery checkpoints the recovery manager every N monitoring
+	// cycles. Zero defaults to 10 when a crash schedule is armed; setting
+	// it without a crash schedule still builds the recovery manager (for
+	// manual Crash/Restore via Recovery()).
+	CheckpointEvery int
 }
 
 // Stats summarizes the runtime's decision activity.
@@ -90,6 +104,11 @@ type Cluster struct {
 	eng *store.Engine
 	ex  *squall.Executor
 	rec *metrics.Recorder
+	rm  *recovery.Manager
+
+	// down maps a crashed machine to the cycle its recovery begins. It is
+	// owned exclusively by the decision-loop goroutine.
+	down map[int]int
 
 	mu       sync.Mutex
 	started  bool
@@ -134,6 +153,23 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Controller != nil && cfg.Cycle <= 0 {
 		return nil, fmt.Errorf("cluster: Cycle %v must be positive when a controller is set", cfg.Cycle)
 	}
+	if cfg.Crash != nil {
+		if err := cfg.Crash.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Crash.Empty() {
+			cfg.Crash = nil
+		}
+	}
+	if cfg.Crash != nil && cfg.Cycle <= 0 {
+		return nil, fmt.Errorf("cluster: Cycle %v must be positive when a crash schedule is armed", cfg.Cycle)
+	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("cluster: CheckpointEvery %d must be non-negative", cfg.CheckpointEvery)
+	}
+	if cfg.Crash != nil && cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 10
+	}
 	eng, err := store.NewEngine(cfg.Engine)
 	if err != nil {
 		return nil, err
@@ -145,7 +181,15 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.FaultInjector != nil {
 		eng.SetFaultInjector(cfg.FaultInjector)
 	}
-	return &Cluster{cfg: cfg, eng: eng, ex: ex, subs: map[int]chan Event{}}, nil
+	c := &Cluster{cfg: cfg, eng: eng, ex: ex, subs: map[int]chan Event{}}
+	if cfg.Crash != nil || cfg.CheckpointEvery > 0 {
+		// The manager attaches to the command-log hook now, before Start,
+		// so bootstrap writes are logged and every machine is recoverable
+		// from the first transaction on.
+		c.rm = recovery.NewManager(eng)
+		c.down = map[int]int{}
+	}
+	return c, nil
 }
 
 // moveOutcome is one finished move's result, queued for the decision loop.
@@ -165,6 +209,10 @@ func (c *Cluster) Recorder() *metrics.Recorder {
 	defer c.mu.Unlock()
 	return c.rec
 }
+
+// Recovery returns the crash-recovery manager, or nil when the cluster runs
+// without one (no crash schedule and no checkpoint interval configured).
+func (c *Cluster) Recovery() *recovery.Manager { return c.rm }
 
 // Stats snapshots the runtime's decision counters.
 func (c *Cluster) Stats() Stats {
@@ -202,10 +250,21 @@ func (c *Cluster) Start(ctx context.Context) error {
 		c.rec = rec
 		c.eng.SetRecorder(rec)
 		c.ex.SetRecorder(rec)
+		if c.rm != nil {
+			c.rm.SetRecorder(rec)
+		}
 		rec.RecordMachines(time.Now(), c.eng.ActiveMachines())
 	}
+	if c.rm != nil {
+		// Baseline checkpoint: the bootstrap data set becomes the image and
+		// its command log is truncated, so the first crash replays only the
+		// live traffic since Start.
+		if _, err := c.rm.Checkpoint(); err != nil {
+			return fmt.Errorf("cluster: initial checkpoint: %w", err)
+		}
+	}
 	c.started = true
-	if c.cfg.Controller != nil {
+	if c.cfg.Controller != nil || c.cfg.Crash != nil {
 		loopCtx, cancel := context.WithCancel(ctx)
 		c.cancel = cancel
 		c.loopDone = make(chan struct{})
@@ -367,7 +426,8 @@ func (c *Cluster) beginMove(target int, rateFactor float64, emergency bool) (<-c
 	return done, nil
 }
 
-// loop is the monitoring/decision cycle (Section 6): every Cycle it
+// loop is the monitoring/decision cycle (Section 6): every Cycle it drives
+// the crash plane (recoveries due, scheduled crashes, periodic checkpoints),
 // measures the load offered since the previous tick, converts it to paper
 // units, and asks the controller whether to reconfigure. Decisions execute
 // in the background through the Squall executor, one at a time.
@@ -383,6 +443,10 @@ func (c *Cluster) loop(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
+		}
+		c.recoveryTick(cycle)
+		if c.cfg.Controller == nil {
+			continue
 		}
 		sub := c.eng.Counters().Submitted
 		delta := sub - last
@@ -403,8 +467,17 @@ func (c *Cluster) loop(ctx context.Context) {
 			}
 		}
 		machines := c.eng.ActiveMachines()
-		c.publish(LoadObserved{Time: time.Now(), Cycle: cycle, Machines: machines, Load: load, Reconfiguring: busy})
-		dec, err := c.cfg.Controller.Tick(machines, busy, load)
+		// The controller plans in units of capacity it can actually use:
+		// crashed machines serve nothing, so it sees the effective size and
+		// its targets are translated back below (the paper's Eq. 7 capacity
+		// term shrinks the same way when machines disappear).
+		downCount := len(c.down)
+		effective := machines - downCount
+		if effective < 1 {
+			effective = 1
+		}
+		c.publish(LoadObserved{Time: time.Now(), Cycle: cycle, Machines: machines, Load: load, Down: downCount, Reconfiguring: busy})
+		dec, err := c.cfg.Controller.Tick(effective, busy, load)
 		if err != nil {
 			c.failures.Add(1)
 			c.publish(DecisionFailed{Time: time.Now(), Cycle: cycle, Err: err})
@@ -413,18 +486,107 @@ func (c *Cluster) loop(ctx context.Context) {
 		if dec == nil || busy {
 			continue
 		}
+		// Translate the effective target back to a raw machine count: the
+		// down machines still occupy slots, they just do not serve.
+		target := dec.Target + downCount
+		if max := c.cfg.Engine.MaxMachines; target > max {
+			target = max
+		}
+		if target == machines {
+			continue
+		}
+		if m, blocked := c.drainBlocked(target); blocked {
+			// A scale-in below a down machine's slot would have to drain a
+			// dead machine; wait for its recovery instead.
+			c.failures.Add(1)
+			c.publish(DecisionFailed{Time: time.Now(), Cycle: cycle,
+				Err: fmt.Errorf("cluster: scale-in to %d machines would drain down machine %d", target, m)})
+			continue
+		}
 		c.decisions.Add(1)
 		rate := dec.RateFactor
 		if dec.Emergency {
 			c.emergencies.Add(1)
-			c.publish(EmergencyTriggered{Time: time.Now(), Cycle: cycle, Target: dec.Target, RateFactor: rate})
+			c.publish(EmergencyTriggered{Time: time.Now(), Cycle: cycle, Target: target, RateFactor: rate})
 			if c.cfg.SpikeRateFactor > 0 {
 				rate = c.cfg.SpikeRateFactor
 			}
 		}
-		if _, err := c.beginMove(dec.Target, rate, dec.Emergency); err != nil {
+		if _, err := c.beginMove(target, rate, dec.Emergency); err != nil {
 			// Lost a race with a manual Reconfigure; skip this cycle.
 			c.failures.Add(1)
 		}
 	}
+}
+
+// recoveryTick drives the crash plane for one monitoring cycle: machines
+// whose downtime elapsed are restored, the crash schedule fires, and the
+// periodic checkpoint runs. It runs on the loop goroutine, the sole owner of
+// c.down, so FailureObserver callbacks are never concurrent with Tick.
+func (c *Cluster) recoveryTick(cycle int) {
+	if c.rm == nil {
+		return
+	}
+	obs, _ := c.cfg.Controller.(elastic.FailureObserver)
+	for _, m := range c.downDue(cycle) {
+		st, err := c.rm.Restore(m)
+		if err != nil {
+			// Still down; retried next cycle.
+			c.failures.Add(1)
+			continue
+		}
+		delete(c.down, m)
+		c.publish(MachineRecovered{Time: time.Now(), Cycle: cycle, Machine: m,
+			Downtime: st.Downtime, Replayed: st.Replayed})
+		if obs != nil {
+			obs.MachineRecovered(m)
+		}
+	}
+	if c.cfg.Crash != nil {
+		for _, pc := range c.cfg.Crash.CrashesAt(cycle, c.eng.ActiveMachines()) {
+			if _, dead := c.down[pc.Machine]; dead {
+				continue
+			}
+			if err := c.rm.Crash(pc.Machine); err != nil {
+				c.failures.Add(1)
+				continue
+			}
+			recoverAt := cycle + c.cfg.Crash.DowntimeFor(pc)
+			c.down[pc.Machine] = recoverAt
+			c.publish(MachineFailed{Time: time.Now(), Cycle: cycle, Machine: pc.Machine, RecoverAtCycle: recoverAt})
+			if obs != nil {
+				obs.MachineFailed(pc.Machine)
+			}
+		}
+	}
+	if every := c.cfg.CheckpointEvery; every > 0 && cycle > 0 && cycle%every == 0 {
+		if _, err := c.rm.Checkpoint(); err != nil {
+			c.failures.Add(1)
+		}
+	}
+}
+
+// downDue lists the crashed machines whose recovery cycle arrived, in
+// machine order so event emission is deterministic.
+func (c *Cluster) downDue(cycle int) []int {
+	var due []int
+	for m, at := range c.down {
+		if at <= cycle {
+			due = append(due, m)
+		}
+	}
+	sort.Ints(due)
+	return due
+}
+
+// drainBlocked reports whether scaling to target would require draining a
+// crashed machine (any down machine whose slot is at or beyond the target).
+func (c *Cluster) drainBlocked(target int) (int, bool) {
+	blocked, found := -1, false
+	for m := range c.down {
+		if m >= target && (!found || m < blocked) {
+			blocked, found = m, true
+		}
+	}
+	return blocked, found
 }

@@ -26,6 +26,9 @@ type LoadObserved struct {
 	// Load is the observed load in controller units (requests per trace
 	// minute at paper scale).
 	Load float64
+	// Down is how many of those machines were crashed at observation time;
+	// the controller is shown the effective size (Machines - Down).
+	Down int
 	// Reconfiguring reports whether a move was in flight during the cycle.
 	Reconfiguring bool
 }
@@ -91,12 +94,40 @@ type EmergencyTriggered struct {
 	RateFactor float64
 }
 
+// MachineFailed is emitted when the crash schedule takes a machine down. Its
+// partitions refuse transactions (and migrations) until recovery; in-flight
+// moves touching the machine abort and roll back.
+type MachineFailed struct {
+	Time  time.Time
+	Cycle int
+	// Machine is the crashed machine index.
+	Machine int
+	// RecoverAtCycle is the monitoring cycle at which recovery will begin.
+	RecoverAtCycle int
+}
+
+// MachineRecovered is emitted when a crashed machine finishes recovery: its
+// partitions were rebuilt from the last checkpoint plus command-log replay
+// and serve again.
+type MachineRecovered struct {
+	Time  time.Time
+	Cycle int
+	// Machine is the recovered machine index.
+	Machine int
+	// Downtime is the wall time the machine was down.
+	Downtime time.Duration
+	// Replayed is the number of logged commands replayed during the rebuild.
+	Replayed int
+}
+
 func (e LoadObserved) When() time.Time       { return e.Time }
 func (e MoveStarted) When() time.Time        { return e.Time }
 func (e MoveFinished) When() time.Time       { return e.Time }
 func (e MoveFailed) When() time.Time         { return e.Time }
 func (e DecisionFailed) When() time.Time     { return e.Time }
 func (e EmergencyTriggered) When() time.Time { return e.Time }
+func (e MachineFailed) When() time.Time      { return e.Time }
+func (e MachineRecovered) When() time.Time   { return e.Time }
 
 func (LoadObserved) event()       {}
 func (MoveStarted) event()        {}
@@ -104,8 +135,14 @@ func (MoveFinished) event()       {}
 func (MoveFailed) event()         {}
 func (DecisionFailed) event()     {}
 func (EmergencyTriggered) event() {}
+func (MachineFailed) event()      {}
+func (MachineRecovered) event()   {}
 
 func (e LoadObserved) String() string {
+	if e.Down > 0 {
+		return fmt.Sprintf("cycle %d: load %.1f on %d machines (%d down, reconfiguring=%v)",
+			e.Cycle, e.Load, e.Machines, e.Down, e.Reconfiguring)
+	}
 	return fmt.Sprintf("cycle %d: load %.1f on %d machines (reconfiguring=%v)",
 		e.Cycle, e.Load, e.Machines, e.Reconfiguring)
 }
@@ -139,4 +176,14 @@ func (e DecisionFailed) String() string {
 func (e EmergencyTriggered) String() string {
 	return fmt.Sprintf("cycle %d: emergency scaling to %d machines (controller rate %gx)",
 		e.Cycle, e.Target, e.RateFactor)
+}
+
+func (e MachineFailed) String() string {
+	return fmt.Sprintf("cycle %d: machine %d crashed (recovery at cycle %d)",
+		e.Cycle, e.Machine, e.RecoverAtCycle)
+}
+
+func (e MachineRecovered) String() string {
+	return fmt.Sprintf("cycle %d: machine %d recovered after %v (%d commands replayed)",
+		e.Cycle, e.Machine, e.Downtime.Round(time.Millisecond), e.Replayed)
 }

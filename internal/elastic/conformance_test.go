@@ -227,6 +227,111 @@ func TestControllerConformanceUnderMoveFailures(t *testing.T) {
 	}
 }
 
+// TestControllerConformanceUnderMachineCrash is the capacity-loss axis of
+// the conformance suite: the same replay, but a machine crashes mid-window —
+// during a move, and with the flash crowd arriving while the machine is
+// still down. The harness mirrors the cluster runtime's contract: Tick sees
+// the *effective* cluster size (one less while down), FailureObserver
+// controllers get MachineFailed/MachineRecovered on the tick goroutine, and
+// the in-flight move at crash time aborts with a rollback. The contract:
+//
+//  1. Tick never errors and never decides while reconfiguring, before,
+//     during or after the crash — no controller may deadlock or wedge.
+//  2. Targets stay within [1, max] at every point.
+//  3. Every non-static controller keeps emitting decisions after the crash
+//     (the spike hits during the outage, so scale-outs are mandatory).
+func TestControllerConformanceUnderMachineCrash(t *testing.T) {
+	const (
+		maxMachines = 8
+		steps       = 600
+		moveTicks   = 3
+		crashTick   = 290 // while the diurnal wave is high, just before the spike
+		recoverTick = 350 // the flash crowd (300-340) lands entirely in the outage
+	)
+	m := migration.Model{Q: 100, QMax: 130, D: 4, P: 2}
+	load := conformanceLoad
+
+	for name, fresh := range conformanceControllers(t, m, maxMachines, steps, load) {
+		t.Run(name, func(t *testing.T) {
+			ctrl := fresh()
+			machines := 2 // effective (serving) machines, as the runtime reports
+			inFlight := 0
+			pending := 0
+			down := false
+			decisions, afterCrash := 0, 0
+			for i := 0; i < steps; i++ {
+				switch i {
+				case crashTick:
+					down = true
+					if machines > 1 {
+						machines--
+					}
+					if inFlight > 0 {
+						// The move touching the dead machine aborts and
+						// rolls back, exactly as the cluster delivers it.
+						inFlight = 0
+						if obs, ok := ctrl.(MoveObserver); ok {
+							obs.MoveResult(pending, errors.New("elastic_test: machine crashed mid-move"))
+						}
+					}
+					if obs, ok := ctrl.(FailureObserver); ok {
+						obs.MachineFailed(machines)
+					}
+				case recoverTick:
+					down = false
+					if machines < maxMachines {
+						machines++
+					}
+					if obs, ok := ctrl.(FailureObserver); ok {
+						obs.MachineRecovered(machines - 1)
+					}
+				}
+				reconfiguring := inFlight > 0
+				dec, err := ctrl.Tick(machines, reconfiguring, load(i))
+				if err != nil {
+					t.Fatalf("tick %d (down=%v): %v", i, down, err)
+				}
+				if dec != nil {
+					if reconfiguring {
+						t.Fatalf("tick %d: decision %+v returned while reconfiguring", i, dec)
+					}
+					if dec.Target < 1 || dec.Target > maxMachines {
+						t.Fatalf("tick %d: decision target %d outside [1, %d]", i, dec.Target, maxMachines)
+					}
+					if dec.RateFactor < 0 {
+						t.Fatalf("tick %d: negative rate factor %v", i, dec.RateFactor)
+					}
+					decisions++
+					if i > crashTick {
+						afterCrash++
+					}
+					pending = dec.Target
+					inFlight = moveTicks
+					continue
+				}
+				if inFlight > 0 {
+					inFlight--
+					if inFlight == 0 {
+						machines = pending
+						if obs, ok := ctrl.(MoveObserver); ok {
+							obs.MoveResult(pending, nil)
+						}
+					}
+				}
+			}
+			if name == "static" {
+				return
+			}
+			if decisions == 0 {
+				t.Fatalf("%s made no decisions over %d crashed steps", name, steps)
+			}
+			if afterCrash == 0 {
+				t.Fatalf("%s wedged after the machine crash: no decisions followed tick %d", name, crashTick)
+			}
+		})
+	}
+}
+
 // TestControllerConformanceAlwaysReconfiguring pins the first contract rule
 // in isolation: a controller that is told a move is running on every single
 // tick must never decide, no matter what the load does.

@@ -47,6 +47,22 @@ type MoveObserver interface {
 	MoveResult(target int, err error)
 }
 
+// FailureObserver is optionally implemented by controllers that want to
+// learn about machine-level failures. The executing world calls both methods
+// on the same goroutine that calls Tick, never concurrently with it. While a
+// machine is down the controller's Tick sees the *effective* cluster size
+// (live machines only), so these notifications carry the why, not the what:
+// a controller that keeps horizon state can discard plans built on the
+// pre-crash capacity.
+type FailureObserver interface {
+	// MachineFailed reports that a machine crashed and its capacity is gone
+	// until recovery completes.
+	MachineFailed(machine int)
+	// MachineRecovered reports that a crashed machine finished recovery and
+	// serves again.
+	MachineRecovered(machine int)
+}
+
 // Static never reconfigures: the paper's peak-provisioned (10 machines) and
 // under-provisioned (4 machines) baselines of Figure 9a/9b.
 type Static struct{}

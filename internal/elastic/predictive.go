@@ -92,6 +92,23 @@ func (p *Predictive) MoveResult(_ int, err error) {
 		return
 	}
 	p.failedMoves++
+	p.enterFallback()
+}
+
+// MachineFailed implements FailureObserver: losing a machine is the same
+// epistemic event as a failed move — the capacity trajectory the horizon
+// plan assumed no longer exists — so the controller stops trusting the plan
+// and scales on observation for a while.
+func (p *Predictive) MachineFailed(int) { p.enterFallback() }
+
+// MachineRecovered implements FailureObserver. Returning capacity needs no
+// special action: the executing world reports effective capacity, so the
+// next Tick simply plans from a larger cluster.
+func (p *Predictive) MachineRecovered(int) {}
+
+// enterFallback discards the horizon plan and hands the next FallbackCycles
+// decisions to the reactive fallback at the rate-R x 8 escape hatch.
+func (p *Predictive) enterFallback() {
 	p.lastPlan = nil
 	p.scaleInStreak = 0
 	if p.FallbackCycles < 1 {
@@ -99,9 +116,9 @@ func (p *Predictive) MoveResult(_ int, err error) {
 	}
 	p.fallbackLeft = p.FallbackCycles
 	if p.fallback == nil {
-		// React on the first confirming tick: the failed move already
-		// proved the capacity need, so the usual detection lag would only
-		// deepen the shortfall.
+		// React on the first confirming tick: the failure already proved
+		// the capacity need, so the usual detection lag would only deepen
+		// the shortfall.
 		p.fallback = &Reactive{
 			Model:           p.Model,
 			MaxMachines:     p.MaxMachines,

@@ -300,8 +300,14 @@ func (c Config) String() string {
 	if c.ChunkSlow > 0 {
 		parts = append(parts, fmt.Sprintf("chunk-slow=%v", c.ChunkSlow))
 	}
+	if c.SlowDelay > 0 {
+		parts = append(parts, fmt.Sprintf("slow-delay=%v", c.SlowDelay))
+	}
 	if c.Stall > 0 {
 		parts = append(parts, fmt.Sprintf("stall=%v", c.Stall))
+	}
+	if c.StallDelay > 0 {
+		parts = append(parts, fmt.Sprintf("stall-delay=%v", c.StallDelay))
 	}
 	pairs := append([]PartitionPair(nil), c.CrashPairs...)
 	sort.Slice(pairs, func(i, j int) bool {

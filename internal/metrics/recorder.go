@@ -61,6 +61,14 @@ type Recorder struct {
 	migRetries        atomic.Int64
 	migAborts         atomic.Int64
 	migRollbackChunks atomic.Int64
+
+	// Crash-recovery counters, same pattern.
+	recCheckpoints  atomic.Int64
+	recCrashes      atomic.Int64
+	recRecoveries   atomic.Int64
+	recReplayed     atomic.Int64
+	recMaxReplayLag atomic.Int64
+	recDowntimeNs   atomic.Int64
 }
 
 // MigrationCounters are the cumulative migration-path health counters: chunk
@@ -69,6 +77,18 @@ type MigrationCounters struct {
 	Retries        int64
 	Aborts         int64
 	RollbackChunks int64
+}
+
+// RecoveryCounters are the cumulative crash-recovery counters: checkpoint
+// rounds, machine crashes, completed recoveries, commands replayed, the
+// largest single-recovery replay lag, and total machine downtime.
+type RecoveryCounters struct {
+	Checkpoints      int64
+	Crashes          int64
+	Recoveries       int64
+	ReplayedCommands int64
+	MaxReplayLag     int64
+	Downtime         time.Duration
 }
 
 type machineSample struct {
@@ -159,6 +179,38 @@ func (r *Recorder) MigrationCounters() MigrationCounters {
 		Retries:        r.migRetries.Load(),
 		Aborts:         r.migAborts.Load(),
 		RollbackChunks: r.migRollbackChunks.Load(),
+	}
+}
+
+// CountCheckpoint files one checkpoint round.
+func (r *Recorder) CountCheckpoint() { r.recCheckpoints.Add(1) }
+
+// CountCrash files one machine crash.
+func (r *Recorder) CountCrash() { r.recCrashes.Add(1) }
+
+// CountRecovery files one completed machine recovery: its downtime and how
+// many commands had to be replayed (the replay lag).
+func (r *Recorder) CountRecovery(downtime time.Duration, replayed int64) {
+	r.recRecoveries.Add(1)
+	r.recReplayed.Add(replayed)
+	r.recDowntimeNs.Add(int64(downtime))
+	for {
+		cur := r.recMaxReplayLag.Load()
+		if replayed <= cur || r.recMaxReplayLag.CompareAndSwap(cur, replayed) {
+			return
+		}
+	}
+}
+
+// RecoveryCounters snapshots the crash-recovery counters.
+func (r *Recorder) RecoveryCounters() RecoveryCounters {
+	return RecoveryCounters{
+		Checkpoints:      r.recCheckpoints.Load(),
+		Crashes:          r.recCrashes.Load(),
+		Recoveries:       r.recRecoveries.Load(),
+		ReplayedCommands: r.recReplayed.Load(),
+		MaxReplayLag:     r.recMaxReplayLag.Load(),
+		Downtime:         time.Duration(r.recDowntimeNs.Load()),
 	}
 }
 

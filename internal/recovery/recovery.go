@@ -1,0 +1,334 @@
+// Package recovery is the machine-level crash-recovery subsystem: fuzzy
+// checkpoints of the engine's bucket stores plus an in-memory logical command
+// log, combined into deterministic replay that rebuilds a crashed machine's
+// partitions to their exact pre-crash state.
+//
+// The design is H-Store-style command logging, adapted to this engine's
+// bucket-granular data plane:
+//
+//   - The log is kept per *bucket*, not per partition. A bucket's data and
+//     its history travel together across live migrations, so recovery never
+//     needs to know where a command originally executed: restoring a
+//     partition means restoring the buckets the current plan assigns to it,
+//     each from its own checkpoint image + command tail.
+//
+//   - Each record is the *input* of one executed procedure (TxnID, key,
+//     args), not its effects. Procedures are deterministic and partitions
+//     execute serially, so replaying the inputs in log order on top of the
+//     checkpoint image reproduces the state byte for byte — including the
+//     partial effects of procedures that returned errors.
+//
+//   - Checkpoints are fuzzy per partition but exact per bucket: the owning
+//     executor snapshots its buckets together with each bucket's log head
+//     (it is the only appender for buckets it owns), so the invariant
+//     "image@LSN + commands>LSN = current state" holds bucket by bucket
+//     without any global barrier.
+//
+// Determinism contract (shared with the engine): procedures are
+// deterministic functions of (stored state, key, args); stored rows are
+// immutable after Put (procedures copy before mutating — see internal/b2w);
+// and submitters do not mutate args after submission. Under that contract
+// the checkpoint can alias row values and replay is exact.
+package recovery
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/metrics"
+	"pstore/internal/store"
+)
+
+// Command is one command-log record: the input of one executed procedure.
+type Command struct {
+	// LSN is the bucket-local sequence number, starting at 1.
+	LSN uint64
+	// ID is the procedure's dense engine handle.
+	ID store.TxnID
+	// Key and Args are the procedure's original input.
+	Key  string
+	Args any
+}
+
+// ckptImage is one bucket's latest checkpoint: its tables (row values
+// aliased, immutable by convention) and row count as of the covered LSN.
+type ckptImage struct {
+	rows   int
+	tables map[string]map[string]any
+}
+
+// bucketLog is one bucket's recovery state: its command tail and latest
+// checkpoint image. base is the LSN the image covers; cmds[i] has LSN
+// base+1+i. The mutex makes appends (executor goroutines) safe against
+// checkpoint truncation and restore reads (manager goroutine).
+type bucketLog struct {
+	mu   sync.Mutex
+	head uint64
+	base uint64
+	cmds []Command
+	ckpt *ckptImage
+}
+
+// Stats are the manager's cumulative recovery counters.
+type Stats struct {
+	// Crashes and Recoveries count machine-level events.
+	Crashes, Recoveries int64
+	// Checkpoints counts checkpoint rounds (one round covers every live
+	// partition).
+	Checkpoints int64
+	// ReplayedCommands is the total number of commands replayed across all
+	// recoveries.
+	ReplayedCommands int64
+	// MaxReplayLag is the largest command tail replayed by a single machine
+	// recovery — the replay-lag metric a checkpoint interval trades against.
+	MaxReplayLag int64
+	// Downtime is the cumulative wall time machines spent down before being
+	// restored.
+	Downtime time.Duration
+}
+
+// RestoreStats describe one completed machine restoration.
+type RestoreStats struct {
+	// Machine is the restored machine.
+	Machine int
+	// Partitions is how many partitions were rebuilt.
+	Partitions int
+	// Snapshots is how many bucket checkpoint images were installed.
+	Snapshots int
+	// Replayed is how many log commands were replayed on top of them.
+	Replayed int
+	// Downtime is how long the machine was down.
+	Downtime time.Duration
+}
+
+// Manager owns the command log and drives crash/checkpoint/restore against
+// one engine. It implements store.CommandLogger; NewManager attaches it, so
+// every transaction executed afterwards is recoverable.
+type Manager struct {
+	eng  *store.Engine
+	logs []bucketLog
+
+	// mu serializes the orchestration paths (Crash / Checkpoint / Restore);
+	// the per-bucket locks alone protect the append hot path.
+	mu        sync.Mutex
+	downSince map[int]time.Time
+
+	rec atomic.Pointer[metrics.Recorder]
+
+	crashes      atomic.Int64
+	recoveries   atomic.Int64
+	checkpoints  atomic.Int64
+	replayed     atomic.Int64
+	maxReplayLag atomic.Int64
+	downtimeNs   atomic.Int64
+}
+
+// NewManager builds a recovery manager for the engine and attaches it as the
+// engine's command logger. Attach before loading any data: replay rebuilds
+// buckets from their full command history (or their latest checkpoint), so
+// pre-attachment writes would be invisible to recovery.
+func NewManager(eng *store.Engine) *Manager {
+	m := &Manager{
+		eng:       eng,
+		logs:      make([]bucketLog, eng.Config().Buckets),
+		downSince: make(map[int]time.Time),
+	}
+	eng.SetCommandLog(m)
+	return m
+}
+
+// SetRecorder attaches a metrics recorder; recovery counters are mirrored
+// into it. Safe to call at any time.
+func (m *Manager) SetRecorder(r *metrics.Recorder) { m.rec.Store(r) }
+
+// AppendCommand implements store.CommandLogger. It runs on partition
+// executor goroutines — one lock + one append per transaction.
+func (m *Manager) AppendCommand(bucket int, id store.TxnID, key string, args any) {
+	if bucket < 0 || bucket >= len(m.logs) {
+		return
+	}
+	l := &m.logs[bucket]
+	l.mu.Lock()
+	l.head++
+	l.cmds = append(l.cmds, Command{LSN: l.head, ID: id, Key: key, Args: args})
+	l.mu.Unlock()
+}
+
+// LogHead implements store.CommandLogger: the LSN of the last command
+// appended for the bucket.
+func (m *Manager) LogHead(bucket int) uint64 {
+	if bucket < 0 || bucket >= len(m.logs) {
+		return 0
+	}
+	l := &m.logs[bucket]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// LogSize returns the number of command records currently retained across
+// all buckets — the replay debt a crash right now would incur.
+func (m *Manager) LogSize() int {
+	total := 0
+	for b := range m.logs {
+		l := &m.logs[b]
+		l.mu.Lock()
+		total += len(l.cmds)
+		l.mu.Unlock()
+	}
+	return total
+}
+
+// Checkpoint snapshots every live partition and installs the images as the
+// buckets' new recovery baseline, truncating each bucket's command log up to
+// the covered LSN. Down partitions are skipped (their buckets keep their
+// older baseline, which is exactly what their restore will need). It returns
+// the number of bucket images installed.
+func (m *Manager) Checkpoint() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cfg := m.eng.Config()
+	installed := 0
+	for part := 0; part < cfg.MaxMachines*cfg.PartitionsPerMachine; part++ {
+		if m.eng.PartitionDown(part) {
+			continue
+		}
+		snaps, err := m.eng.SnapshotPartition(part)
+		if err != nil {
+			return installed, fmt.Errorf("recovery: checkpointing partition %d: %w", part, err)
+		}
+		for _, s := range snaps {
+			m.installImage(s)
+			installed++
+		}
+	}
+	m.checkpoints.Add(1)
+	if r := m.rec.Load(); r != nil {
+		r.CountCheckpoint()
+	}
+	return installed, nil
+}
+
+// installImage makes one bucket snapshot the bucket's recovery baseline and
+// drops the commands it covers.
+func (m *Manager) installImage(s store.BucketSnapshot) {
+	l := &m.logs[s.Bucket]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s.LSN > l.base {
+		drop := int(s.LSN - l.base)
+		if drop > len(l.cmds) {
+			drop = len(l.cmds)
+		}
+		l.cmds = append([]Command(nil), l.cmds[drop:]...)
+		l.base = s.LSN
+	}
+	l.ckpt = &ckptImage{rows: s.Rows, tables: s.Tables}
+}
+
+// Crash takes a machine down. Its partitions stop executing transactions
+// (everything queued or submitted fails with store.ErrPartitionDown) until
+// Restore rebuilds them.
+func (m *Manager) Crash(machine int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.eng.MachineDown(machine) {
+		return fmt.Errorf("recovery: machine %d is already down", machine)
+	}
+	if err := m.eng.Crash(machine); err != nil {
+		return err
+	}
+	m.downSince[machine] = time.Now()
+	m.crashes.Add(1)
+	if r := m.rec.Load(); r != nil {
+		r.CountCrash()
+	}
+	return nil
+}
+
+// Restore rebuilds every partition of a down machine from checkpoint images
+// plus command replay and brings the machine back up. The buckets to rebuild
+// are taken from the *current* plan — a bucket that migrated onto the
+// machine after its last checkpoint is still recovered exactly, because its
+// image and log tail traveled with it.
+func (m *Manager) Restore(machine int) (RestoreStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := RestoreStats{Machine: machine}
+	if !m.eng.MachineDown(machine) {
+		return st, fmt.Errorf("recovery: machine %d is not down", machine)
+	}
+	for _, part := range m.eng.PartitionsOfMachine(machine) {
+		var snaps []store.BucketSnapshot
+		var cmds []store.ReplayCommand
+		for _, b := range m.eng.OwnedBuckets(part) {
+			l := &m.logs[b]
+			l.mu.Lock()
+			if l.ckpt != nil {
+				snaps = append(snaps, store.BucketSnapshot{
+					Bucket: b,
+					Rows:   l.ckpt.rows,
+					LSN:    l.base,
+					Tables: cloneTables(l.ckpt.tables),
+				})
+			}
+			for _, c := range l.cmds {
+				cmds = append(cmds, store.ReplayCommand{Bucket: b, ID: c.ID, Key: c.Key, Args: c.Args})
+			}
+			l.mu.Unlock()
+		}
+		n, err := m.eng.RestorePartition(part, snaps, cmds)
+		if err != nil {
+			return st, fmt.Errorf("recovery: restoring partition %d: %w", part, err)
+		}
+		st.Partitions++
+		st.Snapshots += len(snaps)
+		st.Replayed += n
+	}
+	if since, ok := m.downSince[machine]; ok {
+		st.Downtime = time.Since(since)
+		delete(m.downSince, machine)
+	}
+	m.recoveries.Add(1)
+	m.replayed.Add(int64(st.Replayed))
+	m.downtimeNs.Add(int64(st.Downtime))
+	for {
+		cur := m.maxReplayLag.Load()
+		if int64(st.Replayed) <= cur || m.maxReplayLag.CompareAndSwap(cur, int64(st.Replayed)) {
+			break
+		}
+	}
+	if r := m.rec.Load(); r != nil {
+		r.CountRecovery(st.Downtime, int64(st.Replayed))
+	}
+	return st, nil
+}
+
+// cloneTables copies the map structure of a checkpoint image, aliasing row
+// values. Replay mutates the installed maps, and the baseline may serve
+// later restores, so each restore gets its own copy.
+func cloneTables(tables map[string]map[string]any) map[string]map[string]any {
+	out := make(map[string]map[string]any, len(tables))
+	for tn, t := range tables {
+		ct := make(map[string]any, len(t))
+		for k, v := range t {
+			ct[k] = v
+		}
+		out[tn] = ct
+	}
+	return out
+}
+
+// Stats snapshots the manager's cumulative counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Crashes:          m.crashes.Load(),
+		Recoveries:       m.recoveries.Load(),
+		Checkpoints:      m.checkpoints.Load(),
+		ReplayedCommands: m.replayed.Load(),
+		MaxReplayLag:     m.maxReplayLag.Load(),
+		Downtime:         time.Duration(m.downtimeNs.Load()),
+	}
+}

@@ -1,0 +1,102 @@
+package squall
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"pstore/internal/store"
+)
+
+// crashInjector implements store.FaultInjector: it crashes a machine from
+// the move path itself after n forward chunks have been offered, so the
+// crash lands mid-stream at a deterministic chunk boundary.
+type crashInjector struct {
+	eng     *store.Engine
+	machine int
+	after   int64
+	offered atomic.Int64
+}
+
+func (c *crashInjector) BeforeMove(op store.MoveOp) error {
+	if op.Rollback {
+		return nil
+	}
+	if c.offered.Add(1) == c.after {
+		if err := c.eng.Crash(c.machine); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestMoveAbortsWhenReceiverCrashes is the receiver-crash regression: when
+// the machine receiving a scale-out dies mid-move, the reconfiguration must
+// abort with an exact plan rollback — chunks already installed on the dead
+// machine migrate back through the rollback path, which down partitions must
+// not refuse — and the engine must stay fully usable.
+func TestMoveAbortsWhenReceiverCrashes(t *testing.T) {
+	e := testEngine(t, 3, 1)
+	load(t, e, 400)
+	planBefore := e.Plan()
+	rowsBefore := e.TotalRows()
+
+	inj := &crashInjector{eng: e, machine: 1, after: 3}
+	e.SetFaultInjector(inj)
+	ex, err := NewExecutor(e, chaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = ex.Reconfigure(1, 2, 0)
+	var me *MoveError
+	if !errors.As(err, &me) {
+		t.Fatalf("Reconfigure = %v, want *MoveError", err)
+	}
+	if !me.RolledBack {
+		t.Fatalf("move not rolled back: %v", me)
+	}
+	if !errors.Is(err, store.ErrPartitionDown) {
+		t.Fatalf("abort cause = %v, want ErrPartitionDown", me.Cause)
+	}
+	if got := ex.Stats().Aborts; got != 1 {
+		t.Fatalf("Aborts = %d, want 1", got)
+	}
+
+	// Exact rollback: plan, machine count and rows as before the move.
+	planAfter := e.Plan()
+	for b := range planBefore {
+		if planBefore[b] != planAfter[b] {
+			t.Fatalf("bucket %d moved %d -> %d despite rollback", b, planBefore[b], planAfter[b])
+		}
+	}
+	if got := e.ActiveMachines(); got != 1 {
+		t.Fatalf("ActiveMachines = %d, want 1", got)
+	}
+	if got := e.TotalRows(); got != rowsBefore {
+		t.Fatalf("TotalRows = %d, want %d", got, rowsBefore)
+	}
+	checkAllReadable(t, e, 400)
+
+	// The dead machine is routed around: a scale-out to 3 machines skips the
+	// down receiver and sheds everything to the live one.
+	e.SetFaultInjector(nil)
+	if err := ex.Reconfigure(1, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range e.PartitionsOfMachine(1) {
+		if got := len(e.OwnedBuckets(part)); got != 0 {
+			t.Fatalf("down partition %d received %d buckets", part, got)
+		}
+	}
+	checkAllReadable(t, e, 400)
+
+	// Draining the dead machine is refused before any chunk moves.
+	err = ex.Reconfigure(3, 1, 0)
+	if err == nil || !errors.Is(err, store.ErrPartitionDown) {
+		t.Fatalf("scale-in draining a down machine: err = %v, want ErrPartitionDown", err)
+	}
+	if got := e.ActiveMachines(); got != 3 {
+		t.Fatalf("ActiveMachines = %d after refused drain, want 3", got)
+	}
+}

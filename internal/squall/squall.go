@@ -359,11 +359,17 @@ func (ex *Executor) planBuckets(from, to int) (map[pairKey][]int, error) {
 
 	if from < to {
 		// Scale-out: every partition of the original machines sheds its
-		// surplus, split evenly across the new machines.
+		// surplus, split evenly across the new machines. Crashed senders are
+		// skipped — their frozen buckets stay put until recovery rebuilds
+		// them — and crashed receivers are excluded, their share spread over
+		// the live ones, so a scale-out around a dead machine still lands.
 		receivers := to - from
 		for m := 0; m < from; m++ {
 			for k := 0; k < p; k++ {
 				part := m*p + k
+				if ex.eng.PartitionDown(part) {
+					continue
+				}
 				owned := ex.eng.OwnedBuckets(part)
 				target := targetCount(cfg.Buckets, to*p, part)
 				shed := len(owned) - target
@@ -371,13 +377,22 @@ func (ex *Executor) planBuckets(from, to int) (map[pairKey][]int, error) {
 					continue
 				}
 				chunk := owned[len(owned)-shed:]
+				var dests []int
 				for j := 0; j < receivers; j++ {
-					lo := shed * j / receivers
-					hi := shed * (j + 1) / receivers
+					if toPart := (from+j)*p + k; !ex.eng.PartitionDown(toPart) {
+						dests = append(dests, toPart)
+					}
+				}
+				if len(dests) == 0 {
+					return nil, fmt.Errorf("squall: scale-out %d -> %d: every receiving machine is down: %w",
+						from, to, store.ErrPartitionDown)
+				}
+				for j, toPart := range dests {
+					lo := shed * j / len(dests)
+					hi := shed * (j + 1) / len(dests)
 					if lo == hi {
 						continue
 					}
-					toPart := (from+j)*p + k
 					key := pairKey{part, toPart}
 					assignments[key] = append(assignments[key], chunk[lo:hi]...)
 				}
@@ -387,19 +402,34 @@ func (ex *Executor) planBuckets(from, to int) (map[pairKey][]int, error) {
 	}
 
 	// Scale-in: every partition of the drained machines sends everything,
-	// split evenly across the survivors.
+	// split evenly across the live survivors. Draining a crashed machine is
+	// refused outright — its buckets cannot be streamed anywhere until it
+	// recovers.
 	survivors := to
 	for m := to; m < from; m++ {
+		if ex.eng.MachineDown(m) {
+			return nil, fmt.Errorf("squall: scale-in %d -> %d would drain down machine %d: %w",
+				from, to, m, store.ErrPartitionDown)
+		}
 		for k := 0; k < p; k++ {
 			part := m*p + k
 			owned := ex.eng.OwnedBuckets(part)
+			var dests []int
 			for j := 0; j < survivors; j++ {
-				lo := len(owned) * j / survivors
-				hi := len(owned) * (j + 1) / survivors
+				if toPart := j*p + k; !ex.eng.PartitionDown(toPart) {
+					dests = append(dests, toPart)
+				}
+			}
+			if len(dests) == 0 {
+				return nil, fmt.Errorf("squall: scale-in %d -> %d: every surviving machine is down: %w",
+					from, to, store.ErrPartitionDown)
+			}
+			for j, toPart := range dests {
+				lo := len(owned) * j / len(dests)
+				hi := len(owned) * (j + 1) / len(dests)
 				if lo == hi {
 					continue
 				}
-				toPart := j*p + k
 				key := pairKey{part, toPart}
 				assignments[key] = append(assignments[key], owned[lo:hi]...)
 			}
@@ -457,7 +487,10 @@ func (ex *Executor) moveChunk(chunk []int, from, to int, abort <-chan struct{}) 
 			ex.chunksMoved.Add(1)
 			return nil
 		}
-		if errors.Is(err, store.ErrStopped) || attempt >= ex.cfg.MaxChunkRetries {
+		// A down partition is fatal immediately: machine crashes do not heal
+		// on chunk-retry timescales, and skipping the pointless retries keeps
+		// the abort point deterministic under the chaos suite.
+		if errors.Is(err, store.ErrStopped) || errors.Is(err, store.ErrPartitionDown) || attempt >= ex.cfg.MaxChunkRetries {
 			return fmt.Errorf("squall: moving %d buckets %d -> %d failed after %d attempt(s): %w",
 				len(chunk), from, to, attempt+1, err)
 		}

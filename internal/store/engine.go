@@ -94,6 +94,7 @@ type Engine struct {
 
 	recorder atomic.Pointer[metrics.Recorder]
 	faults   atomic.Pointer[faultHolder]
+	cmdLog   atomic.Pointer[cmdLogHolder]
 }
 
 // NewEngine constructs an engine; register transactions, then call Start.
@@ -340,6 +341,18 @@ func (e *Engine) moveBuckets(buckets []int, from, to int, perRow, overhead time.
 			return 0, fmt.Errorf("store: bucket %d owned by partition %d, not %d", b, own, from)
 		}
 	}
+	if !rollback {
+		// Forward moves refuse crashed endpoints: a down source has a stale
+		// image and a down destination cannot acknowledge. Rollback moves are
+		// exempt so an aborted migration can always be undone (the executors
+		// stay alive while down; only transaction execution is fenced).
+		if e.parts[from].down.Load() {
+			return 0, partitionDownError(from)
+		}
+		if e.parts[to].down.Load() {
+			return 0, partitionDownError(to)
+		}
+	}
 	if h := e.faults.Load(); h != nil && h.fi != nil {
 		if err := h.fi.BeforeMove(MoveOp{From: from, To: to, Buckets: buckets, Rollback: rollback}); err != nil {
 			return 0, err
@@ -351,6 +364,7 @@ func (e *Engine) moveBuckets(buckets []int, from, to int, perRow, overhead time.
 		dest:     e.parts[to],
 		perRow:   perRow,
 		overhead: overhead,
+		rollback: rollback,
 		done:     make(chan moveResult, 1),
 	}
 	src := e.parts[from]

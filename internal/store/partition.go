@@ -32,8 +32,13 @@ type partition struct {
 	// rowsAtomic tracks the partition's row count; it is written by the
 	// executor goroutine and read by Engine.TotalRows.
 	rowsAtomic int64
-	stop       chan struct{}
-	done       chan struct{}
+	// down marks the partition crashed: the executor stays alive but fails
+	// every transaction with ErrPartitionDown and refuses forward migrations
+	// until a restore rebuilds the store. Written by the executor (ctlCrash /
+	// ctlRestore), read by routing and planning code on other goroutines.
+	down atomic.Bool
+	stop chan struct{}
+	done chan struct{}
 }
 
 func newPartition(id int, eng *Engine, queueCap int) *partition {
@@ -90,6 +95,12 @@ func (p *partition) handle(req request) {
 			p.moveOut(req.ctl)
 		case ctlInstall:
 			p.install(req.ctl)
+		case ctlCrash:
+			p.crash(req.ctl)
+		case ctlSnapshot:
+			p.snapshot(req.ctl)
+		case ctlRestore:
+			p.restore(req.ctl)
 		}
 	}
 }
@@ -101,6 +112,12 @@ func (p *partition) execute(r *txnRequest) {
 		p.eng.forward(r)
 		return
 	}
+	if p.down.Load() {
+		// A crashed machine executes nothing: no access counting, no
+		// service time, no command logging — the request just fails.
+		r.reply <- txnResult{err: partitionDownError(p.id)}
+		return
+	}
 	atomic.AddInt64(&p.accesses[r.bucket], 1)
 	pr := &p.eng.procs[r.id]
 	if pr.svc > 0 {
@@ -109,6 +126,12 @@ func (p *partition) execute(r *txnRequest) {
 	p.tx = Tx{p: p, bucket: int(r.bucket), Key: r.key, Args: r.args}
 	v, err := runTxn(pr.fn, &p.tx)
 	p.tx = Tx{} // release references to the request's key/args
+	// Log before acknowledging: once the submitter sees the result, the
+	// command is recoverable. Errored executions are logged too — their
+	// partial effects are state, and deterministic replay reproduces them.
+	if h := p.eng.cmdLog.Load(); h != nil && h.l != nil {
+		h.l.AppendCommand(int(r.bucket), r.id, r.key, r.args)
+	}
 	r.reply <- txnResult{value: v, err: err}
 }
 
@@ -131,6 +154,14 @@ func runTxn(fn TxnFunc, tx *Tx) (v any, err error) {
 // ownership and are forwarded, landing behind the install in the
 // destination's FIFO queue — so no transaction can observe missing data.
 func (p *partition) moveOut(r *ctlRequest) {
+	if p.down.Load() && !r.rollback {
+		// A crashed partition cannot stream its data anywhere — the image
+		// is stale by definition. Rollback moves are exempt: they restore
+		// chunks the *source* still holds (Squall's source-retains-copy
+		// protocol), so an aborted migration can always be undone.
+		r.done <- moveResult{err: partitionDownError(p.id)}
+		return
+	}
 	data := p.store.extract(r.buckets)
 	rows := data.Rows()
 	// The executor is busy packing and sending in proportion to the data
@@ -156,7 +187,10 @@ func (p *partition) moveOut(r *ctlRequest) {
 	p.eng.setOwner(r.buckets, r.dest.id)
 }
 
-// install merges migrated buckets into this partition's data.
+// install merges migrated buckets into this partition's data. It proceeds
+// even while the partition is down: the data was already extracted from its
+// source, so refusing would lose it — and a later restore wipes and rebuilds
+// the whole store anyway.
 func (p *partition) install(r *ctlRequest) {
 	if r.cost > 0 {
 		time.Sleep(r.cost)
@@ -165,4 +199,76 @@ func (p *partition) install(r *ctlRequest) {
 	added := p.store.install(r.data)
 	atomic.AddInt64(&p.rowsAtomic, int64(added))
 	r.done <- moveResult{rows: rows}
+}
+
+// crash marks the partition down. Requests already queued behind this one
+// (and any submitted later) fail with ErrPartitionDown when the executor
+// reaches them — the crash point is a position in the serial request order,
+// which is what makes crash schedules deterministic.
+func (p *partition) crash(r *ctlRequest) {
+	p.down.Store(true)
+	r.done <- moveResult{}
+}
+
+// snapshot captures a fuzzy-checkpoint image of every bucket materialized in
+// this partition's store. It runs on the executor, so each bucket's image and
+// its command-log head are captured atomically with respect to execution.
+// Table maps are copied; row values are aliased (stored rows are immutable by
+// convention).
+func (p *partition) snapshot(r *ctlRequest) {
+	if p.down.Load() {
+		r.done <- moveResult{err: partitionDownError(p.id)}
+		return
+	}
+	var logger CommandLogger
+	if h := p.eng.cmdLog.Load(); h != nil {
+		logger = h.l
+	}
+	snaps := make([]BucketSnapshot, 0, len(p.store.data))
+	for b, tables := range p.store.data {
+		copied := make(map[string]map[string]any, len(tables))
+		for tn, t := range tables {
+			ct := make(map[string]any, len(t))
+			for k, v := range t {
+				ct[k] = v
+			}
+			copied[tn] = ct
+		}
+		snap := BucketSnapshot{Bucket: b, Rows: p.store.rows[b], Tables: copied}
+		if logger != nil {
+			snap.LSN = logger.LogHead(b)
+		}
+		snaps = append(snaps, snap)
+	}
+	r.done <- moveResult{snaps: snaps}
+}
+
+// restore rebuilds a crashed partition: fresh store, snapshot images
+// installed, command tail replayed through the registered procedures in log
+// order. Replay skips service-time simulation, access counting and command
+// logging — it reproduces state, not load — and ignores procedure errors,
+// which replay deterministically just as they originally occurred.
+func (p *partition) restore(r *ctlRequest) {
+	if !p.down.Load() {
+		r.done <- moveResult{err: fmt.Errorf("store: restore of live partition %d", p.id)}
+		return
+	}
+	p.store = newBucketStore()
+	for _, s := range r.snaps {
+		p.store.data[s.Bucket] = s.Tables
+		p.store.rows[s.Bucket] = s.Rows
+	}
+	replayed := 0
+	for _, c := range r.cmds {
+		if c.ID < 0 || int(c.ID) >= len(p.eng.procs) {
+			continue
+		}
+		p.tx = Tx{p: p, bucket: c.Bucket, Key: c.Key, Args: c.Args}
+		runTxn(p.eng.procs[c.ID].fn, &p.tx)
+		p.tx = Tx{}
+		replayed++
+	}
+	atomic.StoreInt64(&p.rowsAtomic, int64(p.store.totalRows()))
+	p.down.Store(false)
+	r.done <- moveResult{rows: replayed}
 }

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPartitionDown is returned for transactions and forward migrations that
+// touch a crashed partition. The data is not lost — a crash freezes the
+// partition until a recovery manager rebuilds it from checkpoint + command
+// log — but nothing executes there while it is down.
+var ErrPartitionDown = errors.New("store: partition down")
+
+// CommandLogger receives one logical log record per executed transaction —
+// H-Store-style command logging, where the log captures the *input* of each
+// deterministic procedure rather than its effects. AppendCommand is called by
+// partition executors after the procedure ran (including procedures that
+// returned an error: their partial effects are part of the state and replay
+// reproduces them); LogHead is called by the snapshot path, on the same
+// executor goroutine, so the returned LSN is exact for every bucket the
+// executor owns.
+type CommandLogger interface {
+	AppendCommand(bucket int, id TxnID, key string, args any)
+	LogHead(bucket int) uint64
+}
+
+// cmdLogHolder wraps the logger interface so it can live in an
+// atomic.Pointer (and be cleared by storing a holder with a nil logger).
+type cmdLogHolder struct{ l CommandLogger }
+
+// SetCommandLog attaches (or, with nil, detaches) a command logger. Attach it
+// before any data loads: replay reconstructs a bucket from its full command
+// history, so commands executed while no logger was attached are invisible to
+// recovery. Safe to call at any time.
+func (e *Engine) SetCommandLog(l CommandLogger) {
+	e.cmdLog.Store(&cmdLogHolder{l: l})
+}
+
+// BucketSnapshot is one bucket's fuzzy-checkpoint image: its tables at the
+// moment the owning executor snapshotted it, and the command-log LSN the
+// image covers. Table maps are fresh copies but row values are aliased — the
+// engine's stored rows are immutable by convention (procedures copy before
+// mutating), which is what makes O(rows) snapshot cloning safe.
+type BucketSnapshot struct {
+	// Bucket is the bucket id.
+	Bucket int
+	// Rows is the bucket's row count at snapshot time.
+	Rows int
+	// LSN is the bucket's command-log head at snapshot time: replaying
+	// commands with larger LSNs on top of the image reproduces the current
+	// state exactly.
+	LSN uint64
+	// Tables is the bucket's data: table -> key -> row.
+	Tables map[string]map[string]any
+}
+
+// ReplayCommand is one command-log record handed back to a partition for
+// replay during recovery.
+type ReplayCommand struct {
+	// Bucket is the bucket the command executed in.
+	Bucket int
+	// ID is the procedure's dense handle.
+	ID TxnID
+	// Key and Args are the procedure's original input.
+	Key  string
+	Args any
+}
+
+// Crash marks every partition of a machine as down. Queued transactions and
+// transactions submitted while down fail with ErrPartitionDown; forward
+// migrations refuse to touch the machine (rollback moves are exempt — the
+// Squall source keeps its committed copy until the destination acknowledges,
+// so undoing an aborted move cannot be blocked by the crash). The partition's
+// memory image is abandoned, not cleared: restoration wipes it and rebuilds
+// from checkpoint + command log, modeling a replacement machine.
+func (e *Engine) Crash(machine int) error {
+	if machine < 0 || machine >= e.cfg.MaxMachines {
+		return fmt.Errorf("store: machine %d out of [0, %d)", machine, e.cfg.MaxMachines)
+	}
+	for _, part := range e.PartitionsOfMachine(machine) {
+		req := &ctlRequest{kind: ctlCrash, done: make(chan moveResult, 1)}
+		p := e.parts[part]
+		select {
+		case p.ch <- request{ctl: req}:
+		case <-p.stop:
+			return ErrStopped
+		}
+		if res := <-req.done; res.err != nil {
+			return res.err
+		}
+	}
+	return nil
+}
+
+// PartitionDown reports whether a partition is crashed.
+func (e *Engine) PartitionDown(part int) bool {
+	if part < 0 || part >= len(e.parts) {
+		return false
+	}
+	return e.parts[part].down.Load()
+}
+
+// MachineDown reports whether a machine is crashed (machines crash and
+// recover whole, so any down partition means the machine is down).
+func (e *Engine) MachineDown(m int) bool {
+	for _, part := range e.PartitionsOfMachine(m) {
+		if e.parts[part].down.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// DownMachines lists the crashed machines in ascending order.
+func (e *Engine) DownMachines() []int {
+	var out []int
+	for m := 0; m < e.cfg.MaxMachines; m++ {
+		if e.MachineDown(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// SnapshotPartition captures a fuzzy checkpoint of one live partition: a
+// BucketSnapshot per bucket currently materialized in its store, each stamped
+// with the bucket's command-log head. The snapshot runs on the partition's
+// executor — it is consistent by serial execution, not by locking — and costs
+// O(tables+rows) map copying while the executor is busy, the checkpoint
+// interference a real fuzzy checkpointer also pays.
+func (e *Engine) SnapshotPartition(part int) ([]BucketSnapshot, error) {
+	if part < 0 || part >= len(e.parts) {
+		return nil, fmt.Errorf("store: partition %d out of range", part)
+	}
+	req := &ctlRequest{kind: ctlSnapshot, done: make(chan moveResult, 1)}
+	p := e.parts[part]
+	select {
+	case p.ch <- request{ctl: req}:
+	case <-p.stop:
+		return nil, ErrStopped
+	}
+	res := <-req.done
+	return res.snaps, res.err
+}
+
+// RestorePartition rebuilds a crashed partition: its store is wiped, the
+// snapshots installed, and the command tail replayed in log order through the
+// registered procedures (deterministic replay — same inputs, same serial
+// order, same state). The caller must hand over ownership of the snapshot
+// maps; replay mutates them. It returns the number of commands replayed and
+// clears the partition's down flag on success.
+func (e *Engine) RestorePartition(part int, snaps []BucketSnapshot, cmds []ReplayCommand) (int, error) {
+	if part < 0 || part >= len(e.parts) {
+		return 0, fmt.Errorf("store: partition %d out of range", part)
+	}
+	p := e.parts[part]
+	if !p.down.Load() {
+		return 0, fmt.Errorf("store: partition %d is not down", part)
+	}
+	req := &ctlRequest{kind: ctlRestore, snaps: snaps, cmds: cmds, done: make(chan moveResult, 1)}
+	select {
+	case p.ch <- request{ctl: req}:
+	case <-p.stop:
+		return 0, ErrStopped
+	}
+	res := <-req.done
+	return res.rows, res.err
+}
+
+// partitionDownError wraps ErrPartitionDown with the partition id.
+func partitionDownError(part int) error {
+	return fmt.Errorf("%w: partition %d", ErrPartitionDown, part)
+}

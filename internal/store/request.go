@@ -61,6 +61,12 @@ type ctlKind uint8
 const (
 	ctlMoveOut ctlKind = iota
 	ctlInstall
+	// ctlCrash marks the partition down (machine crash).
+	ctlCrash
+	// ctlSnapshot captures a fuzzy-checkpoint image of the partition.
+	ctlSnapshot
+	// ctlRestore rebuilds a down partition from snapshots + command replay.
+	ctlRestore
 )
 
 // ctlRequest is a migration step processed by a partition executor. A
@@ -72,20 +78,31 @@ const (
 type ctlRequest struct {
 	kind ctlKind
 
-	// moveOut fields.
+	// moveOut fields. rollback marks the undo path of an aborted migration,
+	// which down partitions must not refuse (the source still holds the
+	// committed copy, so restoring it is always safe).
 	buckets  []int
 	dest     *partition
 	perRow   time.Duration
 	overhead time.Duration
+	rollback bool
 
 	// install fields.
 	data BucketData
 	cost time.Duration
 
+	// restore fields.
+	snaps []BucketSnapshot
+	cmds  []ReplayCommand
+
 	done chan moveResult
 }
 
 type moveResult struct {
+	// rows is the row count of a move, or the replayed-command count of a
+	// restore.
 	rows int
-	err  error
+	// snaps carries a snapshot reply.
+	snaps []BucketSnapshot
+	err   error
 }

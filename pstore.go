@@ -15,7 +15,8 @@
 // latency recorder and the provisioning controller's monitoring/decision
 // loop — behind one lifecycle (NewCluster, Start, Stop) and publishes a
 // typed event stream (MoveStarted, MoveFinished, DecisionFailed,
-// EmergencyTriggered, LoadObserved) for observers.
+// EmergencyTriggered, LoadObserved, MachineFailed, MachineRecovered) for
+// observers.
 //
 // The package is a facade over the internal subsystems:
 //
@@ -49,10 +50,12 @@ import (
 	"pstore/internal/cluster"
 	"pstore/internal/elastic"
 	"pstore/internal/experiments"
+	"pstore/internal/faults"
 	"pstore/internal/metrics"
 	"pstore/internal/migration"
 	"pstore/internal/planner"
 	"pstore/internal/predictor"
+	"pstore/internal/recovery"
 	"pstore/internal/sim"
 	"pstore/internal/squall"
 	"pstore/internal/store"
@@ -96,6 +99,11 @@ type (
 	DecisionFailed = cluster.DecisionFailed
 	// EmergencyTriggered reports an emergency scale-out decision.
 	EmergencyTriggered = cluster.EmergencyTriggered
+	// MachineFailed reports a machine crash from the crash schedule.
+	MachineFailed = cluster.MachineFailed
+	// MachineRecovered reports a crashed machine rebuilt from its last
+	// checkpoint plus command-log replay.
+	MachineRecovered = cluster.MachineRecovered
 )
 
 // ErrMoveInFlight is returned by Cluster.Reconfigure while a move runs.
@@ -220,6 +228,38 @@ func NewSquall(eng *Engine, cfg SquallConfig) (*Squall, error) {
 
 // DefaultSquallConfig returns a throttled migration configuration.
 func DefaultSquallConfig() SquallConfig { return squall.DefaultConfig() }
+
+// --- crash recovery (machine failures) --------------------------------------
+
+// RecoveryManager gives every bucket a command log and checkpoint images,
+// and rebuilds a crashed machine to its exact pre-crash state by installing
+// the images and replaying the logged command tails (see internal/recovery).
+// Attach it with NewRecoveryManager before Engine.Start; the Cluster runtime
+// builds one automatically when a crash schedule is armed.
+type RecoveryManager = recovery.Manager
+
+// RecoveryStats counts crashes, recoveries, checkpoints, replayed commands
+// and cumulative downtime.
+type RecoveryStats = recovery.Stats
+
+// NewRecoveryManager attaches a recovery manager to an engine's command-log
+// hook. Call before Engine.Start so every transaction is logged.
+func NewRecoveryManager(eng *Engine) *RecoveryManager { return recovery.NewManager(eng) }
+
+// CrashSchedule is a deterministic machine-failure schedule (planned
+// crashes plus a hashed per-cycle rate) for ClusterConfig.Crash.
+type CrashSchedule = faults.CrashSchedule
+
+// PlannedCrash pins one machine failure to one monitoring cycle.
+type PlannedCrash = faults.PlannedCrash
+
+// ParseCrashSchedule parses the pstore --crash spec format, e.g.
+// "seed=42,rate=0.05,downtime=4,at=1@10+5".
+func ParseCrashSchedule(spec string) (CrashSchedule, error) { return faults.ParseCrash(spec) }
+
+// ErrPartitionDown is returned for transactions and migrations that touch a
+// crashed machine; it heals when the machine recovers.
+var ErrPartitionDown = store.ErrPartitionDown
 
 // --- provisioning controllers (paper Sections 6, 8) ------------------------
 

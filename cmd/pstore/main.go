@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pstore/internal/b2w"
@@ -145,6 +146,8 @@ func runServe(args []string) error {
 	faultSpec := fs.String("faults", "", "fault-injection spec, e.g. seed=42,chunk-drop=0.05 (keys: seed, chunk-drop, chunk-slow, slow-delay, stall, stall-delay, crash-pair=F:T, crash-part=N)")
 	crashSpec := fs.String("crash", "", "machine-crash schedule, e.g. seed=42,rate=0.02,downtime=4,at=1@10+5 (keys: seed, rate, downtime, at=M@T[+D] in controller cycles)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint the recovery command log every N controller cycles (0 = 10 when -crash is set)")
+	deadline := fs.Duration("deadline", 0, "per-request deadline arming admission control and queue-deadline enforcement (0 = off)")
+	overloadSpec := fs.String("overload", "", "overload-plane spec, e.g. deadline=50ms,target=5ms,interval=100ms,track=true (shorthand: -deadline)")
 	quiet := fs.Bool("quiet", false, "suppress the live event log")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,6 +164,16 @@ func runServe(args []string) error {
 	train := full.Slice(0, 28*workload.MinutesPerDay)
 	replay := full.Slice(28*workload.MinutesPerDay, full.Len())
 
+	olCfg, err := store.ParseOverload(*overloadSpec)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if *deadline < 0 {
+		return fmt.Errorf("serve: negative -deadline %v", *deadline)
+	}
+	if *deadline > 0 {
+		olCfg.Deadline = *deadline
+	}
 	engCfg := store.Config{
 		MaxMachines:          *maxM,
 		PartitionsPerMachine: 4,
@@ -168,6 +181,10 @@ func runServe(args []string) error {
 		ServiceTime:          3 * time.Millisecond,
 		QueueCapacity:        1 << 15,
 		InitialMachines:      *initial,
+		Overload:             olCfg,
+	}
+	if olCfg.Enabled() {
+		fmt.Fprintf(os.Stderr, "serve: overload plane armed: %s\n", olCfg)
 	}
 	// Size the trace so its peak demands ~3/4 of the cluster at Q-hat.
 	perMachine := 0.8 * float64(engCfg.PartitionsPerMachine) / engCfg.ServiceTime.Seconds()
@@ -275,7 +292,7 @@ func runServe(args []string) error {
 	}
 	defer c.Stop()
 	start := time.Now()
-	driver := &b2w.Driver{Eng: c.Engine(), Spec: spec, Seed: *seed + 1}
+	driver := &b2w.Driver{Eng: c.Engine(), Spec: spec, Seed: *seed + 1, Recorder: c.Recorder()}
 	stats, err := driver.Run(ctx, replay, *minute, rateScale)
 	c.Stop()
 	watch.Wait()
@@ -287,6 +304,13 @@ func runServe(args []string) error {
 	cs := c.Stats()
 	fmt.Printf("served %d transactions (%d failed) in %v\n",
 		stats.Executed, stats.Failed, time.Since(start).Round(time.Millisecond))
+	// One refused-work total across the whole stack: the driver's client-side
+	// in-flight cap and the engine's admission/shed/deadline defenses.
+	if oc := rec.OverloadCounters(); oc.Refused() > 0 || olCfg.Enabled() {
+		fmt.Printf("refused: %d total (%d rejected, %d shed, %d deadline-exceeded, %d client-shed), worst queue delay %v\n",
+			oc.Refused(), oc.Rejected, oc.Shed, oc.DeadlineExceeded, oc.ClientShed,
+			c.Engine().MaxQueueSojourn().Round(time.Millisecond))
+	}
 	fmt.Printf("SLA violations (>%g ms): p50 %d, p95 %d, p99 %d\n",
 		*sloMs, rec.SLAViolations(50, *sloMs), rec.SLAViolations(95, *sloMs), rec.SLAViolations(99, *sloMs))
 	fmt.Printf("machines: avg %.2f (initial %d, max %d)\n", rec.AverageMachines(), *initial, *maxM)
@@ -479,6 +503,8 @@ func runBench(args []string) error {
 	migOut := fs.String("migration-out", "BENCH_migration.json", "migration bench output JSON path (- for stdout, empty to skip)")
 	migFaults := fs.String("migration-faults", "seed=42,chunk-drop=0.05", "fault spec for the migration pass (empty for a clean run)")
 	recOut := fs.String("recovery-out", "BENCH_recovery.json", "crash-recovery bench output JSON path (- for stdout, empty to skip)")
+	olOut := fs.String("overload-out", "BENCH_overload.json", "overload bench output JSON path (- for stdout, empty to skip)")
+	olDur := fs.Duration("overload-duration", 500*time.Millisecond, "length of each overload bench point")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -606,9 +632,199 @@ func runBench(args []string) error {
 		}
 	}
 	if *recOut != "" {
-		return runBenchRecovery(*recOut)
+		if err := runBenchRecovery(*recOut); err != nil {
+			return err
+		}
+	}
+	if *olOut != "" {
+		return runBenchOverload(*olOut, *olDur)
 	}
 	return nil
+}
+
+// benchOverloadResult is the JSON schema of BENCH_overload.json: goodput
+// (completions inside the deadline) and p99 queue sojourn versus offered
+// load, with and without admission control, at a fixed seed. The numbers the
+// overload plane is accountable for: past saturation, goodput with admission
+// control should stay near capacity while the undefended engine's collapses
+// as every completion arrives too late.
+type benchOverloadResult struct {
+	Benchmark   string               `json:"benchmark"`
+	GoVersion   string               `json:"go_version"`
+	DeadlineMs  float64              `json:"deadline_ms"`
+	CapacityTPS float64              `json:"capacity_tps"`
+	Points      []benchOverloadPoint `json:"points"`
+}
+
+type benchOverloadPoint struct {
+	// OfferedTPS is the paced open-loop arrival rate; Admission reports
+	// whether the engine's overload plane was enforcing (false = sojourn
+	// tracking only).
+	OfferedTPS   float64 `json:"offered_tps"`
+	Admission    bool    `json:"admission_control"`
+	CompletedTPS float64 `json:"completed_tps"`
+	// GoodputTPS counts only completions whose client-observed latency was
+	// inside the deadline — completions past it are wasted work.
+	GoodputTPS       float64 `json:"goodput_tps"`
+	P99SojournMs     float64 `json:"p99_sojourn_ms"`
+	Rejected         int64   `json:"rejected"`
+	Shed             int64   `json:"shed"`
+	DeadlineExceeded int64   `json:"deadline_exceeded"`
+}
+
+// runBenchOverload drives one small engine at a sweep of offered loads (0.5x
+// to 4x capacity) twice — overload plane enforcing, and tracking only — and
+// records goodput and queue-sojourn percentiles for each point.
+func runBenchOverload(out string, pointDur time.Duration) error {
+	// A 2ms simulated service time keeps the sleep-timer overshoot (tens of
+	// microseconds per transaction) a rounding error, so the engine's real
+	// capacity matches the nominal parts/svc figure the sweep is scaled by.
+	const (
+		deadline = 20 * time.Millisecond
+		svc      = 2 * time.Millisecond
+		parts    = 2
+		workers  = 32
+	)
+	capacity := float64(parts) / svc.Seconds()
+	res := benchOverloadResult{
+		Benchmark:   "overload_goodput",
+		GoVersion:   runtime.Version(),
+		DeadlineMs:  float64(deadline) / float64(time.Millisecond),
+		CapacityTPS: capacity,
+	}
+	for _, mult := range []float64{0.5, 1, 2, 4} {
+		for _, admission := range []bool{true, false} {
+			ol := store.OverloadConfig{Track: true}
+			if admission {
+				ol.Deadline = deadline
+				ol.CoDelTarget = 5 * time.Millisecond
+				ol.CoDelInterval = 50 * time.Millisecond
+			}
+			pt, err := benchOverloadPointRun(mult*capacity, admission, ol, deadline, svc, parts, workers, pointDur)
+			if err != nil {
+				return err
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	// Report the 2x-capacity pair: the point where the defenses matter.
+	var on, off benchOverloadPoint
+	for _, pt := range res.Points {
+		if pt.OfferedTPS == 2*capacity {
+			if pt.Admission {
+				on = pt
+			} else {
+				off = pt
+			}
+		}
+	}
+	fmt.Printf("bench: overload at 2x capacity: goodput %.0f tps with admission control vs %.0f without (p99 sojourn %.1f vs %.1f ms) -> %s\n",
+		on.GoodputTPS, off.GoodputTPS, on.P99SojournMs, off.P99SojournMs, out)
+	return nil
+}
+
+// benchOverloadPointRun measures one (offered load, admission) point on a
+// fresh engine: paced open-loop workers, SLO-conditioned goodput, and the
+// recorder's sojourn percentiles.
+func benchOverloadPointRun(offered float64, admission bool, ol store.OverloadConfig,
+	deadline, svc time.Duration, parts, workers int, dur time.Duration) (benchOverloadPoint, error) {
+	var pt benchOverloadPoint
+	cfg := store.Config{
+		MaxMachines:          1,
+		PartitionsPerMachine: parts,
+		Buckets:              64,
+		ServiceTime:          svc,
+		QueueCapacity:        1 << 12,
+		InitialMachines:      1,
+		Overload:             ol,
+	}
+	eng, err := store.NewEngine(cfg)
+	if err != nil {
+		return pt, err
+	}
+	if err := eng.Register("noop", func(*store.Tx) (any, error) { return nil, nil }); err != nil {
+		return pt, err
+	}
+	rec, err := metrics.NewRecorder(time.Now(), 2*dur+time.Second)
+	if err != nil {
+		return pt, err
+	}
+	eng.SetRecorder(rec)
+	eng.Start()
+	defer eng.Stop()
+	id, _ := eng.Handle("noop")
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ol-key-%04d", i)
+	}
+
+	interval := time.Duration(float64(workers) / offered * float64(time.Second))
+	var completed, good atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Stagger worker phases so the aggregate arrival process is
+			// uniform at the offered rate rather than synchronized bursts
+			// of all workers at once.
+			next := start.Add(interval * time.Duration(w) / time.Duration(workers))
+			for i := w; ; i += workers {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Open-loop pacing: hold the offered rate even when calls
+				// block, but do not bank an unbounded burst while stuck
+				// behind a saturated queue.
+				if wait := time.Until(next); wait > 0 {
+					time.Sleep(wait)
+				} else if wait < -10*interval {
+					next = time.Now()
+				}
+				next = next.Add(interval)
+				t0 := time.Now()
+				if _, err := eng.ExecuteID(id, keys[i&255], nil); err == nil {
+					completed.Add(1)
+					if time.Since(t0) <= deadline {
+						good.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	eng.SetRecorder(nil)
+
+	cnt := eng.Counters()
+	return benchOverloadPoint{
+		OfferedTPS:       offered,
+		Admission:        admission,
+		CompletedTPS:     float64(completed.Load()) / elapsed.Seconds(),
+		GoodputTPS:       float64(good.Load()) / elapsed.Seconds(),
+		P99SojournMs:     rec.SojournPercentile(0, 99),
+		Rejected:         cnt.Rejected,
+		Shed:             cnt.Shed,
+		DeadlineExceeded: cnt.DeadlineExceeded,
+	}, nil
 }
 
 // runBenchMigration measures a scale-out and scale-in round trip on a loaded

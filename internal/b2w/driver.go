@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pstore/internal/metrics"
 	"pstore/internal/store"
 	"pstore/internal/workload"
 )
@@ -62,10 +63,15 @@ type Driver struct {
 	// counted. Zero sizes the cap from the engine's per-partition queue
 	// capacity.
 	MaxInFlight int
+	// Recorder, when set, receives client-side sheds (CountClientShed), so
+	// the serve summary can report one total of work refused across the
+	// driver's in-flight cap and the engine's server-side defenses.
+	Recorder *metrics.Recorder
 
 	inFlight sync.WaitGroup
 	executed atomic.Int64
 	failed   atomic.Int64
+	refused  atomic.Int64
 	shed     atomic.Int64
 }
 
@@ -75,10 +81,16 @@ type Stats struct {
 	Executed int64
 	// Failed is the number of transactions that returned an error
 	// (including expected business errors like insufficient stock).
+	// Refusals by the engine's overload plane are counted in Refused, not
+	// here.
 	Failed int64
+	// Refused is the number of submissions the engine's overload plane
+	// turned away (store.ErrOverload / store.ErrDeadlineExceeded): work the
+	// server declined under backpressure, distinct from work that failed.
+	Refused int64
 	// Shed is the number of Poisson arrivals dropped because MaxInFlight
-	// submissions were already outstanding — the driver's admission
-	// control under overload.
+	// submissions were already outstanding — the driver's client-side
+	// admission control under overload.
 	Shed int64
 }
 
@@ -134,6 +146,9 @@ func (d *Driver) Run(ctx context.Context, series workload.Series, slotDur time.D
 		case sem <- struct{}{}:
 		default:
 			d.shed.Add(1)
+			if d.Recorder != nil {
+				d.Recorder.CountClientShed()
+			}
 			continue
 		}
 		d.inFlight.Add(1)
@@ -142,15 +157,20 @@ func (d *Driver) Run(ctx context.Context, series workload.Series, slotDur time.D
 				<-sem
 				d.inFlight.Done()
 			}()
-			if _, err := d.Eng.ExecuteID(id, key, args); err != nil {
+			_, err := d.Eng.ExecuteID(id, key, args)
+			switch {
+			case err == nil:
+				d.executed.Add(1)
+			case errors.Is(err, store.ErrOverload) || errors.Is(err, store.ErrDeadlineExceeded):
+				d.refused.Add(1)
+			default:
 				d.failed.Add(1)
-				return
 			}
-			d.executed.Add(1)
 		}(ids[pick], key, args)
 	}
 	d.inFlight.Wait()
-	return Stats{Executed: d.executed.Load(), Failed: d.failed.Load(), Shed: d.shed.Load()}, ctx.Err()
+	return Stats{Executed: d.executed.Load(), Failed: d.failed.Load(),
+		Refused: d.refused.Load(), Shed: d.shed.Load()}, ctx.Err()
 }
 
 func sleepUntil(ctx context.Context, t time.Time) error {

@@ -435,9 +435,9 @@ func (c *Cluster) loop(ctx context.Context) {
 	defer close(c.loopDone)
 	ticker := time.NewTicker(c.cfg.Cycle)
 	defer ticker.Stop()
-	// Start from the current counter so bootstrap work does not masquerade
+	// Start from the current counters so bootstrap work does not masquerade
 	// as offered load on the first cycle.
-	last := c.eng.Counters().Submitted
+	last := c.eng.Counters()
 	for cycle := 0; ; cycle++ {
 		select {
 		case <-ctx.Done():
@@ -448,9 +448,18 @@ func (c *Cluster) loop(ctx context.Context) {
 		if c.cfg.Controller == nil {
 			continue
 		}
-		sub := c.eng.Counters().Submitted
-		delta := sub - last
-		last = sub
+		cnt := c.eng.Counters()
+		delta := cnt.Submitted - last.Submitted
+		// Refused work per cycle is the backpressure signal: the engine only
+		// rejects/sheds when past capacity, so any nonzero count is direct
+		// evidence the provisioning plan is behind the actual load.
+		sig := elastic.OverloadSignal{
+			Rejected:         cnt.Rejected - last.Rejected,
+			Shed:             cnt.Shed - last.Shed,
+			DeadlineExceeded: cnt.DeadlineExceeded - last.DeadlineExceeded,
+			QueueDelay:       c.eng.MaxQueueSojourn(),
+		}
+		last = cnt
 		load := float64(delta) / c.cfg.RateScale / c.cfg.CycleTraceMinutes
 		c.mu.Lock()
 		busy := c.moving
@@ -465,6 +474,15 @@ func (c *Cluster) loop(ctx context.Context) {
 			for _, o := range outcomes {
 				obs.MoveResult(o.target, o.err)
 			}
+		}
+		if sig.Refused() > 0 {
+			c.publish(OverloadObserved{Time: time.Now(), Cycle: cycle, Rejected: sig.Rejected,
+				Shed: sig.Shed, DeadlineExceeded: sig.DeadlineExceeded, QueueDelay: sig.QueueDelay})
+		}
+		// The overload signal is delivered every cycle — zero included, so
+		// observers can track recovery — on this goroutine, before Tick.
+		if obs, ok := c.cfg.Controller.(elastic.OverloadObserver); ok {
+			obs.Overloaded(sig)
 		}
 		machines := c.eng.ActiveMachines()
 		// The controller plans in units of capacity it can actually use:

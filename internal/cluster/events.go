@@ -94,6 +94,23 @@ type EmergencyTriggered struct {
 	RateFactor float64
 }
 
+// OverloadObserved is emitted once per monitoring cycle in which the engine
+// refused work: admission-control rejections, CoDel sheds, or queue-deadline
+// expiries. The same signal is delivered to an OverloadObserver controller
+// before its Tick.
+type OverloadObserved struct {
+	Time  time.Time
+	Cycle int
+	// Rejected, Shed and DeadlineExceeded are the cycle's refused-work
+	// counts, by mechanism.
+	Rejected         int64
+	Shed             int64
+	DeadlineExceeded int64
+	// QueueDelay is the worst partition's estimated queueing delay at the
+	// end of the cycle.
+	QueueDelay time.Duration
+}
+
 // MachineFailed is emitted when the crash schedule takes a machine down. Its
 // partitions refuse transactions (and migrations) until recovery; in-flight
 // moves touching the machine abort and roll back.
@@ -126,6 +143,7 @@ func (e MoveFinished) When() time.Time       { return e.Time }
 func (e MoveFailed) When() time.Time         { return e.Time }
 func (e DecisionFailed) When() time.Time     { return e.Time }
 func (e EmergencyTriggered) When() time.Time { return e.Time }
+func (e OverloadObserved) When() time.Time   { return e.Time }
 func (e MachineFailed) When() time.Time      { return e.Time }
 func (e MachineRecovered) When() time.Time   { return e.Time }
 
@@ -135,6 +153,7 @@ func (MoveFinished) event()       {}
 func (MoveFailed) event()         {}
 func (DecisionFailed) event()     {}
 func (EmergencyTriggered) event() {}
+func (OverloadObserved) event()   {}
 func (MachineFailed) event()      {}
 func (MachineRecovered) event()   {}
 
@@ -176,6 +195,11 @@ func (e DecisionFailed) String() string {
 func (e EmergencyTriggered) String() string {
 	return fmt.Sprintf("cycle %d: emergency scaling to %d machines (controller rate %gx)",
 		e.Cycle, e.Target, e.RateFactor)
+}
+
+func (e OverloadObserved) String() string {
+	return fmt.Sprintf("cycle %d: overload: %d rejected, %d shed, %d deadline-exceeded (queue delay %v)",
+		e.Cycle, e.Rejected, e.Shed, e.DeadlineExceeded, e.QueueDelay.Round(time.Millisecond))
 }
 
 func (e MachineFailed) String() string {

@@ -12,7 +12,10 @@
 // implementation for both benchmark and simulation studies.
 package elastic
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Decision asks the executing world to start a reconfiguration now.
 type Decision struct {
@@ -61,6 +64,38 @@ type FailureObserver interface {
 	// MachineRecovered reports that a crashed machine finished recovery and
 	// serves again.
 	MachineRecovered(machine int)
+}
+
+// OverloadSignal summarizes one monitoring interval's server-side overload
+// activity: work the engine refused (admission-control rejections, CoDel
+// sheds, queue-deadline expiries) and the worst per-partition estimated
+// queueing delay. A zero signal means the interval saw no overload.
+type OverloadSignal struct {
+	// Rejected, Shed and DeadlineExceeded are the interval's refused-work
+	// counts, by mechanism.
+	Rejected         int64
+	Shed             int64
+	DeadlineExceeded int64
+	// QueueDelay is the worst partition's estimated queueing delay (the
+	// executor-maintained sojourn EWMA) at the end of the interval.
+	QueueDelay time.Duration
+}
+
+// Refused is the total work the engine refused during the interval.
+func (s OverloadSignal) Refused() int64 {
+	return s.Rejected + s.Shed + s.DeadlineExceeded
+}
+
+// OverloadObserver is optionally implemented by controllers that want the
+// engine's backpressure signal. The executing world calls Overloaded once
+// per monitoring interval — zero signal included — on the same goroutine
+// that calls Tick, never concurrently with it, and before that interval's
+// Tick. The signal matters because the load measurement alone cannot reveal
+// overload promptly: throughput plateaus at capacity while queues grow, and
+// the recorder's latency window confirms the damage only after the fact.
+// Refused work is the leading indicator.
+type OverloadObserver interface {
+	Overloaded(sig OverloadSignal)
 }
 
 // Static never reconfigures: the paper's peak-provisioned (10 machines) and

@@ -61,12 +61,13 @@ type Predictive struct {
 	// see, at the paper's rate-R x 8 escape hatch, until the window ends.
 	FallbackCycles int
 
-	scaleInStreak int
-	lastPlan      *planner.Plan
-	recentLoads   []float64
-	fallbackLeft  int
-	failedMoves   int
-	fallback      *Reactive
+	scaleInStreak  int
+	lastPlan       *planner.Plan
+	recentLoads    []float64
+	fallbackLeft   int
+	failedMoves    int
+	fallback       *Reactive
+	overloadStreak int
 }
 
 // Name implements Controller.
@@ -92,6 +93,32 @@ func (p *Predictive) MoveResult(_ int, err error) {
 		return
 	}
 	p.failedMoves++
+	p.enterFallback()
+}
+
+// Overloaded implements OverloadObserver: sustained refused work is a
+// misprediction made manifest — the planner guaranteed predicted load would
+// fit effective capacity (Eq. 7), and the engine shedding load proves it did
+// not. Two consecutive overloaded intervals (one could be a transient the
+// CoDel controller absorbs) discard the horizon plan and enter the reactive
+// fallback at the rate-R x 8 escape hatch, exactly as for a failed move.
+func (p *Predictive) Overloaded(sig OverloadSignal) {
+	if sig.Refused() == 0 {
+		p.overloadStreak = 0
+		return
+	}
+	if p.fallbackLeft > 0 {
+		// Already scaling on observation; pass the backpressure through so
+		// the fallback reacts even while its load measurement sits pinned at
+		// the throughput ceiling.
+		p.fallback.Overloaded(sig)
+		return
+	}
+	p.overloadStreak++
+	if p.overloadStreak < 2 {
+		return
+	}
+	p.overloadStreak = 0
 	p.enterFallback()
 }
 

@@ -44,10 +44,26 @@ type Reactive struct {
 
 	lowStreak  int
 	highStreak int
+	// overloadPending is set by Overloaded and consumed by the next Tick:
+	// refused work is direct evidence the cluster is past capacity, so the
+	// controller scales out immediately instead of waiting for the
+	// per-machine load threshold and its confirmation streak.
+	overloadPending bool
 }
 
 // Name implements Controller.
 func (r *Reactive) Name() string { return "Reactive" }
+
+// Overloaded implements OverloadObserver: any refused work arms an immediate
+// emergency scale-out on the next Tick. A reactive provisioner normally
+// learns of overload from its load measurement — but throughput saturates at
+// capacity, so the measurement stops rising exactly when the overload
+// starts; the engine's backpressure signal has no such ceiling.
+func (r *Reactive) Overloaded(sig OverloadSignal) {
+	if sig.Refused() > 0 {
+		r.overloadPending = true
+	}
+}
 
 func (r *Reactive) defaults() {
 	if r.HighFraction == 0 {
@@ -79,6 +95,26 @@ func (r *Reactive) Tick(machines int, reconfiguring bool, load float64) (*Decisi
 	if reconfiguring {
 		r.lowStreak = 0
 		r.highStreak = 0
+		r.overloadPending = false
+		return nil, nil
+	}
+	// Backpressure overrides threshold detection: the engine refusing work
+	// is proof of overload, so skip the confirmation streak and scale out at
+	// the emergency rate.
+	if r.overloadPending {
+		r.overloadPending = false
+		r.lowStreak = 0
+		r.highStreak = 0
+		target := max(r.Model.MachinesFor(load*r.Headroom), machines+1)
+		if target > machines+r.MaxStep {
+			target = machines + r.MaxStep
+		}
+		if r.MaxMachines > 0 && target > r.MaxMachines {
+			target = r.MaxMachines
+		}
+		if target > machines {
+			return &Decision{Target: target, RateFactor: 8, Emergency: true}, nil
+		}
 		return nil, nil
 	}
 	perMachine := load / float64(machines)

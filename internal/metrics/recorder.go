@@ -12,11 +12,11 @@ import (
 	"time"
 )
 
-// recordShards is the number of independent append buffers Record spreads
-// over. Must be a power of two.
+// recordShards is the number of independent append buffers a stream spreads
+// record calls over. Must be a power of two.
 const recordShards = 64
 
-// sample is one recorded latency, tagged with its aggregation window.
+// sample is one recorded value, tagged with its aggregation window.
 type sample struct {
 	w  int32
 	ms float64
@@ -30,29 +30,149 @@ type recordShard struct {
 	buf []sample
 }
 
-// Recorder accumulates per-transaction latencies into fixed-width time
-// windows (the paper uses one-second windows for SLA accounting). It is
-// safe for concurrent use by many client goroutines: Record appends to one
-// of several sharded buffers chosen by the record timestamp — there is no
-// shared mutex on the record path — and readers merge the shards into the
-// windowed view on demand.
-type Recorder struct {
+// stream accumulates values (milliseconds) into fixed-width time windows.
+// The record path appends to one of several sharded buffers chosen by the
+// record timestamp — no shared mutex — and readers merge the shards into the
+// windowed view on demand. The recorder keeps one stream per measured
+// quantity (client latency, queue sojourn).
+type stream struct {
 	start  time.Time
 	window time.Duration
 
 	shards [recordShards]recordShard
 
-	// mu guards the merged window state and the timeline below.
-	mu        sync.Mutex
-	latencies [][]float64 // per window, milliseconds
-	counts    []int
-	// sorted caches each window's sorted latencies; sortedN is the sample
-	// count the cache covers. Percentile re-sorts a window only when new
+	// mu guards the merged window state.
+	mu     sync.Mutex
+	values [][]float64 // per window, milliseconds
+	counts []int
+	// sorted caches each window's sorted values; sortedN is the sample
+	// count the cache covers. percentile re-sorts a window only when new
 	// samples arrived since — the cluster decision loop reads percentiles
 	// every cycle, almost always from settled windows.
 	sorted  [][]float64
 	sortedN []int
+}
 
+// record files one value observed at `at`. The shard is picked by mixing
+// the record timestamp, so concurrent recorders spread over independent
+// buffers instead of serializing on one lock.
+func (s *stream) record(at time.Time, d time.Duration) {
+	since := at.Sub(s.start)
+	w := int(since / s.window)
+	if w < 0 {
+		w = 0
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	h := uint64(since) * 0x9E3779B97F4A7C15
+	sh := &s.shards[(h>>32)&(recordShards-1)]
+	sh.mu.Lock()
+	sh.buf = append(sh.buf, sample{w: int32(w), ms: ms})
+	sh.mu.Unlock()
+}
+
+// flushLocked merges every shard's pending samples into the windowed view.
+// The caller must hold s.mu.
+func (s *stream) flushLocked() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, smp := range sh.buf {
+			w := int(smp.w)
+			for len(s.values) <= w {
+				s.values = append(s.values, nil)
+				s.counts = append(s.counts, 0)
+				s.sorted = append(s.sorted, nil)
+				s.sortedN = append(s.sortedN, 0)
+			}
+			s.values[w] = append(s.values[w], smp.ms)
+			s.counts[w]++
+		}
+		sh.buf = sh.buf[:0]
+		sh.mu.Unlock()
+	}
+}
+
+// windows returns the number of aggregation windows observed so far.
+func (s *stream) windows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	return len(s.values)
+}
+
+// count returns the number of samples in window w.
+func (s *stream) count(w int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	if w < 0 || w >= len(s.counts) {
+		return 0
+	}
+	return s.counts[w]
+}
+
+// countSeries returns the per-window sample counts.
+func (s *stream) countSeries() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	out := make([]int, len(s.counts))
+	copy(out, s.counts)
+	return out
+}
+
+// percentile returns the p-th percentile value of window w.
+func (s *stream) percentile(w int, p float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	return s.percentileLocked(w, p)
+}
+
+// percentileLocked serves a percentile from the sorted-window cache,
+// re-sorting only windows that received samples since the last call. The
+// caller must hold s.mu and have flushed.
+func (s *stream) percentileLocked(w int, p float64) float64 {
+	if w < 0 || w >= len(s.values) || len(s.values[w]) == 0 {
+		return 0
+	}
+	if s.sortedN[w] != len(s.values[w]) {
+		s.sorted[w] = append(s.sorted[w][:0], s.values[w]...)
+		sort.Float64s(s.sorted[w])
+		s.sortedN[w] = len(s.values[w])
+	}
+	return percentileOfSorted(s.sorted[w], p)
+}
+
+// percentileSeries returns the p-th percentile value of every window.
+func (s *stream) percentileSeries(p float64) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	out := make([]float64, len(s.values))
+	for w := range s.values {
+		out[w] = s.percentileLocked(w, p)
+	}
+	return out
+}
+
+// Recorder accumulates per-transaction latencies into fixed-width time
+// windows (the paper uses one-second windows for SLA accounting), plus a
+// parallel stream of server-side queue-sojourn times and the counter sets of
+// the migration, recovery and overload planes. It is safe for concurrent use
+// by many client goroutines.
+type Recorder struct {
+	start  time.Time
+	window time.Duration
+
+	// lat is client-observed transaction latency; soj is server-side queue
+	// sojourn time (enqueue to execution start), recorded by partition
+	// executors when the overload plane has sojourn tracking armed.
+	lat stream
+	soj stream
+
+	// mu guards the timelines below.
+	mu            sync.Mutex
 	machines      []machineSample
 	reconfiguring []reconfigSpan
 
@@ -69,6 +189,14 @@ type Recorder struct {
 	recReplayed     atomic.Int64
 	recMaxReplayLag atomic.Int64
 	recDowntimeNs   atomic.Int64
+
+	// Overload-plane counters: work refused server-side (admission-control
+	// rejections, CoDel sheds, queue-deadline expiries) and client-side
+	// (driver in-flight cap).
+	olRejected   atomic.Int64
+	olShed       atomic.Int64
+	olDeadline   atomic.Int64
+	olClientShed atomic.Int64
 }
 
 // MigrationCounters are the cumulative migration-path health counters: chunk
@@ -91,6 +219,22 @@ type RecoveryCounters struct {
 	Downtime         time.Duration
 }
 
+// OverloadCounters are the cumulative overload-plane counters: transactions
+// refused by admission control, shed by the CoDel controller, expired in a
+// partition queue, and shed client-side by the driver's in-flight cap.
+type OverloadCounters struct {
+	Rejected         int64
+	Shed             int64
+	DeadlineExceeded int64
+	ClientShed       int64
+}
+
+// Refused is the total work refused anywhere in the stack — the one number
+// the serve summary reports per run.
+func (c OverloadCounters) Refused() int64 {
+	return c.Rejected + c.Shed + c.DeadlineExceeded + c.ClientShed
+}
+
 type machineSample struct {
 	at time.Time
 	n  int
@@ -106,47 +250,22 @@ func NewRecorder(start time.Time, window time.Duration) (*Recorder, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("metrics: window %v must be positive", window)
 	}
-	return &Recorder{start: start, window: window}, nil
+	r := &Recorder{start: start, window: window}
+	r.lat = stream{start: start, window: window}
+	r.soj = stream{start: start, window: window}
+	return r, nil
 }
 
 // Record files one completed transaction that finished at `at` with the
-// given latency. The shard is picked by mixing the record timestamp, so
-// concurrent recorders spread over independent buffers instead of
-// serializing on one lock.
+// given latency.
 func (r *Recorder) Record(at time.Time, latency time.Duration) {
-	since := at.Sub(r.start)
-	w := int(since / r.window)
-	if w < 0 {
-		w = 0
-	}
-	ms := float64(latency) / float64(time.Millisecond)
-	h := uint64(since) * 0x9E3779B97F4A7C15
-	s := &r.shards[(h>>32)&(recordShards-1)]
-	s.mu.Lock()
-	s.buf = append(s.buf, sample{w: int32(w), ms: ms})
-	s.mu.Unlock()
+	r.lat.record(at, latency)
 }
 
-// flushLocked merges every shard's pending samples into the windowed view.
-// The caller must hold r.mu.
-func (r *Recorder) flushLocked() {
-	for i := range r.shards {
-		s := &r.shards[i]
-		s.mu.Lock()
-		for _, smp := range s.buf {
-			w := int(smp.w)
-			for len(r.latencies) <= w {
-				r.latencies = append(r.latencies, nil)
-				r.counts = append(r.counts, 0)
-				r.sorted = append(r.sorted, nil)
-				r.sortedN = append(r.sortedN, 0)
-			}
-			r.latencies[w] = append(r.latencies[w], smp.ms)
-			r.counts[w]++
-		}
-		s.buf = s.buf[:0]
-		s.mu.Unlock()
-	}
+// RecordSojourn files one request's queue sojourn time (enqueue to execution
+// start) observed at `at` by a partition executor.
+func (r *Recorder) RecordSojourn(at time.Time, sojourn time.Duration) {
+	r.soj.record(at, sojourn)
 }
 
 // RecordMachines notes that the cluster size changed to n at time `at`.
@@ -214,48 +333,54 @@ func (r *Recorder) RecoveryCounters() RecoveryCounters {
 	}
 }
 
-// Windows returns the number of aggregation windows observed so far.
-func (r *Recorder) Windows() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
-	return len(r.latencies)
+// CountRejected files one transaction refused by admission control.
+func (r *Recorder) CountRejected() { r.olRejected.Add(1) }
+
+// CountShed files one transaction shed by the CoDel controller.
+func (r *Recorder) CountShed() { r.olShed.Add(1) }
+
+// CountDeadlineExceeded files one transaction that expired in a queue.
+func (r *Recorder) CountDeadlineExceeded() { r.olDeadline.Add(1) }
+
+// CountClientShed files one request shed client-side by the driver's
+// in-flight cap before it reached the engine.
+func (r *Recorder) CountClientShed() { r.olClientShed.Add(1) }
+
+// OverloadCounters snapshots the overload-plane counters.
+func (r *Recorder) OverloadCounters() OverloadCounters {
+	return OverloadCounters{
+		Rejected:         r.olRejected.Load(),
+		Shed:             r.olShed.Load(),
+		DeadlineExceeded: r.olDeadline.Load(),
+		ClientShed:       r.olClientShed.Load(),
+	}
 }
+
+// Windows returns the number of aggregation windows observed so far.
+func (r *Recorder) Windows() int { return r.lat.windows() }
 
 // Throughput returns the transactions completed in window w divided by the
 // window length, in transactions per second.
 func (r *Recorder) Throughput(w int) float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
-	if w < 0 || w >= len(r.counts) {
-		return 0
-	}
-	return float64(r.counts[w]) / r.window.Seconds()
+	return float64(r.lat.count(w)) / r.window.Seconds()
 }
 
 // Percentile returns the p-th percentile latency (in milliseconds) of
 // window w, or 0 if the window is empty. p is in (0, 100].
 func (r *Recorder) Percentile(w int, p float64) float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
-	return r.percentileLocked(w, p)
+	return r.lat.percentile(w, p)
 }
 
-// percentileLocked serves a percentile from the sorted-window cache,
-// re-sorting only windows that received samples since the last call. The
-// caller must hold r.mu and have flushed.
-func (r *Recorder) percentileLocked(w int, p float64) float64 {
-	if w < 0 || w >= len(r.latencies) || len(r.latencies[w]) == 0 {
-		return 0
-	}
-	if r.sortedN[w] != len(r.latencies[w]) {
-		r.sorted[w] = append(r.sorted[w][:0], r.latencies[w]...)
-		sort.Float64s(r.sorted[w])
-		r.sortedN[w] = len(r.latencies[w])
-	}
-	return percentileOfSorted(r.sorted[w], p)
+// SojournPercentile returns the p-th percentile queue-sojourn time (in
+// milliseconds) of window w, or 0 if no sojourns were recorded in it.
+func (r *Recorder) SojournPercentile(w int, p float64) float64 {
+	return r.soj.percentile(w, p)
+}
+
+// SojournPercentileSeries returns the p-th percentile queue-sojourn time of
+// every sojourn window.
+func (r *Recorder) SojournPercentileSeries(p float64) []float64 {
+	return r.soj.percentileSeries(p)
 }
 
 func percentileOfSorted(sorted []float64, p float64) float64 {
@@ -280,23 +405,14 @@ func percentileOfSorted(sorted []float64, p float64) float64 {
 
 // PercentileSeries returns the p-th percentile latency of every window.
 func (r *Recorder) PercentileSeries(p float64) []float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
-	out := make([]float64, len(r.latencies))
-	for w := range r.latencies {
-		out[w] = r.percentileLocked(w, p)
-	}
-	return out
+	return r.lat.percentileSeries(p)
 }
 
 // ThroughputSeries returns per-window throughput in transactions/second.
 func (r *Recorder) ThroughputSeries() []float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
-	out := make([]float64, len(r.counts))
-	for w, c := range r.counts {
+	counts := r.lat.countSeries()
+	out := make([]float64, len(counts))
+	for w, c := range counts {
 		out[w] = float64(c) / r.window.Seconds()
 	}
 	return out
@@ -319,10 +435,10 @@ func (r *Recorder) SLAViolations(p float64, thresholdMs float64) int {
 // MachineSeries samples the recorded machine-allocation timeline at every
 // aggregation window boundary and returns one cluster size per window.
 func (r *Recorder) MachineSeries() []float64 {
+	n := r.lat.windows()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.flushLocked()
-	out := make([]float64, len(r.latencies))
+	out := make([]float64, n)
 	if len(r.machines) == 0 {
 		return out
 	}
@@ -356,10 +472,10 @@ func (r *Recorder) AverageMachines() float64 {
 // ReconfiguringWindows reports, per window, whether a migration overlapped
 // it (the light-green spans of Figure 9c/d).
 func (r *Recorder) ReconfiguringWindows() []bool {
+	n := r.lat.windows()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.flushLocked()
-	out := make([]bool, len(r.latencies))
+	out := make([]bool, n)
 	for _, span := range r.reconfiguring {
 		w0 := int(span.from.Sub(r.start) / r.window)
 		w1 := int(span.to.Sub(r.start) / r.window)

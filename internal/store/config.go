@@ -38,6 +38,16 @@ type Config struct {
 	QueueCapacity int
 	// InitialMachines is the cluster size at startup.
 	InitialMachines int
+	// Overload arms the engine's server-side overload defenses: per-request
+	// deadlines with admission control, CoDel-style shedding, and sojourn
+	// tracking. The zero value disables all of them (see OverloadConfig).
+	Overload OverloadConfig
+	// DisableCtlLane routes control-plane requests (migration, checkpoints,
+	// crash fencing) through the data queue instead of the priority lane.
+	// It exists only as a regression knob: it reproduces the pre-lane
+	// behavior where a saturated data backlog starves the scale-out escape
+	// hatch, so tests can prove the lane is what prevents the starvation.
+	DisableCtlLane bool
 }
 
 // DefaultConfig returns a configuration suitable for tests and examples: a
@@ -74,6 +84,9 @@ func (c Config) Validate() error {
 	}
 	if c.InitialMachines < 1 || c.InitialMachines > c.MaxMachines {
 		return fmt.Errorf("store: InitialMachines %d must be in [1, %d]", c.InitialMachines, c.MaxMachines)
+	}
+	if err := c.Overload.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

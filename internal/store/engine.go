@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -39,6 +40,17 @@ type Counters struct {
 	// partition which no longer owned their bucket (mid-migration) and were
 	// re-routed to the current owner.
 	Forwarded int64
+	// Rejected counts transactions refused at submission by admission
+	// control (or by a canceled submit context) without ever entering a
+	// partition queue. Rejected transactions are counted in Submitted but
+	// not in Errored: they represent refused offered load, not failed work.
+	Rejected int64
+	// Shed counts transactions dropped by the CoDel controller at the
+	// executor after queueing (counted in Errored as well).
+	Shed int64
+	// DeadlineExceeded counts transactions that expired in a partition
+	// queue and were failed without executing (counted in Errored as well).
+	DeadlineExceeded int64
 }
 
 // MoveOp describes one chunk-level bucket move about to execute, as offered
@@ -92,6 +104,13 @@ type Engine struct {
 	errored        atomic.Int64
 	forwarded      atomic.Int64
 
+	// ol is the baked overload policy; overload counters sit beside the
+	// transaction counters above.
+	ol               overloadRuntime
+	rejected         atomic.Int64
+	shed             atomic.Int64
+	deadlineExceeded atomic.Int64
+
 	recorder atomic.Pointer[metrics.Recorder]
 	faults   atomic.Pointer[faultHolder]
 	cmdLog   atomic.Pointer[cmdLogHolder]
@@ -106,6 +125,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg:         cfg,
 		handles:     make(map[string]TxnID),
 		svcOverride: make(map[string]time.Duration),
+		ol:          newOverloadRuntime(cfg.Overload),
 	}
 	total := cfg.MaxMachines * cfg.PartitionsPerMachine
 	e.parts = make([]*partition, total)
@@ -268,8 +288,24 @@ func (e *Engine) Execute(name, key string, args any) (any, error) {
 // ExecuteID routes a pre-resolved transaction to the partition owning key
 // and blocks until it completes. The steady-state path performs no
 // allocations: requests and their reply channels are pooled, and the
-// procedure table is indexed, not looked up.
+// procedure table is indexed, not looked up. On a saturated queue the send
+// blocks until space frees; use ExecuteIDContext for a bounded wait.
 func (e *Engine) ExecuteID(id TxnID, key string, args any) (any, error) {
+	return e.executeID(nil, nil, id, key, args)
+}
+
+// ExecuteIDContext is ExecuteID with a bounded submission wait: if ctx is
+// done before the transaction is accepted into a partition queue, the call
+// returns an error wrapping both ErrOverload and ctx.Err() without the
+// transaction ever being enqueued (it counts as rejected offered load, like
+// an admission-control refusal). Once accepted, the transaction runs to
+// completion regardless of ctx — the engine's own deadline enforcement, not
+// the submitter's context, bounds queued work.
+func (e *Engine) ExecuteIDContext(ctx context.Context, id TxnID, key string, args any) (any, error) {
+	return e.executeID(ctx.Done(), ctx.Err, id, key, args)
+}
+
+func (e *Engine) executeID(done <-chan struct{}, ctxErr func() error, id TxnID, key string, args any) (any, error) {
 	if e.stopped.Load() {
 		return nil, ErrStopped
 	}
@@ -282,6 +318,13 @@ func (e *Engine) ExecuteID(id TxnID, key string, args any) (any, error) {
 		return nil, ErrUnknownTxn
 	}
 	bucket := e.bucketOf(key)
+	dest := e.parts[e.ownerOf(bucket)]
+	if e.ol.enabled {
+		if err := e.admit(dest); err != nil {
+			e.submitted.Add(1)
+			return nil, err
+		}
+	}
 	req := acquireTxnReq()
 	req.id = id
 	req.key = key
@@ -289,12 +332,20 @@ func (e *Engine) ExecuteID(id TxnID, key string, args any) (any, error) {
 	req.args = args
 	req.submit = time.Now()
 	e.submitted.Add(1)
-	dest := e.parts[e.ownerOf(bucket)]
+	// A nil done channel never fires, so the ExecuteID path pays nothing
+	// for the context plumbing.
 	select {
 	case dest.ch <- request{txn: req}:
 	case <-dest.stop:
 		releaseTxnReq(req)
 		return nil, ErrStopped
+	case <-done:
+		releaseTxnReq(req)
+		e.rejected.Add(1)
+		if r := e.recorder.Load(); r != nil {
+			r.CountRejected()
+		}
+		return nil, fmt.Errorf("store: submit canceled on saturated partition %d: %w: %w", dest.id, ErrOverload, ctxErr())
 	}
 	res := <-req.reply
 	submit := req.submit
@@ -309,6 +360,29 @@ func (e *Engine) ExecuteID(id TxnID, key string, args any) (any, error) {
 		r.Record(now, now.Sub(submit))
 	}
 	return res.value, res.err
+}
+
+// admit is admission control: a submission whose destination's estimated
+// queueing delay (the executor-maintained sojourn EWMA) already exceeds the
+// deadline is refused immediately instead of joining a queue it cannot clear
+// in time. The refusal requires a non-empty queue: once the backlog drains,
+// requests are admitted again even while the EWMA — which only updates when
+// requests execute — still remembers the congestion, so admission cannot
+// livelock the partition into rejecting forever.
+func (e *Engine) admit(dest *partition) error {
+	d := e.ol.deadline
+	if d == 0 {
+		return nil
+	}
+	if time.Duration(dest.sojournEWMA.Load()) <= d || len(dest.ch) == 0 {
+		return nil
+	}
+	e.rejected.Add(1)
+	if r := e.recorder.Load(); r != nil {
+		r.CountRejected()
+	}
+	return fmt.Errorf("%w: partition %d estimated queueing delay %v exceeds deadline %v",
+		ErrOverload, dest.id, time.Duration(dest.sojournEWMA.Load()), d)
 }
 
 // MoveBuckets live-migrates buckets between two partitions and returns the
@@ -368,8 +442,10 @@ func (e *Engine) moveBuckets(buckets []int, from, to int, perRow, overhead time.
 		done:     make(chan moveResult, 1),
 	}
 	src := e.parts[from]
+	// Control requests ride the priority lane so a saturated data backlog
+	// cannot starve the migration that would relieve it.
 	select {
-	case src.ch <- request{ctl: req}:
+	case src.ctlQueue() <- request{ctl: req}:
 	case <-src.stop:
 		return 0, ErrStopped
 	}
@@ -456,11 +532,37 @@ func (e *Engine) ActiveMachines() int { return int(e.activeMachines.Load()) }
 // Counters returns the engine's cumulative transaction counts.
 func (e *Engine) Counters() Counters {
 	return Counters{
-		Submitted: e.submitted.Load(),
-		Completed: e.completed.Load(),
-		Errored:   e.errored.Load(),
-		Forwarded: e.forwarded.Load(),
+		Submitted:        e.submitted.Load(),
+		Completed:        e.completed.Load(),
+		Errored:          e.errored.Load(),
+		Forwarded:        e.forwarded.Load(),
+		Rejected:         e.rejected.Load(),
+		Shed:             e.shed.Load(),
+		DeadlineExceeded: e.deadlineExceeded.Load(),
 	}
+}
+
+// QueueSojourn returns one partition's current estimated queueing delay: the
+// executor-maintained EWMA of request sojourn time. It is zero unless the
+// overload plane is armed (Config.Overload).
+func (e *Engine) QueueSojourn(part int) time.Duration {
+	if part < 0 || part >= len(e.parts) {
+		return 0
+	}
+	return time.Duration(e.parts[part].sojournEWMA.Load())
+}
+
+// MaxQueueSojourn returns the largest estimated queueing delay across all
+// partitions — the cluster's worst-case backlog signal, used by the
+// decision loop to size overload reports to controllers.
+func (e *Engine) MaxQueueSojourn() time.Duration {
+	var max int64
+	for _, p := range e.parts {
+		if v := p.sojournEWMA.Load(); v > max {
+			max = v
+		}
+	}
+	return time.Duration(max)
 }
 
 // PartitionRows returns the current row count of one partition. It is an

@@ -1,0 +1,320 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseOverloadRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"deadline=50ms",
+		"deadline=50ms,target=5ms,interval=100ms,track=true",
+		"target=2ms",
+		"track=true",
+	}
+	for _, spec := range cases {
+		cfg, err := ParseOverload(spec)
+		if err != nil {
+			t.Fatalf("ParseOverload(%q): %v", spec, err)
+		}
+		again, err := ParseOverload(cfg.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", cfg.String(), err)
+		}
+		if again != cfg {
+			t.Fatalf("round trip of %q: %+v != %+v", spec, again, cfg)
+		}
+	}
+	for _, bad := range []string{"deadline", "deadline=-1s", "nope=1", "deadline=xyz", "track=maybe"} {
+		if _, err := ParseOverload(bad); err == nil {
+			t.Errorf("ParseOverload(%q) accepted", bad)
+		}
+	}
+	if (OverloadConfig{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if s := (OverloadConfig{}).String(); s != "" {
+		t.Errorf("zero config renders %q, want empty", s)
+	}
+}
+
+// FuzzOverloadSpec checks that any spec ParseOverload accepts survives a
+// String/Parse round trip unchanged — the property the pstore `--overload`
+// flag depends on.
+func FuzzOverloadSpec(f *testing.F) {
+	f.Add("deadline=50ms,target=5ms,interval=100ms,track=true")
+	f.Add("deadline=1h")
+	f.Add("target=250us,interval=1s")
+	f.Add("track=1")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseOverload(spec)
+		if err != nil {
+			t.Skip()
+		}
+		again, err := ParseOverload(cfg.String())
+		if err != nil {
+			t.Fatalf("String %q of accepted spec %q does not reparse: %v", cfg.String(), spec, err)
+		}
+		if again != cfg {
+			t.Fatalf("round trip of %q: %+v != %+v", spec, again, cfg)
+		}
+	})
+}
+
+// overloadConfig is a single-partition engine so every key routes to
+// partition 0 and queue state is fully controlled by the test.
+func overloadConfig(ol OverloadConfig) Config {
+	return Config{
+		MaxMachines:          1,
+		PartitionsPerMachine: 1,
+		Buckets:              16,
+		ServiceTime:          0,
+		QueueCapacity:        1024,
+		InitialMachines:      1,
+		Overload:             ol,
+	}
+}
+
+// registerGate registers a transaction that blocks its executor until the
+// returned release channel is closed (or a value is sent per call).
+func registerGate(t *testing.T, e *Engine) chan struct{} {
+	t.Helper()
+	gate := make(chan struct{})
+	if err := e.Register("gate", func(*Tx) (any, error) {
+		<-gate
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("noop", func(*Tx) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	return gate
+}
+
+func TestDeadlineExceededInQueue(t *testing.T) {
+	e := testEngine(t, overloadConfig(OverloadConfig{Deadline: 10 * time.Millisecond}))
+	gate := registerGate(t, e)
+	e.Start()
+
+	// Hold the executor, queue a victim, and let it age past its deadline.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		e.Execute("gate", "k", nil)
+	}()
+	time.Sleep(5 * time.Millisecond) // executor now inside the gate
+	var victimErr error
+	go func() {
+		defer wg.Done()
+		_, victimErr = e.Execute("noop", "k", nil)
+	}()
+	time.Sleep(30 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if !errors.Is(victimErr, ErrDeadlineExceeded) {
+		t.Fatalf("victim err = %v, want ErrDeadlineExceeded", victimErr)
+	}
+	cnt := e.Counters()
+	if cnt.DeadlineExceeded == 0 {
+		t.Error("DeadlineExceeded counter not incremented")
+	}
+	if cnt.Errored == 0 {
+		t.Error("deadline-expired request not counted as errored")
+	}
+}
+
+func TestAdmissionControlRejectsAndRecovers(t *testing.T) {
+	e := testEngine(t, overloadConfig(OverloadConfig{Deadline: 5 * time.Millisecond}))
+	gate := registerGate(t, e)
+	e.Start()
+
+	// Hold the executor so a queued request keeps the data queue non-empty,
+	// then plant a high sojourn estimate: the next submission must be
+	// refused at enqueue without ever joining the queue.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		e.Execute("gate", "k", nil)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	go func() {
+		defer wg.Done()
+		e.Execute("noop", "k", nil) // queued behind the gate
+	}()
+	deadlineWait(t, func() bool { return len(e.parts[0].ch) > 0 })
+	e.parts[0].sojournEWMA.Store(int64(time.Second))
+
+	_, err := e.ExecuteID(mustHandle(t, e, "noop"), "k", nil)
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("err = %v, want ErrOverload", err)
+	}
+	if got := e.Counters().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	if e.Counters().Errored != 0 {
+		t.Error("admission rejection counted as errored")
+	}
+
+	// Drain the queue: with no backlog the same stale estimate must not
+	// keep rejecting (the livelock guard), and execution updates the EWMA.
+	close(gate)
+	wg.Wait()
+	deadlineWait(t, func() bool { return len(e.parts[0].ch) == 0 })
+	e.parts[0].sojournEWMA.Store(int64(time.Second))
+	if _, err := e.Execute("noop", "k", nil); err != nil {
+		t.Fatalf("post-drain submit refused: %v", err)
+	}
+}
+
+func TestCoDelShedsUnderStandingQueue(t *testing.T) {
+	cfg := overloadConfig(OverloadConfig{CoDelTarget: 2 * time.Millisecond, CoDelInterval: 10 * time.Millisecond})
+	cfg.ServiceTime = 3 * time.Millisecond
+	e := testEngine(t, cfg)
+	if err := e.Register("noop", func(*Tx) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	id := mustHandle(t, e, "noop")
+
+	// A burst far above capacity builds a standing queue: sojourn stays
+	// above target for the whole run, so the CoDel law must start shedding
+	// after the first interval.
+	var wg sync.WaitGroup
+	var shedSeen int64
+	var mu sync.Mutex
+	for i := 0; i < 60; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := e.ExecuteID(id, fmt.Sprintf("k%d", i), nil); errors.Is(err, ErrOverload) {
+				mu.Lock()
+				shedSeen++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if shedSeen == 0 {
+		t.Fatal("no submission observed ErrOverload despite a standing queue")
+	}
+	if got := e.Counters().Shed; got == 0 {
+		t.Fatal("Shed counter not incremented")
+	}
+}
+
+func TestExecuteIDContextBoundedWait(t *testing.T) {
+	cfg := overloadConfig(OverloadConfig{})
+	cfg.QueueCapacity = 1
+	e := testEngine(t, cfg)
+	gate := registerGate(t, e)
+	e.Start()
+	id := mustHandle(t, e, "noop")
+
+	// Saturate: the executor is inside the gate and the 1-slot queue is
+	// full, so a plain ExecuteID would block indefinitely.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		e.Execute("gate", "k", nil)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	go func() {
+		defer wg.Done()
+		e.ExecuteID(id, "k", nil)
+	}()
+	deadlineWait(t, func() bool { return len(e.parts[0].ch) == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.ExecuteIDContext(ctx, id, "k", nil)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrOverload) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrOverload wrapping context.DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("bounded wait took %v", elapsed)
+	}
+	if got := e.Counters().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	close(gate)
+	wg.Wait()
+
+	// An unsaturated queue admits normally through the context path.
+	if _, err := e.ExecuteIDContext(context.Background(), id, "k", nil); err != nil {
+		t.Fatalf("context submit on idle engine: %v", err)
+	}
+}
+
+// TestCtlLaneBypassesDataBacklog proves the priority lane: a control request
+// submitted behind a deep data backlog completes while the backlog is still
+// draining — and with the lane disabled, only after the entire backlog.
+func TestCtlLaneBypassesDataBacklog(t *testing.T) {
+	const backlog = 50
+	run := func(t *testing.T, disable bool) (completedAtCtl int64) {
+		cfg := overloadConfig(OverloadConfig{})
+		cfg.ServiceTime = 2 * time.Millisecond
+		cfg.DisableCtlLane = disable
+		e := testEngine(t, cfg)
+		if err := e.Register("noop", func(*Tx) (any, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+		e.Start()
+		id := mustHandle(t, e, "noop")
+		var wg sync.WaitGroup
+		for i := 0; i < backlog; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				e.ExecuteID(id, fmt.Sprintf("k%d", i), nil)
+			}(i)
+		}
+		deadlineWait(t, func() bool { return len(e.parts[0].ch) >= backlog-5 })
+		if _, err := e.SnapshotPartition(0); err != nil {
+			t.Fatal(err)
+		}
+		completedAtCtl = e.Counters().Completed
+		wg.Wait()
+		return completedAtCtl
+	}
+
+	if done := run(t, false); done >= backlog-5 {
+		t.Errorf("with the lane, snapshot returned after %d/%d data requests — lane did not bypass the backlog", done, backlog)
+	}
+	if done := run(t, true); done < backlog-5 {
+		t.Errorf("with DisableCtlLane, snapshot returned after only %d/%d data requests — expected FIFO starvation", done, backlog)
+	}
+}
+
+func mustHandle(t *testing.T, e *Engine, name string) TxnID {
+	t.Helper()
+	id, ok := e.Handle(name)
+	if !ok {
+		t.Fatalf("handle %q not found", name)
+	}
+	return id
+}
+
+// deadlineWait polls cond until it holds or the test deadline approaches.
+func deadlineWait(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"math"
 	"runtime/debug"
 	"sync/atomic"
 	"time"
@@ -16,9 +17,16 @@ const accessPad = 8 // int64s (64 bytes) of padding on each side
 // partition is one serially executed data partition. Its bucketStore is
 // touched only by its executor goroutine.
 type partition struct {
-	id    int
-	eng   *Engine
-	ch    chan request
+	id  int
+	eng *Engine
+	// ch is the data queue: transaction submissions and forwards.
+	ch chan request
+	// ctlCh is the priority lane for control-plane requests (migration
+	// move-out/install, crash fencing, checkpoints, restores). The executor
+	// always serves it before the data queue, so under a saturated data
+	// backlog the scale-out escape hatch is never starved by the very
+	// overload it exists to relieve.
+	ctlCh chan request
 	store *bucketStore
 	// tx is the reusable execution context handed to procedures; the
 	// executor is serial, so one per partition suffices and the hot path
@@ -37,8 +45,18 @@ type partition struct {
 	// until a restore rebuilds the store. Written by the executor (ctlCrash /
 	// ctlRestore), read by routing and planning code on other goroutines.
 	down atomic.Bool
-	stop chan struct{}
-	done chan struct{}
+	// sojournEWMA is the partition's exponentially weighted moving average
+	// of request sojourn time (enqueue to execution start) in nanoseconds.
+	// Written only by the executor, read by admission control on submitter
+	// goroutines — it is the estimate of the queueing delay a new request
+	// would face here.
+	sojournEWMA atomic.Int64
+	// CoDel shedder state; executor-only, so no synchronization.
+	codelAbove    time.Time // when sojourn first stayed above target (zero = below)
+	codelDropNext time.Time // next shed per the control law
+	codelDrops    int       // sheds in the current above-target episode
+	stop          chan struct{}
+	done          chan struct{}
 }
 
 func newPartition(id int, eng *Engine, queueCap int) *partition {
@@ -47,6 +65,7 @@ func newPartition(id int, eng *Engine, queueCap int) *partition {
 		id:       id,
 		eng:      eng,
 		ch:       make(chan request, queueCap),
+		ctlCh:    make(chan request, queueCap),
 		store:    newBucketStore(),
 		accesses: block[accessPad : accessPad+eng.cfg.Buckets],
 		stop:     make(chan struct{}),
@@ -54,34 +73,85 @@ func newPartition(id int, eng *Engine, queueCap int) *partition {
 	}
 }
 
-// run is the executor loop. It drains the queue until the engine stops.
+// ctlQueue returns the queue control-plane requests for p should enter: the
+// priority lane, or the data queue when the lane is disabled (the
+// Config.DisableCtlLane regression knob that reproduces the pre-lane
+// starvation behavior).
+func (p *partition) ctlQueue() chan request {
+	if p.eng.cfg.DisableCtlLane {
+		return p.ch
+	}
+	return p.ctlCh
+}
+
+// run is the executor loop. It drains the queues until the engine stops.
+// Control requests have strict priority over data requests: any control
+// request enqueued before a data request is handled before it. Combined
+// with moveOut's install-before-ownership-flip ordering, this preserves the
+// invariant that a forwarded transaction can never observe missing data —
+// see handleData.
 func (p *partition) run() {
 	defer close(p.done)
 	for {
+		// Serve pending control work first: migration, checkpoints and
+		// crash fencing must not wait behind a saturated data backlog.
+		select {
+		case req := <-p.ctlCh:
+			p.handle(req)
+			continue
+		default:
+		}
 		select {
 		case <-p.stop:
 			p.drain()
 			return
-		case req := <-p.ch:
+		case req := <-p.ctlCh:
 			p.handle(req)
+		case req := <-p.ch:
+			p.handleData(req)
 		}
 	}
+}
+
+// handleData processes one data-queue request, re-checking the priority lane
+// first: the blocking select in run may win a data request while a control
+// request is simultaneously ready, and the migration protocol needs every
+// control request enqueued before a data request to also execute before it
+// (an install must land before the transactions forwarded after its
+// ownership flip).
+func (p *partition) handleData(req request) {
+	for {
+		select {
+		case ctl := <-p.ctlCh:
+			p.handle(ctl)
+			continue
+		default:
+		}
+		break
+	}
+	p.handle(req)
 }
 
 // drain fails any queued requests after shutdown so no submitter hangs.
 func (p *partition) drain() {
 	for {
 		select {
+		case req := <-p.ctlCh:
+			failStopped(req)
 		case req := <-p.ch:
-			switch {
-			case req.txn != nil:
-				req.txn.reply <- txnResult{err: ErrStopped}
-			case req.ctl != nil:
-				req.ctl.done <- moveResult{err: ErrStopped}
-			}
+			failStopped(req)
 		default:
 			return
 		}
+	}
+}
+
+func failStopped(req request) {
+	switch {
+	case req.txn != nil:
+		req.txn.reply <- txnResult{err: ErrStopped}
+	case req.ctl != nil:
+		req.ctl.done <- moveResult{err: ErrStopped}
 	}
 }
 
@@ -118,6 +188,12 @@ func (p *partition) execute(r *txnRequest) {
 		r.reply <- txnResult{err: partitionDownError(p.id)}
 		return
 	}
+	if p.eng.ol.enabled {
+		if err := p.overloadCheck(r); err != nil {
+			r.reply <- txnResult{err: err}
+			return
+		}
+	}
 	atomic.AddInt64(&p.accesses[r.bucket], 1)
 	pr := &p.eng.procs[r.id]
 	if pr.svc > 0 {
@@ -133,6 +209,68 @@ func (p *partition) execute(r *txnRequest) {
 		h.l.AppendCommand(int(r.bucket), r.id, r.key, r.args)
 	}
 	r.reply <- txnResult{value: v, err: err}
+}
+
+// overloadCheck runs the executor-side overload plane for one dequeued
+// transaction: it files the request's queue sojourn into the EWMA (and the
+// recorder, when attached), fails requests that outlived their deadline in
+// the queue, and sheds per the CoDel control law while sojourn stays above
+// target. A non-nil return means the request must be failed without
+// executing.
+func (p *partition) overloadCheck(r *txnRequest) error {
+	now := time.Now()
+	sojourn := now.Sub(r.submit)
+	// Single-writer EWMA with alpha 1/8: smooth enough to ride out one slow
+	// transaction, fresh enough to track a building queue within a few
+	// requests.
+	old := p.sojournEWMA.Load()
+	p.sojournEWMA.Store(old + (int64(sojourn)-old)/8)
+	if rec := p.eng.recorder.Load(); rec != nil {
+		rec.RecordSojourn(now, sojourn)
+	}
+	if d := p.eng.ol.deadline; d > 0 && sojourn > d {
+		p.eng.deadlineExceeded.Add(1)
+		if rec := p.eng.recorder.Load(); rec != nil {
+			rec.CountDeadlineExceeded()
+		}
+		return fmt.Errorf("%w: queued %v past deadline %v on partition %d", ErrDeadlineExceeded, sojourn, d, p.id)
+	}
+	if p.codelShed(now, sojourn) {
+		p.eng.shed.Add(1)
+		if rec := p.eng.recorder.Load(); rec != nil {
+			rec.CountShed()
+		}
+		return fmt.Errorf("%w: partition %d shedding (sojourn %v above target %v)", ErrOverload, p.id, sojourn, p.eng.ol.target)
+	}
+	return nil
+}
+
+// codelShed implements the CoDel control law over queue sojourn time:
+// shedding begins once sojourn has stayed above the target for a full
+// interval, then quickens with the square root of the shed count — the
+// classic controlled-delay schedule — until sojourn drops below the target,
+// which resets the episode.
+func (p *partition) codelShed(now time.Time, sojourn time.Duration) bool {
+	target := p.eng.ol.target
+	if target <= 0 {
+		return false
+	}
+	if sojourn < target {
+		p.codelAbove = time.Time{}
+		p.codelDrops = 0
+		return false
+	}
+	if p.codelAbove.IsZero() {
+		p.codelAbove = now
+		p.codelDropNext = now.Add(p.eng.ol.interval)
+		return false
+	}
+	if now.Before(p.codelDropNext) {
+		return false
+	}
+	p.codelDrops++
+	p.codelDropNext = now.Add(time.Duration(float64(p.eng.ol.interval) / math.Sqrt(float64(p.codelDrops))))
+	return true
 }
 
 // runTxn executes a stored procedure, converting a panic into an error so a
@@ -177,9 +315,13 @@ func (p *partition) moveOut(r *ctlRequest) {
 		done: r.done,
 	}
 	// Enqueue the install before flipping ownership: once the flip is
-	// visible, forwarded transactions always queue behind the install.
+	// visible, forwarded transactions always queue behind the install. The
+	// install rides the destination's priority lane, so it cannot starve
+	// behind a saturated data backlog — and since forwarded transactions
+	// enter the data queue, which the executor serves only after draining
+	// the lane, they still execute after the install.
 	select {
-	case r.dest.ch <- request{ctl: install}:
+	case r.dest.ctlQueue() <- request{ctl: install}:
 	case <-r.dest.stop:
 		r.done <- moveResult{err: ErrStopped}
 		return

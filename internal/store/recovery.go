@@ -81,7 +81,7 @@ func (e *Engine) Crash(machine int) error {
 		req := &ctlRequest{kind: ctlCrash, done: make(chan moveResult, 1)}
 		p := e.parts[part]
 		select {
-		case p.ch <- request{ctl: req}:
+		case p.ctlQueue() <- request{ctl: req}:
 		case <-p.stop:
 			return ErrStopped
 		}
@@ -135,7 +135,7 @@ func (e *Engine) SnapshotPartition(part int) ([]BucketSnapshot, error) {
 	req := &ctlRequest{kind: ctlSnapshot, done: make(chan moveResult, 1)}
 	p := e.parts[part]
 	select {
-	case p.ch <- request{ctl: req}:
+	case p.ctlQueue() <- request{ctl: req}:
 	case <-p.stop:
 		return nil, ErrStopped
 	}
@@ -159,7 +159,7 @@ func (e *Engine) RestorePartition(part int, snaps []BucketSnapshot, cmds []Repla
 	}
 	req := &ctlRequest{kind: ctlRestore, snaps: snaps, cmds: cmds, done: make(chan moveResult, 1)}
 	select {
-	case p.ch <- request{ctl: req}:
+	case p.ctlQueue() <- request{ctl: req}:
 	case <-p.stop:
 		return 0, ErrStopped
 	}

@@ -1,0 +1,894 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/client"
+	"pstore/internal/faults"
+	"pstore/internal/metrics"
+	"pstore/internal/recovery"
+	"pstore/internal/server"
+	"pstore/internal/squall"
+	"pstore/internal/store"
+	"pstore/internal/wire"
+)
+
+// benchResult is the JSON schema of BENCH_engine.json: the hot-path numbers
+// the typed request pipeline is accountable for.
+type benchResult struct {
+	Benchmark    string  `json:"benchmark"`
+	GoVersion    string  `json:"go_version"`
+	Clients      int     `json:"clients"`
+	DurationSec  float64 `json:"duration_s"`
+	Transactions int64   `json:"txns"`
+	TPS          float64 `json:"tps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	NsPerTxn     float64 `json:"ns_per_txn"`
+	AllocsPerTxn float64 `json:"allocs_per_txn"`
+}
+
+// benchMigrationResult is the JSON schema of BENCH_migration.json: how the
+// migration path behaves under a fixed-seed fault schedule — move durations,
+// retry work, and rollback volume are the numbers the fault plane is
+// accountable for.
+type benchMigrationResult struct {
+	Benchmark      string  `json:"benchmark"`
+	GoVersion      string  `json:"go_version"`
+	FaultSpec      string  `json:"fault_spec"`
+	Rows           int     `json:"rows"`
+	Machines       int     `json:"machines"`
+	MoveOutMs      float64 `json:"move_out_ms"`
+	MoveInMs       float64 `json:"move_in_ms"`
+	ChunksMoved    int64   `json:"chunks_moved"`
+	Retries        int64   `json:"retries"`
+	Aborts         int64   `json:"aborts"`
+	RollbackChunks int64   `json:"rollback_chunks"`
+	FaultsOffered  int64   `json:"faults_offered"`
+	FaultsDropped  int64   `json:"faults_dropped"`
+}
+
+// runBench measures the transaction hot path on an idle engine: a serial
+// single-client pass isolates allocations per transaction, then a concurrent
+// pass measures throughput and latency percentiles through the recorder.
+// Further passes measure the migration path under a fixed-seed fault
+// schedule, crash recovery, overload goodput, and the network front end's
+// overhead versus in-process execution.
+func runBench(args []string) error {
+	fs := newFlagSet("bench")
+	out := fs.String("out", "BENCH_engine.json", "output JSON path (- for stdout)")
+	dur := fs.Duration("duration", 2*time.Second, "length of the throughput pass")
+	clients := fs.Int("clients", 8, "concurrent clients in the throughput pass")
+	migOut := fs.String("migration-out", "BENCH_migration.json", "migration bench output JSON path (- for stdout, empty to skip)")
+	migFaults := fs.String("migration-faults", "seed=42,chunk-drop=0.05", "fault spec for the migration pass (empty for a clean run)")
+	recOut := fs.String("recovery-out", "BENCH_recovery.json", "crash-recovery bench output JSON path (- for stdout, empty to skip)")
+	olOut := fs.String("overload-out", "BENCH_overload.json", "overload bench output JSON path (- for stdout, empty to skip)")
+	olDur := fs.Duration("overload-duration", 500*time.Millisecond, "length of each overload bench point")
+	wireOut := fs.String("wire-out", "BENCH_wire.json", "wire bench output JSON path (- for stdout, empty to skip)")
+	wireDur := fs.Duration("wire-duration", 500*time.Millisecond, "length of each wire bench point")
+	if helped, err := parseFlags(fs, args); helped || err != nil {
+		return err
+	}
+	if *clients < 1 || *dur <= 0 || *olDur <= 0 || *wireDur <= 0 {
+		return errors.New("invalid flags")
+	}
+
+	cfg := store.Config{
+		MaxMachines:          2,
+		PartitionsPerMachine: 2,
+		Buckets:              64,
+		ServiceTime:          0,
+		QueueCapacity:        1 << 14,
+		InitialMachines:      2,
+	}
+	eng, err := store.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	if err := eng.Register("noop", func(*store.Tx) (any, error) { return nil, nil }); err != nil {
+		return err
+	}
+	eng.Start()
+	defer eng.Stop()
+	id, ok := eng.Handle("noop")
+	if !ok {
+		return errors.New("handle not found")
+	}
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-key-%04d", i)
+	}
+
+	// Pass 1: allocations per transaction, serial so nothing but the
+	// pipeline itself shows up. A warmup populates the request pool.
+	const allocTxns = 200_000
+	for i := 0; i < 10_000; i++ {
+		if _, err := eng.ExecuteID(id, keys[i&255], nil); err != nil {
+			return err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < allocTxns; i++ {
+		if _, err := eng.ExecuteID(id, keys[i&255], nil); err != nil {
+			return err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	allocsPerTxn := float64(after.Mallocs-before.Mallocs) / float64(allocTxns)
+
+	// Pass 2: throughput and latency with concurrent clients, recorded into
+	// one wide window so p50/p99 cover the whole pass.
+	rec, err := metrics.NewRecorder(time.Now(), 2**dur+time.Second)
+	if err != nil {
+		return err
+	}
+	eng.SetRecorder(rec)
+	var wg sync.WaitGroup
+	counts := make([]int64, *clients)
+	stop := make(chan struct{})
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := eng.ExecuteID(id, keys[i&255], nil); err != nil {
+					return
+				}
+				counts[c]++
+			}
+		}(c)
+	}
+	time.Sleep(*dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	eng.SetRecorder(nil)
+	var txns int64
+	for _, n := range counts {
+		txns += n
+	}
+	if txns == 0 {
+		return errors.New("no transactions completed")
+	}
+
+	res := benchResult{
+		Benchmark:    "engine_execute",
+		GoVersion:    runtime.Version(),
+		Clients:      *clients,
+		DurationSec:  elapsed.Seconds(),
+		Transactions: txns,
+		TPS:          float64(txns) / elapsed.Seconds(),
+		P50Ms:        rec.Percentile(0, 50),
+		P99Ms:        rec.Percentile(0, 99),
+		NsPerTxn:     float64(elapsed.Nanoseconds()) * float64(*clients) / float64(txns),
+		AllocsPerTxn: allocsPerTxn,
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench: %d txns, %.0f tps, p50 %.3f ms, p99 %.3f ms, %.2f allocs/txn -> %s\n",
+			res.Transactions, res.TPS, res.P50Ms, res.P99Ms, res.AllocsPerTxn, *out)
+	}
+	if *migOut != "" {
+		if err := runBenchMigration(*migOut, *migFaults); err != nil {
+			return err
+		}
+	}
+	if *recOut != "" {
+		if err := runBenchRecovery(*recOut); err != nil {
+			return err
+		}
+	}
+	if *olOut != "" {
+		if err := runBenchOverload(*olOut, *olDur); err != nil {
+			return err
+		}
+	}
+	if *wireOut != "" {
+		return runBenchWire(*wireOut, *wireDur)
+	}
+	return nil
+}
+
+// benchOverloadResult is the JSON schema of BENCH_overload.json: goodput
+// (completions inside the deadline) and p99 queue sojourn versus offered
+// load, with and without admission control, at a fixed seed. The numbers the
+// overload plane is accountable for: past saturation, goodput with admission
+// control should stay near capacity while the undefended engine's collapses
+// as every completion arrives too late.
+type benchOverloadResult struct {
+	Benchmark   string               `json:"benchmark"`
+	GoVersion   string               `json:"go_version"`
+	DeadlineMs  float64              `json:"deadline_ms"`
+	CapacityTPS float64              `json:"capacity_tps"`
+	Points      []benchOverloadPoint `json:"points"`
+}
+
+type benchOverloadPoint struct {
+	// OfferedTPS is the paced open-loop arrival rate; Admission reports
+	// whether the engine's overload plane was enforcing (false = sojourn
+	// tracking only).
+	OfferedTPS   float64 `json:"offered_tps"`
+	Admission    bool    `json:"admission_control"`
+	CompletedTPS float64 `json:"completed_tps"`
+	// GoodputTPS counts only completions whose client-observed latency was
+	// inside the deadline — completions past it are wasted work.
+	GoodputTPS       float64 `json:"goodput_tps"`
+	P99SojournMs     float64 `json:"p99_sojourn_ms"`
+	Rejected         int64   `json:"rejected"`
+	Shed             int64   `json:"shed"`
+	DeadlineExceeded int64   `json:"deadline_exceeded"`
+}
+
+// runBenchOverload drives one small engine at a sweep of offered loads (0.5x
+// to 4x capacity) twice — overload plane enforcing, and tracking only — and
+// records goodput and queue-sojourn percentiles for each point.
+func runBenchOverload(out string, pointDur time.Duration) error {
+	// A 2ms simulated service time keeps the sleep-timer overshoot (tens of
+	// microseconds per transaction) a rounding error, so the engine's real
+	// capacity matches the nominal parts/svc figure the sweep is scaled by.
+	const (
+		deadline = 20 * time.Millisecond
+		svc      = 2 * time.Millisecond
+		parts    = 2
+		workers  = 32
+	)
+	capacity := float64(parts) / svc.Seconds()
+	res := benchOverloadResult{
+		Benchmark:   "overload_goodput",
+		GoVersion:   runtime.Version(),
+		DeadlineMs:  float64(deadline) / float64(time.Millisecond),
+		CapacityTPS: capacity,
+	}
+	for _, mult := range []float64{0.5, 1, 2, 4} {
+		for _, admission := range []bool{true, false} {
+			ol := store.OverloadConfig{Track: true}
+			if admission {
+				ol.Deadline = deadline
+				ol.CoDelTarget = 5 * time.Millisecond
+				ol.CoDelInterval = 50 * time.Millisecond
+			}
+			pt, err := benchOverloadPointRun(mult*capacity, admission, ol, deadline, svc, parts, workers, pointDur)
+			if err != nil {
+				return err
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	// Report the 2x-capacity pair: the point where the defenses matter.
+	var on, off benchOverloadPoint
+	for _, pt := range res.Points {
+		if pt.OfferedTPS == 2*capacity {
+			if pt.Admission {
+				on = pt
+			} else {
+				off = pt
+			}
+		}
+	}
+	fmt.Printf("bench: overload at 2x capacity: goodput %.0f tps with admission control vs %.0f without (p99 sojourn %.1f vs %.1f ms) -> %s\n",
+		on.GoodputTPS, off.GoodputTPS, on.P99SojournMs, off.P99SojournMs, out)
+	return nil
+}
+
+// benchOverloadPointRun measures one (offered load, admission) point on a
+// fresh engine: paced open-loop workers, SLO-conditioned goodput, and the
+// recorder's sojourn percentiles.
+func benchOverloadPointRun(offered float64, admission bool, ol store.OverloadConfig,
+	deadline, svc time.Duration, parts, workers int, dur time.Duration) (benchOverloadPoint, error) {
+	var pt benchOverloadPoint
+	cfg := store.Config{
+		MaxMachines:          1,
+		PartitionsPerMachine: parts,
+		Buckets:              64,
+		ServiceTime:          svc,
+		QueueCapacity:        1 << 12,
+		InitialMachines:      1,
+		Overload:             ol,
+	}
+	eng, err := store.NewEngine(cfg)
+	if err != nil {
+		return pt, err
+	}
+	if err := eng.Register("noop", func(*store.Tx) (any, error) { return nil, nil }); err != nil {
+		return pt, err
+	}
+	rec, err := metrics.NewRecorder(time.Now(), 2*dur+time.Second)
+	if err != nil {
+		return pt, err
+	}
+	eng.SetRecorder(rec)
+	eng.Start()
+	defer eng.Stop()
+	id, _ := eng.Handle("noop")
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ol-key-%04d", i)
+	}
+
+	submit := func(i int) error {
+		_, err := eng.ExecuteID(id, keys[i&255], nil)
+		return err
+	}
+	completed, good, elapsed := benchPacedRun(submit, offered, deadline, workers, dur)
+	eng.SetRecorder(nil)
+
+	cnt := eng.Counters()
+	return benchOverloadPoint{
+		OfferedTPS:       offered,
+		Admission:        admission,
+		CompletedTPS:     float64(completed) / elapsed.Seconds(),
+		GoodputTPS:       float64(good) / elapsed.Seconds(),
+		P99SojournMs:     rec.SojournPercentile(0, 99),
+		Rejected:         cnt.Rejected,
+		Shed:             cnt.Shed,
+		DeadlineExceeded: cnt.DeadlineExceeded,
+	}, nil
+}
+
+// benchPacedRun drives submit from paced open-loop workers at the offered
+// aggregate rate for dur, returning completions, completions inside the
+// deadline, and the measured elapsed time. Shared by the overload and wire
+// benches so their load shapes are identical.
+func benchPacedRun(submit func(i int) error, offered float64,
+	deadline time.Duration, workers int, dur time.Duration) (completed, good int64, elapsed time.Duration) {
+	interval := time.Duration(float64(workers) / offered * float64(time.Second))
+	var cDone, cGood atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Stagger worker phases so the aggregate arrival process is
+			// uniform at the offered rate rather than synchronized bursts
+			// of all workers at once.
+			next := start.Add(interval * time.Duration(w) / time.Duration(workers))
+			for i := w; ; i += workers {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Open-loop pacing: hold the offered rate even when calls
+				// block, but do not bank an unbounded burst while stuck
+				// behind a saturated queue.
+				if wait := time.Until(next); wait > 0 {
+					time.Sleep(wait)
+				} else if wait < -10*interval {
+					next = time.Now()
+				}
+				next = next.Add(interval)
+				t0 := time.Now()
+				if err := submit(i); err == nil {
+					cDone.Add(1)
+					if time.Since(t0) <= deadline {
+						cGood.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	return cDone.Load(), cGood.Load(), time.Since(start)
+}
+
+// benchWireResult is the JSON schema of BENCH_wire.json: what the network
+// front end costs versus in-process execution, clean and at 2x overload.
+// Clean points are closed-loop over a zero-service-time engine, so they
+// isolate the wire itself (framing, HTTP, loopback round trip); the batch
+// transport shows how much of that overhead pipelining amortizes. Overload
+// points repeat the overload bench's 2x-capacity shape through each
+// transport, with the engine's refusals surfacing as wire 429s.
+type benchWireResult struct {
+	Benchmark   string           `json:"benchmark"`
+	GoVersion   string           `json:"go_version"`
+	DeadlineMs  float64          `json:"deadline_ms"`
+	CapacityTPS float64          `json:"capacity_tps"`
+	Points      []benchWirePoint `json:"points"`
+}
+
+type benchWirePoint struct {
+	// Transport is inprocess, http, or http_batch (64-frame pipelined
+	// batches; its P50/P99 are per batch, not per transaction).
+	Transport string `json:"transport"`
+	// Mode is clean (closed loop, zero service time) or overload_2x (paced
+	// at twice capacity, 2ms service time, admission control armed).
+	Mode         string  `json:"mode"`
+	OfferedTPS   float64 `json:"offered_tps,omitempty"`
+	CompletedTPS float64 `json:"completed_tps"`
+	GoodputTPS   float64 `json:"goodput_tps,omitempty"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	Rejected429  int64   `json:"rejected_429"`
+}
+
+// runBenchWire measures the wire front end against in-process execution:
+// closed-loop clean points for raw overhead, then the overload bench's
+// 2x-capacity point through each transport.
+func runBenchWire(out string, pointDur time.Duration) error {
+	const (
+		deadline = 20 * time.Millisecond
+		svc      = 2 * time.Millisecond
+		parts    = 2
+		workers  = 32
+	)
+	capacity := float64(parts) / svc.Seconds()
+	res := benchWireResult{
+		Benchmark:   "wire_front_end",
+		GoVersion:   runtime.Version(),
+		DeadlineMs:  float64(deadline) / float64(time.Millisecond),
+		CapacityTPS: capacity,
+	}
+	for _, transport := range []string{"inprocess", "http", "http_batch"} {
+		pt, err := benchWirePointRun(transport, "clean", 0, 0, parts, deadline, 16, pointDur)
+		if err != nil {
+			return err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	for _, transport := range []string{"inprocess", "http"} {
+		pt, err := benchWirePointRun(transport, "overload_2x", 2*capacity, svc, parts, deadline, workers, pointDur)
+		if err != nil {
+			return err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	var inproc, http benchWirePoint
+	for _, pt := range res.Points {
+		if pt.Mode == "clean" {
+			switch pt.Transport {
+			case "inprocess":
+				inproc = pt
+			case "http":
+				http = pt
+			}
+		}
+	}
+	fmt.Printf("bench: wire clean: %.0f tps in-process vs %.0f tps over loopback HTTP (p99 %.3f vs %.3f ms) -> %s\n",
+		inproc.CompletedTPS, http.CompletedTPS, inproc.P99Ms, http.P99Ms, out)
+	return nil
+}
+
+// benchWirePointRun measures one (transport, mode) point on a fresh engine,
+// fronting it with a real loopback server for the http transports.
+func benchWirePointRun(transport, mode string, offered float64, svc time.Duration,
+	parts int, deadline time.Duration, workers int, dur time.Duration) (benchWirePoint, error) {
+	var pt benchWirePoint
+	ol := store.OverloadConfig{Track: true}
+	queueCap := 1 << 14
+	if mode == "overload_2x" {
+		ol.Deadline = deadline
+		ol.CoDelTarget = 5 * time.Millisecond
+		ol.CoDelInterval = 50 * time.Millisecond
+		queueCap = 1 << 12
+	}
+	cfg := store.Config{
+		MaxMachines:          1,
+		PartitionsPerMachine: parts,
+		Buckets:              64,
+		ServiceTime:          svc,
+		QueueCapacity:        queueCap,
+		InitialMachines:      1,
+		Overload:             ol,
+	}
+	eng, err := store.NewEngine(cfg)
+	if err != nil {
+		return pt, err
+	}
+	if err := eng.Register("noop", func(*store.Tx) (any, error) { return nil, nil }); err != nil {
+		return pt, err
+	}
+	eng.Start()
+	defer eng.Stop()
+	id, _ := eng.Handle("noop")
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("wire-key-%04d", i)
+	}
+	// Client-observed latencies in one wide window, recorded around each
+	// submit so every transport is measured from the same vantage point.
+	rec, err := metrics.NewRecorder(time.Now(), 2*dur+time.Second)
+	if err != nil {
+		return pt, err
+	}
+
+	var submit func(i int) (int, error)
+	ctx := context.Background()
+	var srv *server.Server
+	switch transport {
+	case "inprocess":
+		submit = func(i int) (int, error) {
+			_, err := eng.ExecuteID(id, keys[i&255], nil)
+			return 1, err
+		}
+	case "http", "http_batch":
+		srv, err = server.New(server.Config{Engine: eng})
+		if err != nil {
+			return pt, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return pt, err
+		}
+		go srv.Serve(l) //nolint:errcheck // surfaced through request failures
+		defer func() {
+			shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shCtx)
+		}()
+		cl, err := client.New(client.Config{Addr: l.Addr().String(), MaxInFlight: 2 * workers})
+		if err != nil {
+			return pt, err
+		}
+		defer cl.Close()
+		if transport == "http" {
+			submit = func(i int) (int, error) {
+				_, err := cl.Execute(ctx, "noop", keys[i&255], nil)
+				return 1, err
+			}
+		} else {
+			const batch = 64
+			submit = func(i int) (int, error) {
+				reqs := make([]wire.Request, batch)
+				for j := range reqs {
+					reqs[j] = wire.Request{Txn: "noop", Key: keys[(i+j)&255]}
+				}
+				resps, err := cl.ExecuteBatch(ctx, reqs)
+				if err != nil {
+					return 0, err
+				}
+				n := 0
+				for _, r := range resps {
+					if r.Status == 200 {
+						n++
+					}
+				}
+				if n == 0 {
+					return 0, errors.New("batch fully refused")
+				}
+				return n, nil
+			}
+		}
+	default:
+		return pt, fmt.Errorf("unknown wire bench transport %q", transport)
+	}
+
+	recorded := func(i int) (int, error) {
+		t0 := time.Now()
+		n, err := submit(i)
+		if err == nil {
+			rec.Record(time.Now(), time.Since(t0))
+		}
+		return n, err
+	}
+
+	var completed, good atomic.Int64
+	var elapsed time.Duration
+	if mode == "clean" {
+		// Closed loop: each worker issues back to back, so throughput is
+		// bounded by the transport, not by pacing.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; ; i += workers {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if n, err := recorded(i); err == nil {
+						completed.Add(int64(n))
+					}
+				}
+			}(w)
+		}
+		time.Sleep(dur)
+		close(stop)
+		wg.Wait()
+		elapsed = time.Since(start)
+	} else {
+		c, g, e := benchPacedRun(func(i int) error {
+			_, err := recorded(i)
+			return err
+		}, offered, deadline, workers, dur)
+		completed.Store(c)
+		good.Store(g)
+		elapsed = e
+	}
+
+	pt = benchWirePoint{
+		Transport:    transport,
+		Mode:         mode,
+		OfferedTPS:   offered,
+		CompletedTPS: float64(completed.Load()) / elapsed.Seconds(),
+		P50Ms:        rec.Percentile(0, 50),
+		P99Ms:        rec.Percentile(0, 99),
+	}
+	if mode != "clean" {
+		pt.GoodputTPS = float64(good.Load()) / elapsed.Seconds()
+	}
+	if srv != nil {
+		pt.Rejected429 = srv.Counters().Rejected429
+	} else {
+		pt.Rejected429 = eng.Counters().Rejected
+	}
+	return pt, nil
+}
+
+// runBenchMigration measures a scale-out and scale-in round trip on a loaded
+// engine with the given fault schedule armed, at a fixed seed so the numbers
+// are reproducible run to run.
+func runBenchMigration(out, spec string) error {
+	cfg := store.Config{
+		MaxMachines:          4,
+		PartitionsPerMachine: 2,
+		Buckets:              256,
+		ServiceTime:          0,
+		QueueCapacity:        1 << 14,
+		InitialMachines:      1,
+	}
+	eng, err := store.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	if err := eng.Register("put", func(tx *store.Tx) (any, error) {
+		return nil, tx.Put("kv", tx.Key, tx.Args)
+	}); err != nil {
+		return err
+	}
+	eng.Start()
+	defer eng.Stop()
+	const rows = 20_000
+	for i := 0; i < rows; i++ {
+		if _, err := eng.Execute("put", fmt.Sprintf("mig-key-%05d", i), i); err != nil {
+			return err
+		}
+	}
+
+	var inj *faults.Injector
+	if spec != "" {
+		fcfg, err := faults.Parse(spec)
+		if err != nil {
+			return err
+		}
+		if inj, err = faults.New(fcfg); err != nil {
+			return err
+		}
+		eng.SetFaultInjector(inj)
+	}
+
+	sqCfg := squall.Config{
+		ChunkRows:       200,
+		RowCost:         time.Microsecond,
+		ChunkOverhead:   50 * time.Microsecond,
+		Spacing:         200 * time.Microsecond,
+		RateFactor:      1,
+		MaxChunkRetries: 5,
+		RetryBackoff:    200 * time.Microsecond,
+		MaxRetryBackoff: 2 * time.Millisecond,
+	}
+	ex, err := squall.NewExecutor(eng, sqCfg)
+	if err != nil {
+		return err
+	}
+
+	startOut := time.Now()
+	if err := ex.Reconfigure(1, cfg.MaxMachines, 0); err != nil {
+		return fmt.Errorf("scale-out aborted (raise retries or lower the fault rate): %w", err)
+	}
+	moveOut := time.Since(startOut)
+	startIn := time.Now()
+	if err := ex.Reconfigure(cfg.MaxMachines, 1, 0); err != nil {
+		return fmt.Errorf("scale-in aborted: %w", err)
+	}
+	moveIn := time.Since(startIn)
+	if got := eng.TotalRows(); got != rows {
+		return fmt.Errorf("%d rows after round trip, want %d", got, rows)
+	}
+
+	st := ex.Stats()
+	res := benchMigrationResult{
+		Benchmark:      "migration_round_trip",
+		GoVersion:      runtime.Version(),
+		FaultSpec:      spec,
+		Rows:           rows,
+		Machines:       cfg.MaxMachines,
+		MoveOutMs:      float64(moveOut.Microseconds()) / 1000,
+		MoveInMs:       float64(moveIn.Microseconds()) / 1000,
+		ChunksMoved:    st.ChunksMoved,
+		Retries:        st.Retries,
+		Aborts:         st.Aborts,
+		RollbackChunks: st.RollbackChunks,
+	}
+	if inj != nil {
+		ist := inj.Stats()
+		res.FaultsOffered = ist.Offered
+		res.FaultsDropped = ist.Drops
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: migration 1->%d->1 of %d rows: out %.1f ms, in %.1f ms, %d retries, %d rolled back -> %s\n",
+		cfg.MaxMachines, rows, res.MoveOutMs, res.MoveInMs, res.Retries, res.RollbackChunks, out)
+	return nil
+}
+
+// benchRecoveryResult is the JSON schema of BENCH_recovery.json: how fast a
+// crashed machine comes back as a function of the command-log tail behind
+// the last checkpoint — recovery latency and replay lag are the numbers the
+// checkpoint + command-log plane is accountable for.
+type benchRecoveryResult struct {
+	Benchmark    string                  `json:"benchmark"`
+	GoVersion    string                  `json:"go_version"`
+	Rows         int                     `json:"rows"`
+	Machines     int                     `json:"machines"`
+	MaxReplayLag int64                   `json:"max_replay_lag"`
+	Scenarios    []benchRecoveryScenario `json:"scenarios"`
+}
+
+type benchRecoveryScenario struct {
+	// LogTail is how many transactions ran between the checkpoint and the
+	// crash; Replayed is how many of them landed on the crashed machine's
+	// buckets and had to be replayed.
+	LogTail      int     `json:"log_tail_txns"`
+	Replayed     int     `json:"replayed_commands"`
+	CheckpointMs float64 `json:"checkpoint_ms"`
+	RecoveryMs   float64 `json:"recovery_ms"`
+}
+
+// runBenchRecovery crashes and recovers a machine on a loaded engine with
+// increasingly stale checkpoints. The key layout is deterministic, so the
+// numbers are reproducible run to run.
+func runBenchRecovery(out string) error {
+	cfg := store.Config{
+		MaxMachines:          2,
+		PartitionsPerMachine: 2,
+		Buckets:              256,
+		ServiceTime:          0,
+		QueueCapacity:        1 << 14,
+		InitialMachines:      2,
+	}
+	eng, err := store.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	if err := eng.Register("put", func(tx *store.Tx) (any, error) {
+		return nil, tx.Put("kv", tx.Key, tx.Args)
+	}); err != nil {
+		return err
+	}
+	rm := recovery.NewManager(eng)
+	eng.Start()
+	defer eng.Stop()
+	const rows = 20_000
+	for i := 0; i < rows; i++ {
+		if _, err := eng.Execute("put", fmt.Sprintf("rec-key-%05d", i), i); err != nil {
+			return err
+		}
+	}
+
+	res := benchRecoveryResult{
+		Benchmark: "crash_recovery",
+		GoVersion: runtime.Version(),
+		Rows:      rows,
+		Machines:  cfg.MaxMachines,
+	}
+	for _, tail := range []int{0, 5_000, 20_000} {
+		ckStart := time.Now()
+		if _, err := rm.Checkpoint(); err != nil {
+			return err
+		}
+		ckMs := float64(time.Since(ckStart).Microseconds()) / 1000
+		// The post-checkpoint tail rewrites existing rows, so every scenario
+		// recovers the same data set from a different image/log split.
+		for i := 0; i < tail; i++ {
+			if _, err := eng.Execute("put", fmt.Sprintf("rec-key-%05d", i%rows), i); err != nil {
+				return err
+			}
+		}
+		if err := rm.Crash(1); err != nil {
+			return err
+		}
+		recStart := time.Now()
+		st, err := rm.Restore(1)
+		if err != nil {
+			return err
+		}
+		recMs := float64(time.Since(recStart).Microseconds()) / 1000
+		if got := eng.TotalRows(); got != rows {
+			return fmt.Errorf("%d rows after recovery, want %d", got, rows)
+		}
+		res.Scenarios = append(res.Scenarios, benchRecoveryScenario{
+			LogTail:      tail,
+			Replayed:     st.Replayed,
+			CheckpointMs: ckMs,
+			RecoveryMs:   recMs,
+		})
+	}
+	res.MaxReplayLag = rm.Stats().MaxReplayLag
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	last := res.Scenarios[len(res.Scenarios)-1]
+	fmt.Printf("bench: recovery of %d rows: %.1f ms with a %d-txn log tail (%d replayed), max lag %d -> %s\n",
+		rows, last.RecoveryMs, last.LogTail, last.Replayed, res.MaxReplayLag, out)
+	return nil
+}

@@ -1,14 +1,17 @@
 // Command pstore is the command-line entry point to the P-Store
 // reproduction: it regenerates every table and figure of the paper's
 // evaluation, generates synthetic load traces, fits load predictors, runs
-// the predictive elasticity planner on a trace, and serves a live cluster
-// replaying a trace under a provisioning controller.
+// the predictive elasticity planner on a trace, serves a live cluster
+// (in-process or over a network front end), and drives a served cluster
+// from a separate process as a remote load generator.
 //
 // Usage:
 //
 //	pstore list                              list all experiments
 //	pstore experiment <id> [flags]           run one experiment (or "all")
 //	pstore serve [flags]                     run a live cluster against a trace
+//	pstore serve -listen addr [flags]        same, but serve remote clients over HTTP
+//	pstore drive -connect addr [flags]       replay the trace against a served cluster
 //	pstore trace [flags]                     generate a synthetic load trace CSV
 //	pstore predict [flags]                   fit a predictor on a trace CSV and forecast
 //	pstore plan [flags]                      plan reconfigurations for a trace CSV
@@ -16,64 +19,55 @@
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"runtime"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"pstore/internal/b2w"
-	"pstore/internal/cluster"
-	"pstore/internal/elastic"
 	"pstore/internal/experiments"
-	"pstore/internal/faults"
-	"pstore/internal/metrics"
 	"pstore/internal/migration"
 	"pstore/internal/planner"
 	"pstore/internal/predictor"
-	"pstore/internal/recovery"
-	"pstore/internal/squall"
-	"pstore/internal/store"
 	"pstore/internal/timeseries"
 	"pstore/internal/workload"
 )
+
+// commands dispatches subcommand names. Every handler returns a plain
+// reason on failure; main prefixes it uniformly, so each subcommand exits 1
+// with one consistent "pstore <cmd>: <reason>" message.
+var commands = map[string]func([]string) error{
+	"list":       func([]string) error { return runList() },
+	"experiment": runExperiment,
+	"serve":      runServe,
+	"drive":      runDrive,
+	"trace":      runTrace,
+	"predict":    runPredict,
+	"plan":       runPlan,
+	"bench":      runBench,
+}
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
-	var err error
-	switch os.Args[1] {
-	case "list":
-		err = runList()
-	case "experiment":
-		err = runExperiment(os.Args[2:])
-	case "serve":
-		err = runServe(os.Args[2:])
-	case "trace":
-		err = runTrace(os.Args[2:])
-	case "predict":
-		err = runPredict(os.Args[2:])
-	case "plan":
-		err = runPlan(os.Args[2:])
-	case "bench":
-		err = runBench(os.Args[2:])
+	cmd := os.Args[1]
+	switch cmd {
 	case "-h", "--help", "help":
 		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "pstore: unknown command %q\n", os.Args[1])
+		return
+	}
+	run, ok := commands[cmd]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pstore: unknown command %q\n", cmd)
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pstore:", err)
+	if err := run(os.Args[2:]); err != nil {
+		fmt.Fprintf(os.Stderr, "pstore %s: %v\n", cmd, err)
 		os.Exit(1)
 	}
 }
@@ -83,11 +77,37 @@ func usage() {
   pstore list                     list all experiments
   pstore experiment <id|all>      run an experiment (-full for paper-size runs, -seed N)
   pstore serve                    run a live cluster replaying a trace under a controller
+  pstore serve -listen addr       serve the cluster over HTTP for remote drivers
+  pstore drive -connect addr      replay the served trace from a separate process
   pstore trace                    generate a synthetic B2W-like load trace CSV
   pstore predict                  fit SPAR/AR/ARMA on a trace CSV and report accuracy
   pstore plan                     run the predictive elasticity planner on a trace CSV
-  pstore bench                    benchmark the transaction hot path, emit BENCH_engine.json
+  pstore bench                    benchmark the transaction hot path, emit BENCH_*.json
 `)
+}
+
+// newFlagSet builds a subcommand flag set whose errors flow back to main
+// for the uniform "pstore <cmd>: <reason>" exit instead of the flag
+// package's own os.Exit(2) with ad-hoc formatting.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+// parseFlags parses args, printing the subcommand's flag reference (and
+// succeeding) when help was requested.
+func parseFlags(fs *flag.FlagSet, args []string) (helped bool, err error) {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(os.Stderr)
+			fmt.Fprintf(os.Stderr, "usage of pstore %s:\n", fs.Name())
+			fs.PrintDefaults()
+			return true, nil
+		}
+		return false, err
+	}
+	return false, nil
 }
 
 func runList() error {
@@ -99,15 +119,15 @@ func runList() error {
 }
 
 func runExperiment(args []string) error {
-	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	fs := newFlagSet("experiment")
 	full := fs.Bool("full", false, "run at paper-equivalent size (slower)")
 	seed := fs.Int64("seed", 1, "random seed")
 	quiet := fs.Bool("quiet", false, "suppress progress logging")
-	if err := fs.Parse(args); err != nil {
+	if helped, err := parseFlags(fs, args); helped || err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return errors.New("experiment: need exactly one experiment id (or \"all\")")
+		return errors.New("need exactly one experiment id (or \"all\")")
 	}
 	ids := []string{fs.Arg(0)}
 	if fs.Arg(0) == "all" {
@@ -129,218 +149,14 @@ func runExperiment(args []string) error {
 	return nil
 }
 
-// runServe boots the cluster runtime — engine, Squall executor, recorder
-// and the controller's monitoring/decision loop — and replays a compressed
-// synthetic retail trace through it, streaming the runtime's events to
-// stderr and printing a provisioning summary at the end.
-func runServe(args []string) error {
-	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	days := fs.Int("days", 1, "days to replay after the 28-day training window")
-	policy := fs.String("controller", "pstore", "provisioning controller: pstore, reactive, static")
-	initial := fs.Int("machines", 2, "initial machine count")
-	maxM := fs.Int("max", 8, "maximum machine count")
-	minute := fs.Duration("minute", 10*time.Millisecond, "wall time per trace minute")
-	cycleMin := fs.Int("cycle", 5, "controller cycle in trace minutes")
-	seed := fs.Int64("seed", 1, "random seed")
-	sloMs := fs.Float64("slo", 40, "latency SLO in ms on this substrate")
-	faultSpec := fs.String("faults", "", "fault-injection spec, e.g. seed=42,chunk-drop=0.05 (keys: seed, chunk-drop, chunk-slow, slow-delay, stall, stall-delay, crash-pair=F:T, crash-part=N)")
-	crashSpec := fs.String("crash", "", "machine-crash schedule, e.g. seed=42,rate=0.02,downtime=4,at=1@10+5 (keys: seed, rate, downtime, at=M@T[+D] in controller cycles)")
-	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint the recovery command log every N controller cycles (0 = 10 when -crash is set)")
-	deadline := fs.Duration("deadline", 0, "per-request deadline arming admission control and queue-deadline enforcement (0 = off)")
-	overloadSpec := fs.String("overload", "", "overload-plane spec, e.g. deadline=50ms,target=5ms,interval=100ms,track=true (shorthand: -deadline)")
-	quiet := fs.Bool("quiet", false, "suppress the live event log")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *days < 1 || *initial < 1 || *maxM < *initial || *cycleMin < 1 || *minute <= 0 {
-		return errors.New("serve: invalid sizing flags")
-	}
-
-	// Training month plus the replayed day(s).
-	full, err := workload.SyntheticB2W(workload.DefaultB2WConfig(*seed, 28+*days))
-	if err != nil {
-		return err
-	}
-	train := full.Slice(0, 28*workload.MinutesPerDay)
-	replay := full.Slice(28*workload.MinutesPerDay, full.Len())
-
-	olCfg, err := store.ParseOverload(*overloadSpec)
-	if err != nil {
-		return fmt.Errorf("serve: %w", err)
-	}
-	if *deadline < 0 {
-		return fmt.Errorf("serve: negative -deadline %v", *deadline)
-	}
-	if *deadline > 0 {
-		olCfg.Deadline = *deadline
-	}
-	engCfg := store.Config{
-		MaxMachines:          *maxM,
-		PartitionsPerMachine: 4,
-		Buckets:              640,
-		ServiceTime:          3 * time.Millisecond,
-		QueueCapacity:        1 << 15,
-		InitialMachines:      *initial,
-		Overload:             olCfg,
-	}
-	if olCfg.Enabled() {
-		fmt.Fprintf(os.Stderr, "serve: overload plane armed: %s\n", olCfg)
-	}
-	// Size the trace so its peak demands ~3/4 of the cluster at Q-hat.
-	perMachine := 0.8 * float64(engCfg.PartitionsPerMachine) / engCfg.ServiceTime.Seconds()
-	rateScale := 0.75 * float64(*maxM) * perMachine * minute.Seconds() / replay.Max()
-	qMax := perMachine * minute.Seconds() / rateScale
-	model := migration.Model{Q: 0.65 / 0.8 * qMax, QMax: qMax, D: 10, P: engCfg.PartitionsPerMachine}
-
-	var ctrl elastic.Controller
-	switch *policy {
-	case "pstore":
-		cycleTrain, err := train.Resample(*cycleMin)
-		if err != nil {
-			return err
-		}
-		period := workload.MinutesPerDay / *cycleMin
-		spar := predictor.NewSPAR(period, 7, 6)
-		online := predictor.NewOnline(spar, 0, 9*period)
-		if err := online.ObserveAll(cycleTrain.Values); err != nil {
-			return err
-		}
-		ctrl = &elastic.Predictive{
-			Model: model, Predictor: online,
-			Horizon: 36, Inflation: 0.15, ScaleInConfirm: 6,
-			MaxMachines: *maxM, OnSpike: elastic.SpikeFastRate,
-		}
-	case "reactive":
-		ctrl = &elastic.Reactive{Model: model, MaxMachines: *maxM}
-	case "static":
-		ctrl = nil
-	default:
-		return fmt.Errorf("serve: unknown controller %q", *policy)
-	}
-
-	var inj *faults.Injector
-	if *faultSpec != "" {
-		fcfg, err := faults.Parse(*faultSpec)
-		if err != nil {
-			return fmt.Errorf("serve: %w", err)
-		}
-		if inj, err = faults.New(fcfg); err != nil {
-			return fmt.Errorf("serve: %w", err)
-		}
-		fmt.Fprintf(os.Stderr, "serve: fault plane armed: %s\n", fcfg)
-	}
-	var crash *faults.CrashSchedule
-	if *crashSpec != "" {
-		cs, err := faults.ParseCrash(*crashSpec)
-		if err != nil {
-			return fmt.Errorf("serve: %w", err)
-		}
-		crash = &cs
-		fmt.Fprintf(os.Stderr, "serve: crash plane armed: %s\n", cs)
-	}
-
-	spec := b2w.LoadSpec{Carts: 2400, Checkouts: 600, Stocks: 1200, LinesPerCart: 3, Seed: *seed}
-	clusterCfg := cluster.Config{
-		Engine:            engCfg,
-		Squall:            squall.DefaultConfig(),
-		Controller:        ctrl,
-		Cycle:             time.Duration(*cycleMin) * *minute,
-		RateScale:         rateScale,
-		CycleTraceMinutes: float64(*cycleMin),
-		RecorderWindow:    300 * time.Millisecond,
-		Bootstrap: func(eng *store.Engine) error {
-			return b2w.Load(eng, spec)
-		},
-		Crash:           crash,
-		CheckpointEvery: *ckptEvery,
-	}
-	if inj != nil {
-		clusterCfg.FaultInjector = inj
-	}
-	c, err := cluster.New(clusterCfg)
-	if err != nil {
-		return err
-	}
-	if err := b2w.Register(c.Engine()); err != nil {
-		return err
-	}
-
-	events, unsubscribe := c.Subscribe(4096)
-	defer unsubscribe()
-	var watch sync.WaitGroup
-	watch.Add(1)
-	go func() {
-		defer watch.Done()
-		for e := range events {
-			switch e.(type) {
-			case cluster.LoadObserved:
-				// Per-cycle observations are too chatty for the log.
-			default:
-				if !*quiet {
-					fmt.Fprintf(os.Stderr, "serve: %v\n", e)
-				}
-			}
-		}
-	}()
-
-	fmt.Fprintf(os.Stderr, "serve: replaying %d day(s) (1 trace minute = %v) under %q on up to %d machines\n",
-		*days, *minute, *policy, *maxM)
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	if err := c.Start(ctx); err != nil {
-		return err
-	}
-	defer c.Stop()
-	start := time.Now()
-	driver := &b2w.Driver{Eng: c.Engine(), Spec: spec, Seed: *seed + 1, Recorder: c.Recorder()}
-	stats, err := driver.Run(ctx, replay, *minute, rateScale)
-	c.Stop()
-	watch.Wait()
-	if err != nil && ctx.Err() == nil {
-		return err
-	}
-
-	rec := c.Recorder()
-	cs := c.Stats()
-	fmt.Printf("served %d transactions (%d failed) in %v\n",
-		stats.Executed, stats.Failed, time.Since(start).Round(time.Millisecond))
-	// One refused-work total across the whole stack: the driver's client-side
-	// in-flight cap and the engine's admission/shed/deadline defenses.
-	if oc := rec.OverloadCounters(); oc.Refused() > 0 || olCfg.Enabled() {
-		fmt.Printf("refused: %d total (%d rejected, %d shed, %d deadline-exceeded, %d client-shed), worst queue delay %v\n",
-			oc.Refused(), oc.Rejected, oc.Shed, oc.DeadlineExceeded, oc.ClientShed,
-			c.Engine().MaxQueueSojourn().Round(time.Millisecond))
-	}
-	fmt.Printf("SLA violations (>%g ms): p50 %d, p95 %d, p99 %d\n",
-		*sloMs, rec.SLAViolations(50, *sloMs), rec.SLAViolations(95, *sloMs), rec.SLAViolations(99, *sloMs))
-	fmt.Printf("machines: avg %.2f (initial %d, max %d)\n", rec.AverageMachines(), *initial, *maxM)
-	fmt.Printf("controller: %d decisions, %d moves (%d emergency), %d failures\n",
-		cs.Decisions, cs.Moves, cs.Emergencies, cs.Failures)
-	mc := rec.MigrationCounters()
-	fmt.Printf("migration: %d chunk retries, %d aborts, %d chunks rolled back\n",
-		mc.Retries, mc.Aborts, mc.RollbackChunks)
-	if rm := c.Recovery(); rm != nil {
-		rs := rm.Stats()
-		fmt.Printf("recovery: %d crashes, %d recoveries, %d commands replayed (max lag %d), downtime %v, %d checkpoints\n",
-			rs.Crashes, rs.Recoveries, rs.ReplayedCommands, rs.MaxReplayLag,
-			rs.Downtime.Round(time.Millisecond), rs.Checkpoints)
-	}
-	if inj != nil {
-		ist := inj.Stats()
-		fmt.Printf("faults: %d chunk sends offered, %d dropped, %d crashed, %d slowed, %d stalled\n",
-			ist.Offered, ist.Drops, ist.Crashes, ist.Slows, ist.Stalls)
-	}
-	return nil
-}
-
 func runTrace(args []string) error {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	fs := newFlagSet("trace")
 	days := fs.Int("days", 3, "trace length in days")
 	seed := fs.Int64("seed", 1, "random seed")
 	bf := fs.Int("blackfriday", -1, "day index of a Black Friday surge (-1 = none)")
 	out := fs.String("out", "", "output CSV path (default stdout)")
 	kind := fs.String("kind", "b2w", "trace kind: b2w, wiki-en, wiki-de")
-	if err := fs.Parse(args); err != nil {
+	if helped, err := parseFlags(fs, args); helped || err != nil {
 		return err
 	}
 	var series workload.Series
@@ -355,7 +171,7 @@ func runTrace(args []string) error {
 	case "wiki-de":
 		series, err = workload.SyntheticWikipedia(workload.GermanWikipediaConfig(*seed, *days))
 	default:
-		return fmt.Errorf("trace: unknown kind %q", *kind)
+		return fmt.Errorf("unknown kind %q", *kind)
 	}
 	if err != nil {
 		return err
@@ -373,7 +189,7 @@ func runTrace(args []string) error {
 }
 
 func runPredict(args []string) error {
-	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	fs := newFlagSet("predict")
 	input := fs.String("input", "", "load trace CSV (from pstore trace)")
 	model := fs.String("model", "spar", "model: spar, ar, arma, naive")
 	period := fs.Int("period", 1440, "slots per period (1440 for per-minute daily)")
@@ -381,11 +197,11 @@ func runPredict(args []string) error {
 	mRecent := fs.Int("m", 30, "SPAR: recent offsets / AR order")
 	tau := fs.Int("tau", 60, "forecast period in slots")
 	trainFrac := fs.Float64("train", 0.8, "fraction of the trace used for training")
-	if err := fs.Parse(args); err != nil {
+	if helped, err := parseFlags(fs, args); helped || err != nil {
 		return err
 	}
 	if *input == "" {
-		return errors.New("predict: -input is required")
+		return errors.New("-input is required")
 	}
 	f, err := os.Open(*input)
 	if err != nil {
@@ -399,7 +215,7 @@ func runPredict(args []string) error {
 	trace := series.Values
 	split := int(float64(len(trace)) * *trainFrac)
 	if split < 2 || split >= len(trace)-*tau {
-		return fmt.Errorf("predict: train split %d leaves no test window", split)
+		return fmt.Errorf("train split %d leaves no test window", split)
 	}
 
 	var p predictor.Predictor
@@ -429,7 +245,7 @@ func runPredict(args []string) error {
 		}
 		p = n
 	default:
-		return fmt.Errorf("predict: unknown model %q", *model)
+		return fmt.Errorf("unknown model %q", *model)
 	}
 
 	var actual, pred []float64
@@ -455,610 +271,19 @@ func runPredict(args []string) error {
 	return nil
 }
 
-// benchResult is the JSON schema of BENCH_engine.json: the hot-path numbers
-// the typed request pipeline is accountable for.
-type benchResult struct {
-	Benchmark    string  `json:"benchmark"`
-	GoVersion    string  `json:"go_version"`
-	Clients      int     `json:"clients"`
-	DurationSec  float64 `json:"duration_s"`
-	Transactions int64   `json:"txns"`
-	TPS          float64 `json:"tps"`
-	P50Ms        float64 `json:"p50_ms"`
-	P99Ms        float64 `json:"p99_ms"`
-	NsPerTxn     float64 `json:"ns_per_txn"`
-	AllocsPerTxn float64 `json:"allocs_per_txn"`
-}
-
-// benchMigrationResult is the JSON schema of BENCH_migration.json: how the
-// migration path behaves under a fixed-seed fault schedule — move durations,
-// retry work, and rollback volume are the numbers the fault plane is
-// accountable for.
-type benchMigrationResult struct {
-	Benchmark      string  `json:"benchmark"`
-	GoVersion      string  `json:"go_version"`
-	FaultSpec      string  `json:"fault_spec"`
-	Rows           int     `json:"rows"`
-	Machines       int     `json:"machines"`
-	MoveOutMs      float64 `json:"move_out_ms"`
-	MoveInMs       float64 `json:"move_in_ms"`
-	ChunksMoved    int64   `json:"chunks_moved"`
-	Retries        int64   `json:"retries"`
-	Aborts         int64   `json:"aborts"`
-	RollbackChunks int64   `json:"rollback_chunks"`
-	FaultsOffered  int64   `json:"faults_offered"`
-	FaultsDropped  int64   `json:"faults_dropped"`
-}
-
-// runBench measures the transaction hot path on an idle engine: a serial
-// single-client pass isolates allocations per transaction, then a concurrent
-// pass measures throughput and latency percentiles through the recorder. A
-// third pass measures the migration path under a fixed-seed fault schedule
-// and emits BENCH_migration.json.
-func runBench(args []string) error {
-	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_engine.json", "output JSON path (- for stdout)")
-	dur := fs.Duration("duration", 2*time.Second, "length of the throughput pass")
-	clients := fs.Int("clients", 8, "concurrent clients in the throughput pass")
-	migOut := fs.String("migration-out", "BENCH_migration.json", "migration bench output JSON path (- for stdout, empty to skip)")
-	migFaults := fs.String("migration-faults", "seed=42,chunk-drop=0.05", "fault spec for the migration pass (empty for a clean run)")
-	recOut := fs.String("recovery-out", "BENCH_recovery.json", "crash-recovery bench output JSON path (- for stdout, empty to skip)")
-	olOut := fs.String("overload-out", "BENCH_overload.json", "overload bench output JSON path (- for stdout, empty to skip)")
-	olDur := fs.Duration("overload-duration", 500*time.Millisecond, "length of each overload bench point")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *clients < 1 || *dur <= 0 {
-		return errors.New("bench: invalid flags")
-	}
-
-	cfg := store.Config{
-		MaxMachines:          2,
-		PartitionsPerMachine: 2,
-		Buckets:              64,
-		ServiceTime:          0,
-		QueueCapacity:        1 << 14,
-		InitialMachines:      2,
-	}
-	eng, err := store.NewEngine(cfg)
-	if err != nil {
-		return err
-	}
-	if err := eng.Register("noop", func(*store.Tx) (any, error) { return nil, nil }); err != nil {
-		return err
-	}
-	eng.Start()
-	defer eng.Stop()
-	id, ok := eng.Handle("noop")
-	if !ok {
-		return errors.New("bench: handle not found")
-	}
-	keys := make([]string, 256)
-	for i := range keys {
-		keys[i] = fmt.Sprintf("bench-key-%04d", i)
-	}
-
-	// Pass 1: allocations per transaction, serial so nothing but the
-	// pipeline itself shows up. A warmup populates the request pool.
-	const allocTxns = 200_000
-	for i := 0; i < 10_000; i++ {
-		if _, err := eng.ExecuteID(id, keys[i&255], nil); err != nil {
-			return err
-		}
-	}
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	for i := 0; i < allocTxns; i++ {
-		if _, err := eng.ExecuteID(id, keys[i&255], nil); err != nil {
-			return err
-		}
-	}
-	runtime.ReadMemStats(&after)
-	allocsPerTxn := float64(after.Mallocs-before.Mallocs) / float64(allocTxns)
-
-	// Pass 2: throughput and latency with concurrent clients, recorded into
-	// one wide window so p50/p99 cover the whole pass.
-	rec, err := metrics.NewRecorder(time.Now(), 2**dur+time.Second)
-	if err != nil {
-		return err
-	}
-	eng.SetRecorder(rec)
-	var wg sync.WaitGroup
-	counts := make([]int64, *clients)
-	stop := make(chan struct{})
-	start := time.Now()
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for i := c; ; i++ {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				if _, err := eng.ExecuteID(id, keys[i&255], nil); err != nil {
-					return
-				}
-				counts[c]++
-			}
-		}(c)
-	}
-	time.Sleep(*dur)
-	close(stop)
-	wg.Wait()
-	elapsed := time.Since(start)
-	eng.SetRecorder(nil)
-	var txns int64
-	for _, n := range counts {
-		txns += n
-	}
-	if txns == 0 {
-		return errors.New("bench: no transactions completed")
-	}
-
-	res := benchResult{
-		Benchmark:    "engine_execute",
-		GoVersion:    runtime.Version(),
-		Clients:      *clients,
-		DurationSec:  elapsed.Seconds(),
-		Transactions: txns,
-		TPS:          float64(txns) / elapsed.Seconds(),
-		P50Ms:        rec.Percentile(0, 50),
-		P99Ms:        rec.Percentile(0, 99),
-		NsPerTxn:     float64(elapsed.Nanoseconds()) * float64(*clients) / float64(txns),
-		AllocsPerTxn: allocsPerTxn,
-	}
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if *out == "-" {
-		if _, err := os.Stdout.Write(data); err != nil {
-			return err
-		}
-	} else {
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("bench: %d txns, %.0f tps, p50 %.3f ms, p99 %.3f ms, %.2f allocs/txn -> %s\n",
-			res.Transactions, res.TPS, res.P50Ms, res.P99Ms, res.AllocsPerTxn, *out)
-	}
-	if *migOut != "" {
-		if err := runBenchMigration(*migOut, *migFaults); err != nil {
-			return err
-		}
-	}
-	if *recOut != "" {
-		if err := runBenchRecovery(*recOut); err != nil {
-			return err
-		}
-	}
-	if *olOut != "" {
-		return runBenchOverload(*olOut, *olDur)
-	}
-	return nil
-}
-
-// benchOverloadResult is the JSON schema of BENCH_overload.json: goodput
-// (completions inside the deadline) and p99 queue sojourn versus offered
-// load, with and without admission control, at a fixed seed. The numbers the
-// overload plane is accountable for: past saturation, goodput with admission
-// control should stay near capacity while the undefended engine's collapses
-// as every completion arrives too late.
-type benchOverloadResult struct {
-	Benchmark   string               `json:"benchmark"`
-	GoVersion   string               `json:"go_version"`
-	DeadlineMs  float64              `json:"deadline_ms"`
-	CapacityTPS float64              `json:"capacity_tps"`
-	Points      []benchOverloadPoint `json:"points"`
-}
-
-type benchOverloadPoint struct {
-	// OfferedTPS is the paced open-loop arrival rate; Admission reports
-	// whether the engine's overload plane was enforcing (false = sojourn
-	// tracking only).
-	OfferedTPS   float64 `json:"offered_tps"`
-	Admission    bool    `json:"admission_control"`
-	CompletedTPS float64 `json:"completed_tps"`
-	// GoodputTPS counts only completions whose client-observed latency was
-	// inside the deadline — completions past it are wasted work.
-	GoodputTPS       float64 `json:"goodput_tps"`
-	P99SojournMs     float64 `json:"p99_sojourn_ms"`
-	Rejected         int64   `json:"rejected"`
-	Shed             int64   `json:"shed"`
-	DeadlineExceeded int64   `json:"deadline_exceeded"`
-}
-
-// runBenchOverload drives one small engine at a sweep of offered loads (0.5x
-// to 4x capacity) twice — overload plane enforcing, and tracking only — and
-// records goodput and queue-sojourn percentiles for each point.
-func runBenchOverload(out string, pointDur time.Duration) error {
-	// A 2ms simulated service time keeps the sleep-timer overshoot (tens of
-	// microseconds per transaction) a rounding error, so the engine's real
-	// capacity matches the nominal parts/svc figure the sweep is scaled by.
-	const (
-		deadline = 20 * time.Millisecond
-		svc      = 2 * time.Millisecond
-		parts    = 2
-		workers  = 32
-	)
-	capacity := float64(parts) / svc.Seconds()
-	res := benchOverloadResult{
-		Benchmark:   "overload_goodput",
-		GoVersion:   runtime.Version(),
-		DeadlineMs:  float64(deadline) / float64(time.Millisecond),
-		CapacityTPS: capacity,
-	}
-	for _, mult := range []float64{0.5, 1, 2, 4} {
-		for _, admission := range []bool{true, false} {
-			ol := store.OverloadConfig{Track: true}
-			if admission {
-				ol.Deadline = deadline
-				ol.CoDelTarget = 5 * time.Millisecond
-				ol.CoDelInterval = 50 * time.Millisecond
-			}
-			pt, err := benchOverloadPointRun(mult*capacity, admission, ol, deadline, svc, parts, workers, pointDur)
-			if err != nil {
-				return err
-			}
-			res.Points = append(res.Points, pt)
-		}
-	}
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if out == "-" {
-		_, err = os.Stdout.Write(data)
-		return err
-	}
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		return err
-	}
-	// Report the 2x-capacity pair: the point where the defenses matter.
-	var on, off benchOverloadPoint
-	for _, pt := range res.Points {
-		if pt.OfferedTPS == 2*capacity {
-			if pt.Admission {
-				on = pt
-			} else {
-				off = pt
-			}
-		}
-	}
-	fmt.Printf("bench: overload at 2x capacity: goodput %.0f tps with admission control vs %.0f without (p99 sojourn %.1f vs %.1f ms) -> %s\n",
-		on.GoodputTPS, off.GoodputTPS, on.P99SojournMs, off.P99SojournMs, out)
-	return nil
-}
-
-// benchOverloadPointRun measures one (offered load, admission) point on a
-// fresh engine: paced open-loop workers, SLO-conditioned goodput, and the
-// recorder's sojourn percentiles.
-func benchOverloadPointRun(offered float64, admission bool, ol store.OverloadConfig,
-	deadline, svc time.Duration, parts, workers int, dur time.Duration) (benchOverloadPoint, error) {
-	var pt benchOverloadPoint
-	cfg := store.Config{
-		MaxMachines:          1,
-		PartitionsPerMachine: parts,
-		Buckets:              64,
-		ServiceTime:          svc,
-		QueueCapacity:        1 << 12,
-		InitialMachines:      1,
-		Overload:             ol,
-	}
-	eng, err := store.NewEngine(cfg)
-	if err != nil {
-		return pt, err
-	}
-	if err := eng.Register("noop", func(*store.Tx) (any, error) { return nil, nil }); err != nil {
-		return pt, err
-	}
-	rec, err := metrics.NewRecorder(time.Now(), 2*dur+time.Second)
-	if err != nil {
-		return pt, err
-	}
-	eng.SetRecorder(rec)
-	eng.Start()
-	defer eng.Stop()
-	id, _ := eng.Handle("noop")
-	keys := make([]string, 256)
-	for i := range keys {
-		keys[i] = fmt.Sprintf("ol-key-%04d", i)
-	}
-
-	interval := time.Duration(float64(workers) / offered * float64(time.Second))
-	var completed, good atomic.Int64
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Stagger worker phases so the aggregate arrival process is
-			// uniform at the offered rate rather than synchronized bursts
-			// of all workers at once.
-			next := start.Add(interval * time.Duration(w) / time.Duration(workers))
-			for i := w; ; i += workers {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				// Open-loop pacing: hold the offered rate even when calls
-				// block, but do not bank an unbounded burst while stuck
-				// behind a saturated queue.
-				if wait := time.Until(next); wait > 0 {
-					time.Sleep(wait)
-				} else if wait < -10*interval {
-					next = time.Now()
-				}
-				next = next.Add(interval)
-				t0 := time.Now()
-				if _, err := eng.ExecuteID(id, keys[i&255], nil); err == nil {
-					completed.Add(1)
-					if time.Since(t0) <= deadline {
-						good.Add(1)
-					}
-				}
-			}
-		}(w)
-	}
-	time.Sleep(dur)
-	close(stop)
-	wg.Wait()
-	elapsed := time.Since(start)
-	eng.SetRecorder(nil)
-
-	cnt := eng.Counters()
-	return benchOverloadPoint{
-		OfferedTPS:       offered,
-		Admission:        admission,
-		CompletedTPS:     float64(completed.Load()) / elapsed.Seconds(),
-		GoodputTPS:       float64(good.Load()) / elapsed.Seconds(),
-		P99SojournMs:     rec.SojournPercentile(0, 99),
-		Rejected:         cnt.Rejected,
-		Shed:             cnt.Shed,
-		DeadlineExceeded: cnt.DeadlineExceeded,
-	}, nil
-}
-
-// runBenchMigration measures a scale-out and scale-in round trip on a loaded
-// engine with the given fault schedule armed, at a fixed seed so the numbers
-// are reproducible run to run.
-func runBenchMigration(out, spec string) error {
-	cfg := store.Config{
-		MaxMachines:          4,
-		PartitionsPerMachine: 2,
-		Buckets:              256,
-		ServiceTime:          0,
-		QueueCapacity:        1 << 14,
-		InitialMachines:      1,
-	}
-	eng, err := store.NewEngine(cfg)
-	if err != nil {
-		return err
-	}
-	if err := eng.Register("put", func(tx *store.Tx) (any, error) {
-		return nil, tx.Put("kv", tx.Key, tx.Args)
-	}); err != nil {
-		return err
-	}
-	eng.Start()
-	defer eng.Stop()
-	const rows = 20_000
-	for i := 0; i < rows; i++ {
-		if _, err := eng.Execute("put", fmt.Sprintf("mig-key-%05d", i), i); err != nil {
-			return err
-		}
-	}
-
-	var inj *faults.Injector
-	if spec != "" {
-		fcfg, err := faults.Parse(spec)
-		if err != nil {
-			return fmt.Errorf("bench: %w", err)
-		}
-		if inj, err = faults.New(fcfg); err != nil {
-			return fmt.Errorf("bench: %w", err)
-		}
-		eng.SetFaultInjector(inj)
-	}
-
-	sqCfg := squall.Config{
-		ChunkRows:       200,
-		RowCost:         time.Microsecond,
-		ChunkOverhead:   50 * time.Microsecond,
-		Spacing:         200 * time.Microsecond,
-		RateFactor:      1,
-		MaxChunkRetries: 5,
-		RetryBackoff:    200 * time.Microsecond,
-		MaxRetryBackoff: 2 * time.Millisecond,
-	}
-	ex, err := squall.NewExecutor(eng, sqCfg)
-	if err != nil {
-		return err
-	}
-
-	startOut := time.Now()
-	if err := ex.Reconfigure(1, cfg.MaxMachines, 0); err != nil {
-		return fmt.Errorf("bench: scale-out aborted (raise retries or lower the fault rate): %w", err)
-	}
-	moveOut := time.Since(startOut)
-	startIn := time.Now()
-	if err := ex.Reconfigure(cfg.MaxMachines, 1, 0); err != nil {
-		return fmt.Errorf("bench: scale-in aborted: %w", err)
-	}
-	moveIn := time.Since(startIn)
-	if got := eng.TotalRows(); got != rows {
-		return fmt.Errorf("bench: %d rows after round trip, want %d", got, rows)
-	}
-
-	st := ex.Stats()
-	res := benchMigrationResult{
-		Benchmark:      "migration_round_trip",
-		GoVersion:      runtime.Version(),
-		FaultSpec:      spec,
-		Rows:           rows,
-		Machines:       cfg.MaxMachines,
-		MoveOutMs:      float64(moveOut.Microseconds()) / 1000,
-		MoveInMs:       float64(moveIn.Microseconds()) / 1000,
-		ChunksMoved:    st.ChunksMoved,
-		Retries:        st.Retries,
-		Aborts:         st.Aborts,
-		RollbackChunks: st.RollbackChunks,
-	}
-	if inj != nil {
-		ist := inj.Stats()
-		res.FaultsOffered = ist.Offered
-		res.FaultsDropped = ist.Drops
-	}
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if out == "-" {
-		_, err = os.Stdout.Write(data)
-		return err
-	}
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("bench: migration 1->%d->1 of %d rows: out %.1f ms, in %.1f ms, %d retries, %d rolled back -> %s\n",
-		cfg.MaxMachines, rows, res.MoveOutMs, res.MoveInMs, res.Retries, res.RollbackChunks, out)
-	return nil
-}
-
-// benchRecoveryResult is the JSON schema of BENCH_recovery.json: how fast a
-// crashed machine comes back as a function of the command-log tail behind
-// the last checkpoint — recovery latency and replay lag are the numbers the
-// checkpoint + command-log plane is accountable for.
-type benchRecoveryResult struct {
-	Benchmark    string                  `json:"benchmark"`
-	GoVersion    string                  `json:"go_version"`
-	Rows         int                     `json:"rows"`
-	Machines     int                     `json:"machines"`
-	MaxReplayLag int64                   `json:"max_replay_lag"`
-	Scenarios    []benchRecoveryScenario `json:"scenarios"`
-}
-
-type benchRecoveryScenario struct {
-	// LogTail is how many transactions ran between the checkpoint and the
-	// crash; Replayed is how many of them landed on the crashed machine's
-	// buckets and had to be replayed.
-	LogTail      int     `json:"log_tail_txns"`
-	Replayed     int     `json:"replayed_commands"`
-	CheckpointMs float64 `json:"checkpoint_ms"`
-	RecoveryMs   float64 `json:"recovery_ms"`
-}
-
-// runBenchRecovery crashes and recovers a machine on a loaded engine with
-// increasingly stale checkpoints. The key layout is deterministic, so the
-// numbers are reproducible run to run.
-func runBenchRecovery(out string) error {
-	cfg := store.Config{
-		MaxMachines:          2,
-		PartitionsPerMachine: 2,
-		Buckets:              256,
-		ServiceTime:          0,
-		QueueCapacity:        1 << 14,
-		InitialMachines:      2,
-	}
-	eng, err := store.NewEngine(cfg)
-	if err != nil {
-		return err
-	}
-	if err := eng.Register("put", func(tx *store.Tx) (any, error) {
-		return nil, tx.Put("kv", tx.Key, tx.Args)
-	}); err != nil {
-		return err
-	}
-	rm := recovery.NewManager(eng)
-	eng.Start()
-	defer eng.Stop()
-	const rows = 20_000
-	for i := 0; i < rows; i++ {
-		if _, err := eng.Execute("put", fmt.Sprintf("rec-key-%05d", i), i); err != nil {
-			return err
-		}
-	}
-
-	res := benchRecoveryResult{
-		Benchmark: "crash_recovery",
-		GoVersion: runtime.Version(),
-		Rows:      rows,
-		Machines:  cfg.MaxMachines,
-	}
-	for _, tail := range []int{0, 5_000, 20_000} {
-		ckStart := time.Now()
-		if _, err := rm.Checkpoint(); err != nil {
-			return err
-		}
-		ckMs := float64(time.Since(ckStart).Microseconds()) / 1000
-		// The post-checkpoint tail rewrites existing rows, so every scenario
-		// recovers the same data set from a different image/log split.
-		for i := 0; i < tail; i++ {
-			if _, err := eng.Execute("put", fmt.Sprintf("rec-key-%05d", i%rows), i); err != nil {
-				return err
-			}
-		}
-		if err := rm.Crash(1); err != nil {
-			return err
-		}
-		recStart := time.Now()
-		st, err := rm.Restore(1)
-		if err != nil {
-			return err
-		}
-		recMs := float64(time.Since(recStart).Microseconds()) / 1000
-		if got := eng.TotalRows(); got != rows {
-			return fmt.Errorf("bench: %d rows after recovery, want %d", got, rows)
-		}
-		res.Scenarios = append(res.Scenarios, benchRecoveryScenario{
-			LogTail:      tail,
-			Replayed:     st.Replayed,
-			CheckpointMs: ckMs,
-			RecoveryMs:   recMs,
-		})
-	}
-	res.MaxReplayLag = rm.Stats().MaxReplayLag
-
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if out == "-" {
-		_, err = os.Stdout.Write(data)
-		return err
-	}
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		return err
-	}
-	last := res.Scenarios[len(res.Scenarios)-1]
-	fmt.Printf("bench: recovery of %d rows: %.1f ms with a %d-txn log tail (%d replayed), max lag %d -> %s\n",
-		rows, last.RecoveryMs, last.LogTail, last.Replayed, res.MaxReplayLag, out)
-	return nil
-}
-
 func runPlan(args []string) error {
-	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	fs := newFlagSet("plan")
 	input := fs.String("input", "", "predicted load CSV (one value per planning interval)")
 	q := fs.Float64("q", 285, "target per-server throughput Q")
 	qmax := fs.Float64("qmax", 350, "maximum per-server throughput Q-hat")
 	d := fs.Float64("d", 15.4, "full-database single-thread migration time D, in intervals")
 	parts := fs.Int("p", 6, "partitions per server")
 	n0 := fs.Int("n0", 1, "machines allocated now")
-	if err := fs.Parse(args); err != nil {
+	if helped, err := parseFlags(fs, args); helped || err != nil {
 		return err
 	}
 	if *input == "" {
-		return errors.New("plan: -input is required")
+		return errors.New("-input is required")
 	}
 	f, err := os.Open(*input)
 	if err != nil {

@@ -45,13 +45,55 @@ func DefaultMix() Mix {
 	}
 }
 
-// Driver replays a load trace against the engine, converting each slot's
+// Executor is the submission boundary the driver replays against. The
+// in-process implementation (EngineExecutor) is a direct engine call; the
+// remote implementation (RemoteExecutor) serializes the same submissions
+// over the network front end — so one driver binary is both the reference
+// oracle and a separate-process load generator.
+type Executor interface {
+	// Resolve maps a transaction name to the dense handle ExecuteID takes.
+	Resolve(name string) (store.TxnID, bool)
+	// ExecuteID submits one transaction and blocks until it completes.
+	// Refusals must surface as errors matching store.ErrOverload /
+	// store.ErrDeadlineExceeded so the driver's refusal accounting works
+	// for every transport.
+	ExecuteID(id store.TxnID, key string, args any) (any, error)
+	// InFlightLimit is the default concurrent-submission cap when the
+	// driver's MaxInFlight is zero.
+	InFlightLimit() int
+}
+
+// EngineExecutor is the in-process Executor: submissions are direct engine
+// calls, byte-identical to the pre-wire driver.
+type EngineExecutor struct {
+	// Eng is the target engine.
+	Eng *store.Engine
+}
+
+// Resolve maps the name through the engine's handle table.
+func (e EngineExecutor) Resolve(name string) (store.TxnID, bool) { return e.Eng.Handle(name) }
+
+// ExecuteID submits through the engine's allocation-free hot path.
+func (e EngineExecutor) ExecuteID(id store.TxnID, key string, args any) (any, error) {
+	return e.Eng.ExecuteID(id, key, args)
+}
+
+// InFlightLimit mirrors one partition queue's capacity, the pre-wire
+// driver default.
+func (e EngineExecutor) InFlightLimit() int { return e.Eng.Config().QueueCapacity }
+
+// Driver replays a load trace against an Executor, converting each slot's
 // request count into Poisson transaction arrivals (Section 7: the paper
 // replays B2W's production logs; here the trace is synthetic but the
 // request mix and keys mimic the production flow).
 type Driver struct {
-	// Eng is the target engine.
+	// Eng is the target engine for in-process replay. Ignored when Exec is
+	// set.
 	Eng *store.Engine
+	// Exec overrides the submission boundary, e.g. with a RemoteExecutor
+	// hammering a network front end from a separate process. Nil wraps Eng
+	// in an EngineExecutor.
+	Exec Executor
 	// Spec sizes the key pools (must match what Load created).
 	Spec LoadSpec
 	// Mix weights the transaction types; nil uses DefaultMix.
@@ -60,8 +102,8 @@ type Driver struct {
 	Seed int64
 	// MaxInFlight caps concurrent submissions so overload cannot grow
 	// goroutines without bound; arrivals beyond the cap are shed and
-	// counted. Zero sizes the cap from the engine's per-partition queue
-	// capacity.
+	// counted. Zero uses the executor's InFlightLimit (for the engine, one
+	// partition queue's capacity).
 	MaxInFlight int
 	// Recorder, when set, receives client-side sheds (CountClientShed), so
 	// the serve summary can report one total of work refused across the
@@ -98,8 +140,12 @@ type Stats struct {
 // produces series[i]*rateScale Poisson arrivals. It blocks until the trace
 // and all in-flight transactions finish, or ctx is cancelled.
 func (d *Driver) Run(ctx context.Context, series workload.Series, slotDur time.Duration, rateScale float64) (Stats, error) {
-	if d.Eng == nil {
-		return Stats{}, errors.New("b2w: driver has no engine")
+	exec := d.Exec
+	if exec == nil {
+		if d.Eng == nil {
+			return Stats{}, errors.New("b2w: driver has no engine or executor")
+		}
+		exec = EngineExecutor{Eng: d.Eng}
 	}
 	arrivals, err := workload.NewArrivals(series, slotDur, rateScale, d.Seed)
 	if err != nil {
@@ -114,10 +160,10 @@ func (d *Driver) Run(ctx context.Context, series workload.Series, slotDur time.D
 		return Stats{}, err
 	}
 	// Resolve every mixed transaction name to its dense handle once; the
-	// per-arrival hot path then never touches the engine's name map.
+	// per-arrival hot path then never touches the executor's name map.
 	ids := make([]store.TxnID, len(chooser.names))
 	for i, name := range chooser.names {
-		id, ok := d.Eng.Handle(name)
+		id, ok := exec.Resolve(name)
 		if !ok {
 			return Stats{}, fmt.Errorf("b2w: transaction %s not registered", name)
 		}
@@ -127,7 +173,10 @@ func (d *Driver) Run(ctx context.Context, series workload.Series, slotDur time.D
 
 	cap := d.MaxInFlight
 	if cap <= 0 {
-		cap = d.Eng.Config().QueueCapacity
+		cap = exec.InFlightLimit()
+	}
+	if cap <= 0 {
+		cap = 1
 	}
 	sem := make(chan struct{}, cap)
 
@@ -157,7 +206,7 @@ func (d *Driver) Run(ctx context.Context, series workload.Series, slotDur time.D
 				<-sem
 				d.inFlight.Done()
 			}()
-			_, err := d.Eng.ExecuteID(id, key, args)
+			_, err := exec.ExecuteID(id, key, args)
 			switch {
 			case err == nil:
 				d.executed.Add(1)

@@ -1,0 +1,151 @@
+package b2w
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"pstore/internal/store"
+	"pstore/internal/workload"
+)
+
+// recordingExecutor captures every submission the driver makes, so two runs
+// at the same seed can be compared. Resolve hands out stable ids from the
+// canonical transaction list.
+type recordingExecutor struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (r *recordingExecutor) Resolve(name string) (store.TxnID, bool) {
+	for i, n := range AllTxns {
+		if n == name {
+			return store.TxnID(i), true
+		}
+	}
+	return 0, false
+}
+
+func (r *recordingExecutor) ExecuteID(id store.TxnID, key string, args any) (any, error) {
+	r.mu.Lock()
+	r.calls = append(r.calls, fmt.Sprintf("%d|%s|%+v", id, key, args))
+	r.mu.Unlock()
+	return nil, nil
+}
+
+func (r *recordingExecutor) InFlightLimit() int { return 64 }
+
+// sorted returns the submissions in a canonical order: execution goroutines
+// race each other, so only the set of submissions is deterministic, not the
+// completion order.
+func (r *recordingExecutor) sorted() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.calls...)
+	sort.Strings(out)
+	return out
+}
+
+// TestDriverDeterministicAcrossExecutors pins the refactor's core promise:
+// at a fixed seed the driver issues exactly the same transactions — same
+// types, keys, and arguments — no matter which Executor sits behind it, so
+// the in-process run stays the reference oracle for a remote one.
+func TestDriverDeterministicAcrossExecutors(t *testing.T) {
+	spec := LoadSpec{Carts: 40, Checkouts: 15, Stocks: 25, LinesPerCart: 2, Seed: 2}
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = 40
+	}
+	run := func() []string {
+		exec := &recordingExecutor{}
+		series := workload.NewSeries(time.Now(), time.Minute, vals)
+		d := &Driver{Exec: exec, Spec: spec, Seed: 7}
+		stats, err := d.Run(context.Background(), series, 5*time.Millisecond, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Executed == 0 || stats.Shed != 0 {
+			t.Fatalf("stats = %+v, want executions and no sheds", stats)
+		}
+		return exec.sorted()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no submissions recorded")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs issued %d vs %d submissions", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("submission %d differs:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDriverRefusalAccounting checks typed refusals from any executor are
+// counted as refused work, not failures.
+func TestDriverRefusalAccounting(t *testing.T) {
+	exec := &flakyExecutor{}
+	vals := []float64{30, 30, 30}
+	series := workload.NewSeries(time.Now(), time.Minute, vals)
+	d := &Driver{Exec: exec, Spec: LoadSpec{Carts: 10, Checkouts: 5, Stocks: 5}, Seed: 1}
+	stats, err := d.Run(context.Background(), series, 5*time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Refused == 0 || stats.Failed == 0 || stats.Executed == 0 {
+		t.Fatalf("stats = %+v, want all three outcome classes", stats)
+	}
+	if stats.Refused != exec.refusals.n || stats.Failed != exec.failures.n {
+		t.Fatalf("stats = %+v, executor refused %d failed %d", stats, exec.refusals.n, exec.failures.n)
+	}
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *counter) inc() { c.mu.Lock(); c.n++; c.mu.Unlock() }
+
+// flakyExecutor cycles success, overload refusal, and business failure.
+type flakyExecutor struct {
+	mu       sync.Mutex
+	calls    int
+	refusals counter
+	failures counter
+}
+
+func (f *flakyExecutor) Resolve(name string) (store.TxnID, bool) { return 1, true }
+
+func (f *flakyExecutor) ExecuteID(id store.TxnID, key string, args any) (any, error) {
+	f.mu.Lock()
+	n := f.calls
+	f.calls++
+	f.mu.Unlock()
+	switch n % 3 {
+	case 0:
+		return nil, nil
+	case 1:
+		f.refusals.inc()
+		return nil, fmt.Errorf("wire says no: %w", store.ErrOverload)
+	default:
+		f.failures.inc()
+		return nil, errors.New("insufficient stock")
+	}
+}
+
+func (f *flakyExecutor) InFlightLimit() int { return 64 }
+
+func TestDriverNeedsEngineOrExecutor(t *testing.T) {
+	d := &Driver{}
+	series := workload.NewSeries(time.Now(), time.Minute, []float64{1})
+	if _, err := d.Run(context.Background(), series, time.Millisecond, 1); err == nil {
+		t.Fatal("expected an error with no engine and no executor")
+	}
+}

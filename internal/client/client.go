@@ -1,0 +1,444 @@
+// Package client is the Go client library for the P-Store network front
+// end (internal/server). It manages a pooled HTTP connection set, caps
+// in-flight requests client-side (arrivals beyond the cap are shed and
+// counted, the same admission role the b2w driver's semaphore plays
+// in-process), propagates per-request deadlines as wire headers, honors the
+// server's machine-readable retry hints on 429/503, and maps wire error
+// codes back onto the engine's typed errors — so errors.Is(err,
+// store.ErrOverload) behaves identically whether the engine is a function
+// call or a socket away.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/metrics"
+	"pstore/internal/store"
+	"pstore/internal/wire"
+)
+
+// ErrSaturated is returned when the client's in-flight cap is reached: the
+// request was shed client-side without touching the network. It wraps
+// store.ErrOverload so callers' refusal accounting treats local and remote
+// backpressure uniformly.
+var ErrSaturated = fmt.Errorf("client: in-flight cap reached: %w", store.ErrOverload)
+
+// RemoteError is a failure the server executed and reported: the procedure
+// ran and returned an application error, or the request itself was invalid.
+// Transport failures are never RemoteErrors.
+type RemoteError struct {
+	// Code is the stable wire error code.
+	Code string
+	// Status is the HTTP status the failure traveled under.
+	Status int
+	// Message is the server's error text.
+	Message string
+	// RetryAfter is the server's backoff hint (zero when none was given).
+	RetryAfter time.Duration
+}
+
+// Error formats the remote failure.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("client: remote %s (HTTP %d): %s", e.Code, e.Status, e.Message)
+}
+
+// Unwrap exposes the typed store sentinel the code stands for, so
+// errors.Is against store.ErrOverload / ErrDeadlineExceeded /
+// ErrPartitionDown / ErrUnknownTxn works across the wire.
+func (e *RemoteError) Unwrap() error { return wire.SentinelOf(e.Code) }
+
+// Config assembles a Client.
+type Config struct {
+	// Addr is the server address: "host:port" or a full "http://..." base
+	// URL. Required.
+	Addr string
+	// MaxInFlight caps concurrent requests; submissions beyond it are shed
+	// with ErrSaturated. Zero means 256.
+	MaxInFlight int
+	// Deadline is the per-request deadline, sent to the server as the wire
+	// deadline header and enforced locally via context. Zero sends no
+	// header and imposes no local bound.
+	Deadline time.Duration
+	// RetryRefused is how many times a refused request (429, or 503 with a
+	// hint) is retried after honoring the server's retry hint. Zero means
+	// refusals surface immediately.
+	RetryRefused int
+	// MaxRetryWait caps one retry's backoff regardless of the hint. Zero
+	// means time.Second.
+	MaxRetryWait time.Duration
+	// Recorder, when set, receives client-observed latencies (Record per
+	// completed request) and client-side sheds (CountClientShed), feeding
+	// the same metrics plane the in-process driver uses.
+	Recorder *metrics.Recorder
+}
+
+// Counters are the client's cumulative counts.
+type Counters struct {
+	// Started counts requests that passed the in-flight cap; Completed
+	// counts those that returned success.
+	Started   int64
+	Completed int64
+	// Refused counts requests that ended refused (429/503/504) after any
+	// retries; Retried counts individual retry attempts made on hints.
+	Refused int64
+	Retried int64
+	// Shed counts submissions dropped at the in-flight cap.
+	Shed int64
+	// TransportErrors counts network- or protocol-level failures — requests
+	// whose outcome is unknown because no well-formed wire response
+	// arrived. Application errors (CodeTxn) are not transport errors.
+	TransportErrors int64
+}
+
+// Client talks to one server. Safe for concurrent use.
+type Client struct {
+	cfg     Config
+	baseURL string
+	httpc   *http.Client
+	sem     chan struct{}
+
+	started   atomic.Int64
+	completed atomic.Int64
+	refused   atomic.Int64
+	retried   atomic.Int64
+	shed      atomic.Int64
+	transport atomic.Int64
+}
+
+// New builds a client. The connection pool is sized to the in-flight cap so
+// a saturated client reuses warm connections instead of opening new ones.
+func New(cfg Config) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("client: Config.Addr is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.MaxRetryWait <= 0 {
+		cfg.MaxRetryWait = time.Second
+	}
+	base := cfg.Addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.MaxInFlight,
+		MaxIdleConnsPerHost: cfg.MaxInFlight,
+		MaxConnsPerHost:     cfg.MaxInFlight,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &Client{
+		cfg:     cfg,
+		baseURL: base,
+		httpc:   &http.Client{Transport: transport},
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}, nil
+}
+
+// Close releases pooled connections.
+func (c *Client) Close() {
+	c.httpc.CloseIdleConnections()
+}
+
+// Counters snapshots the client's counters.
+func (c *Client) Counters() Counters {
+	return Counters{
+		Started:         c.started.Load(),
+		Completed:       c.completed.Load(),
+		Refused:         c.refused.Load(),
+		Retried:         c.retried.Load(),
+		Shed:            c.shed.Load(),
+		TransportErrors: c.transport.Load(),
+	}
+}
+
+// Execute runs one transaction and returns its raw JSON result. Errors map
+// onto the engine's typed errors where a wire code corresponds to one;
+// application errors surface as *RemoteError.
+func (c *Client) Execute(ctx context.Context, txn, key string, args any) (json.RawMessage, error) {
+	select {
+	case c.sem <- struct{}{}:
+	default:
+		c.shed.Add(1)
+		if c.cfg.Recorder != nil {
+			c.cfg.Recorder.CountClientShed()
+		}
+		return nil, ErrSaturated
+	}
+	defer func() { <-c.sem }()
+	c.started.Add(1)
+
+	var rawArgs json.RawMessage
+	if args != nil {
+		b, err := json.Marshal(args)
+		if err != nil {
+			return nil, fmt.Errorf("client: encoding %q args: %w", txn, err)
+		}
+		rawArgs = b
+	}
+	body, err := json.Marshal(wire.Request{Txn: txn, Key: key, Args: rawArgs})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+
+	if c.cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.Deadline)
+		defer cancel()
+	}
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		resp, err := c.roundTrip(ctx, body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status == 200 {
+			c.completed.Add(1)
+			if c.cfg.Recorder != nil {
+				c.cfg.Recorder.Record(time.Now(), time.Since(start))
+			}
+			return resp.Value, nil
+		}
+		remote := &RemoteError{
+			Code:       resp.Code,
+			Status:     resp.Status,
+			Message:    resp.Error,
+			RetryAfter: time.Duration(resp.RetryAfterMs) * time.Millisecond,
+		}
+		if !c.retryable(remote) || attempt >= c.cfg.RetryRefused {
+			if remote.Status == 429 || remote.Status == 503 || remote.Status == 504 {
+				c.refused.Add(1)
+			}
+			return nil, remote
+		}
+		c.retried.Add(1)
+		if err := c.backoff(ctx, remote.RetryAfter); err != nil {
+			c.refused.Add(1)
+			return nil, remote
+		}
+	}
+}
+
+// retryable reports whether a failure is worth resubmitting: refused work
+// (429) and down partitions (503), both of which the server stamps with a
+// hint. Deadline expiries are not retried — the budget is already spent.
+func (c *Client) retryable(e *RemoteError) bool {
+	return e.Status == 429 || e.Status == 503
+}
+
+// backoff sleeps for the server's hint, capped by MaxRetryWait, honoring
+// ctx.
+func (c *Client) backoff(ctx context.Context, hint time.Duration) error {
+	if hint <= 0 {
+		hint = 10 * time.Millisecond
+	}
+	if hint > c.cfg.MaxRetryWait {
+		hint = c.cfg.MaxRetryWait
+	}
+	t := time.NewTimer(hint)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// roundTrip performs one HTTP exchange and decodes the wire response.
+// Failures before a well-formed response are transport errors.
+func (c *Client) roundTrip(ctx context.Context, body []byte) (*wire.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+wire.PathTxn, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.setDeadlineHeader(req)
+	httpResp, err := c.httpc.Do(req)
+	if err != nil {
+		// The wire deadline elapsing locally is a deadline outcome, not a
+		// broken transport.
+		if ctx.Err() != nil {
+			c.refused.Add(1)
+			return nil, fmt.Errorf("client: request deadline: %w: %w", store.ErrDeadlineExceeded, ctx.Err())
+		}
+		c.transport.Add(1)
+		return nil, fmt.Errorf("client: transport: %w", err)
+	}
+	defer httpResp.Body.Close()
+	var resp wire.Response
+	if err := json.NewDecoder(io.LimitReader(httpResp.Body, wire.MaxFrame)).Decode(&resp); err != nil {
+		c.transport.Add(1)
+		return nil, fmt.Errorf("client: decoding response (HTTP %d): %w", httpResp.StatusCode, err)
+	}
+	if resp.Status == 0 {
+		resp.Status = httpResp.StatusCode
+	}
+	return &resp, nil
+}
+
+// setDeadlineHeader stamps the outgoing request with the remaining budget.
+func (c *Client) setDeadlineHeader(req *http.Request) {
+	if dl, ok := req.Context().Deadline(); ok {
+		ms := int64(time.Until(dl) / time.Millisecond)
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(wire.HeaderDeadlineMs, strconv.FormatInt(ms, 10))
+	}
+}
+
+// ExecuteBatch sends requests as one length-prefixed binary batch and
+// returns one response per request, in order. The batch passes the
+// in-flight cap as a single unit. Transport failures return an error;
+// per-request failures are reported in each Response.
+func (c *Client) ExecuteBatch(ctx context.Context, reqs []wire.Request) ([]wire.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	select {
+	case c.sem <- struct{}{}:
+	default:
+		c.shed.Add(1)
+		if c.cfg.Recorder != nil {
+			c.cfg.Recorder.CountClientShed()
+		}
+		return nil, ErrSaturated
+	}
+	defer func() { <-c.sem }()
+	c.started.Add(int64(len(reqs)))
+
+	var body bytes.Buffer
+	for i := range reqs {
+		if err := wire.EncodeFrame(&body, reqs[i]); err != nil {
+			return nil, fmt.Errorf("client: encoding batch frame %d: %w", i, err)
+		}
+	}
+	if c.cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.Deadline)
+		defer cancel()
+	}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+wire.PathBatch, bytes.NewReader(body.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("client: building batch request: %w", err)
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeBatch)
+	c.setDeadlineHeader(req)
+	httpResp, err := c.httpc.Do(req)
+	if err != nil {
+		c.transport.Add(1)
+		return nil, fmt.Errorf("client: batch transport: %w", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var resp wire.Response
+		if jerr := json.NewDecoder(io.LimitReader(httpResp.Body, wire.MaxFrame)).Decode(&resp); jerr == nil && resp.Code != "" {
+			return nil, &RemoteError{Code: resp.Code, Status: httpResp.StatusCode, Message: resp.Error}
+		}
+		c.transport.Add(1)
+		return nil, fmt.Errorf("client: batch rejected with HTTP %d", httpResp.StatusCode)
+	}
+	resps := make([]wire.Response, 0, len(reqs))
+	for {
+		var resp wire.Response
+		if err := wire.DecodeFrame(httpResp.Body, &resp); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			c.transport.Add(1)
+			return nil, fmt.Errorf("client: decoding batch frame %d: %w", len(resps), err)
+		}
+		resps = append(resps, resp)
+	}
+	if len(resps) != len(reqs) {
+		c.transport.Add(1)
+		return nil, fmt.Errorf("client: batch returned %d responses for %d requests", len(resps), len(reqs))
+	}
+	for i := range resps {
+		if resps[i].Status == 200 {
+			c.completed.Add(1)
+		} else if resps[i].Status == 429 || resps[i].Status == 503 || resps[i].Status == 504 {
+			c.refused.Add(1)
+		}
+	}
+	if c.cfg.Recorder != nil {
+		c.cfg.Recorder.Record(time.Now(), time.Since(start))
+	}
+	return resps, nil
+}
+
+// Txns fetches the server's transaction catalog, in dense-id order.
+func (c *Client) Txns(ctx context.Context) ([]string, error) {
+	var out struct {
+		Txns []string `json:"txns"`
+	}
+	if err := c.getJSON(ctx, wire.PathTxns, &out); err != nil {
+		return nil, err
+	}
+	return out.Txns, nil
+}
+
+// Info fetches the server's info payload into v.
+func (c *Client) Info(ctx context.Context, v any) error {
+	return c.getJSON(ctx, wire.PathInfo, v)
+}
+
+// Health reports whether the server answers its health endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.getJSON(ctx, wire.PathHealth, &out); err != nil {
+		return err
+	}
+	if !out.OK {
+		return errors.New("client: server reports not ok")
+	}
+	return nil
+}
+
+// Shutdown asks the serving process to stop once in-flight work drains.
+func (c *Client) Shutdown(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+wire.PathShutdown, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: shutdown: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: shutdown rejected with HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, wire.MaxFrame)).Decode(v)
+}

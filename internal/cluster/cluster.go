@@ -319,6 +319,14 @@ func (c *Cluster) SubmitID(id store.TxnID, key string, args any) (any, error) {
 	return c.eng.ExecuteID(id, key, args)
 }
 
+// SubmitIDContext is SubmitID with a bounded submission wait: if ctx ends
+// before the transaction is accepted into a partition queue, the submission
+// is refused as overload. It is the entry point the network front end uses
+// to propagate per-request wire deadlines into the engine.
+func (c *Cluster) SubmitIDContext(ctx context.Context, id store.TxnID, key string, args any) (any, error) {
+	return c.eng.ExecuteIDContext(ctx, id, key, args)
+}
+
 // Subscribe registers an event observer. Events are delivered in emission
 // order on a channel with the given buffer (minimum 16); a subscriber that
 // falls behind loses the events that no longer fit rather than stalling the

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pstore/internal/store"
+)
+
+// TestSubmitIDContext checks the wire front end's entry point: a live
+// context executes normally, and a context already expired at submission is
+// refused with the typed errors the server maps to 429/504.
+func TestSubmitIDContext(t *testing.T) {
+	c, err := New(Config{Engine: testEngineConfig(), Squall: testSquallConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Engine().Register("noop", func(tx *store.Tx) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	id, ok := c.Engine().Handle("noop")
+	if !ok {
+		t.Fatal("noop not registered")
+	}
+	if _, err := c.SubmitIDContext(context.Background(), id, "key-1", nil); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = c.SubmitIDContext(ctx, id, "key-1", nil)
+	if err == nil {
+		t.Fatal("expired context: expected an error")
+	}
+	if !errors.Is(err, store.ErrOverload) && !errors.Is(err, store.ErrDeadlineExceeded) && !errors.Is(err, ctx.Err()) {
+		t.Fatalf("expired context: error %v is not a typed refusal", err)
+	}
+}

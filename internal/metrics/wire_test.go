@@ -1,0 +1,27 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWireRejectedCounter checks the wire front end's 429 count is reported
+// alongside the refused-work total without being added to it: wire
+// rejections are engine refusals that left as HTTP responses, a second view
+// of the same work.
+func TestWireRejectedCounter(t *testing.T) {
+	r, err := NewRecorder(time.Now(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CountRejected()
+	r.CountRejected()
+	r.CountWireRejected()
+	oc := r.OverloadCounters()
+	if oc.WireRejected != 1 {
+		t.Fatalf("WireRejected = %d, want 1", oc.WireRejected)
+	}
+	if oc.Refused() != 2 {
+		t.Fatalf("Refused() = %d, want 2 (wire view must not double-count)", oc.Refused())
+	}
+}

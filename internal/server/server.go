@@ -1,0 +1,442 @@
+// Package server is the P-Store network front end: it serves the storage
+// engine over HTTP/1.1, turning the in-process client/engine boundary into
+// a real wire. One endpoint executes a single JSON-encoded transaction per
+// request; a second carries length-prefixed binary batches whose frames are
+// executed concurrently and answered in order (pipelining on the wire).
+//
+// The engine's overload plane becomes real backpressure here: a request
+// refused by admission control or shed by CoDel returns 429, a request that
+// expired in a partition queue returns 504, and a request routed to a
+// crashed machine returns 503 — each with a machine-readable retry hint
+// sized from the destination partition's estimated queueing delay, so
+// remote clients can back off exactly as far as the backlog warrants.
+// Per-request deadlines propagate from the X-Pstore-Deadline-Ms header into
+// ExecuteIDContext, bounding the submission wait on saturated queues.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/metrics"
+	"pstore/internal/store"
+	"pstore/internal/wire"
+)
+
+// ArgsDecoder converts a transaction's raw JSON arguments into the concrete
+// Go value its procedure expects (the b2w workload provides one covering
+// its nineteen transactions). A nil or empty raw message must decode to
+// nil arguments.
+type ArgsDecoder func(txn string, raw json.RawMessage) (any, error)
+
+// Config assembles a Server.
+type Config struct {
+	// Engine is the started storage engine to front. Required.
+	Engine *store.Engine
+	// DecodeArgs decodes per-transaction arguments. Nil accepts only
+	// requests with absent/null args (every argument-bearing request is a
+	// bad_request).
+	DecodeArgs ArgsDecoder
+	// Recorder, when set, receives wire-level rejection counts
+	// (CountWireRejected per 429 served) so the serve summary's refused-work
+	// line covers the wire.
+	Recorder *metrics.Recorder
+	// DefaultDeadline applies to requests without a deadline header. Zero
+	// means no server-imposed deadline.
+	DefaultDeadline time.Duration
+	// MaxBatch caps the frames accepted per batch request. Zero means 1024.
+	MaxBatch int
+	// Info is served as JSON at /v1/info — the place a serving process
+	// publishes its trace parameters so a remote load generator can replay
+	// exactly the workload the server was provisioned for.
+	Info any
+	// ReadHeaderTimeout bounds header parsing per connection (connection
+	// hygiene against slowloris peers). Zero means 10s.
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout closes keep-alive connections idle this long. Zero
+	// means 2 minutes.
+	IdleTimeout time.Duration
+}
+
+// Counters are the server's cumulative wire-level counts.
+type Counters struct {
+	// Requests counts single-transaction requests; Batches counts batch
+	// requests and Frames the transaction frames they carried.
+	Requests int64
+	Batches  int64
+	Frames   int64
+	// OK counts successful executions; TxnErrors counts procedures that
+	// executed and returned an application error (422).
+	OK        int64
+	TxnErrors int64
+	// Rejected429 counts overload refusals served as 429;
+	// Deadline504 queue-deadline expiries served as 504; Down503 crashed
+	// partitions (and engine shutdown) served as 503; BadRequests malformed
+	// or unknown-transaction requests served as 400; Internal everything
+	// served as 500.
+	Rejected429 int64
+	Deadline504 int64
+	Down503     int64
+	BadRequests int64
+	Internal    int64
+}
+
+// Server fronts one engine. Create with New, run with Serve, stop with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	handles map[string]store.TxnID
+	httpSrv *http.Server
+
+	mu   sync.Mutex
+	addr net.Addr
+
+	shutdownCh   chan struct{}
+	shutdownOnce sync.Once
+
+	requests    atomic.Int64
+	batches     atomic.Int64
+	frames      atomic.Int64
+	ok          atomic.Int64
+	txnErrors   atomic.Int64
+	rejected    atomic.Int64
+	deadline504 atomic.Int64
+	down503     atomic.Int64
+	badRequests atomic.Int64
+	internal    atomic.Int64
+}
+
+// New builds a server over a started engine. The engine's transaction
+// catalog is snapshotted once — registration is closed after Start, so the
+// hot path resolves names against an immutable map.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	if cfg.ReadHeaderTimeout <= 0 {
+		cfg.ReadHeaderTimeout = 10 * time.Second
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
+	s := &Server{
+		cfg:        cfg,
+		handles:    make(map[string]store.TxnID),
+		shutdownCh: make(chan struct{}),
+	}
+	for id, name := range cfg.Engine.TxnNames() {
+		s.handles[name] = store.TxnID(id)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(wire.PathTxn, s.handleTxn)
+	mux.HandleFunc(wire.PathBatch, s.handleBatch)
+	mux.HandleFunc(wire.PathTxns, s.handleTxns)
+	mux.HandleFunc(wire.PathInfo, s.handleInfo)
+	mux.HandleFunc(wire.PathHealth, s.handleHealth)
+	mux.HandleFunc(wire.PathShutdown, s.handleShutdown)
+	s.httpSrv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
+		IdleTimeout:       cfg.IdleTimeout,
+	}
+	return s, nil
+}
+
+// Serve accepts connections on l until Shutdown. It blocks; a clean
+// shutdown returns nil.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.addr = l.Addr()
+	s.mu.Unlock()
+	if err := s.httpSrv.Serve(l); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Addr returns the listener address once Serve has been called, or nil.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests run to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// ShutdownRequested is closed when a client posts /v1/shutdown — the hook a
+// serving process uses to stop after a remote load generator finishes its
+// trace.
+func (s *Server) ShutdownRequested() <-chan struct{} { return s.shutdownCh }
+
+// Counters snapshots the wire-level counters.
+func (s *Server) Counters() Counters {
+	return Counters{
+		Requests:    s.requests.Load(),
+		Batches:     s.batches.Load(),
+		Frames:      s.frames.Load(),
+		OK:          s.ok.Load(),
+		TxnErrors:   s.txnErrors.Load(),
+		Rejected429: s.rejected.Load(),
+		Deadline504: s.deadline504.Load(),
+		Down503:     s.down503.Load(),
+		BadRequests: s.badRequests.Load(),
+		Internal:    s.internal.Load(),
+	}
+}
+
+// execute runs one wire request through the engine and shapes the wire
+// response. It never returns transport errors — every outcome, success or
+// failure, is a Response.
+func (s *Server) execute(ctx context.Context, req wire.Request) wire.Response {
+	id, ok := s.handles[req.Txn]
+	if !ok {
+		return s.failure(req, fmt.Errorf("%w: %q", store.ErrUnknownTxn, req.Txn))
+	}
+	var args any
+	if len(req.Args) > 0 && string(req.Args) != "null" {
+		if s.cfg.DecodeArgs == nil {
+			return s.errResponse(wire.CodeBadRequest,
+				fmt.Sprintf("server: transaction %q sent args but no codec is configured", req.Txn), 0)
+		}
+		var err error
+		if args, err = s.cfg.DecodeArgs(req.Txn, req.Args); err != nil {
+			return s.errResponse(wire.CodeBadRequest,
+				fmt.Sprintf("server: decoding %q args: %v", req.Txn, err), 0)
+		}
+	}
+	value, err := s.cfg.Engine.ExecuteIDContext(ctx, id, req.Key, args)
+	if err != nil {
+		// A submission wait cut short by the wire deadline is a deadline
+		// outcome to the client, even though the engine counts it as
+		// rejected offered load.
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			return s.failure(req, fmt.Errorf("%w: %v", store.ErrDeadlineExceeded, err))
+		}
+		return s.failure(req, err)
+	}
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return s.errResponse(wire.CodeInternal,
+			fmt.Sprintf("server: encoding %q result: %v", req.Txn, err), 0)
+	}
+	s.ok.Add(1)
+	return wire.Response{Status: 200, Value: raw}
+}
+
+// failure maps an engine error onto the wire: stable code, HTTP status,
+// and a retry hint for retryable refusals sized from the destination
+// partition's current queueing estimate.
+func (s *Server) failure(req wire.Request, err error) wire.Response {
+	code := wire.CodeOf(err)
+	var retry int64
+	switch code {
+	case wire.CodeOverload:
+		retry = s.retryHintMs(req.Key)
+	case wire.CodePartitionDown, wire.CodeStopped:
+		// No queue estimate predicts a machine recovery; a coarse constant
+		// keeps clients from hammering a dead partition.
+		retry = downRetryMs
+	}
+	return s.errResponse(code, err.Error(), retry)
+}
+
+// downRetryMs is the retry hint for requests refused because their
+// partition (or the whole engine) is down.
+const downRetryMs = 250
+
+// retryHintMs estimates how long a refused submission should wait before
+// retrying: the destination partition's sojourn EWMA, floored at 1ms so a
+// hint is always actionable.
+func (s *Server) retryHintMs(key string) int64 {
+	d := s.cfg.Engine.QueueSojourn(s.cfg.Engine.PartitionOfKey(key))
+	ms := int64(d / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// errResponse builds a failure Response and files it in the wire counters.
+func (s *Server) errResponse(code, msg string, retryMs int64) wire.Response {
+	switch code {
+	case wire.CodeOverload:
+		s.rejected.Add(1)
+		if s.cfg.Recorder != nil {
+			s.cfg.Recorder.CountWireRejected()
+		}
+	case wire.CodeDeadline:
+		s.deadline504.Add(1)
+	case wire.CodePartitionDown, wire.CodeStopped:
+		s.down503.Add(1)
+	case wire.CodeUnknownTxn, wire.CodeBadRequest:
+		s.badRequests.Add(1)
+	case wire.CodeTxn:
+		s.txnErrors.Add(1)
+	default:
+		s.internal.Add(1)
+	}
+	return wire.Response{Status: wire.StatusOf(code), Code: code, Error: msg, RetryAfterMs: retryMs}
+}
+
+// requestContext applies the wire deadline: the header if present, the
+// configured default otherwise. The returned cancel must always be called.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultDeadline
+	if h := r.Header.Get(wire.HeaderDeadlineMs); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("server: bad %s header %q", wire.HeaderDeadlineMs, h)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// writeResponse emits one Response as a standalone HTTP reply, carrying the
+// retry hint in headers as well as the body so even header-only clients
+// (curl -i) see it.
+func writeResponse(w http.ResponseWriter, resp wire.Response) {
+	w.Header().Set("Content-Type", "application/json")
+	if resp.RetryAfterMs > 0 {
+		w.Header().Set(wire.HeaderRetryAfterMs, strconv.FormatInt(resp.RetryAfterMs, 10))
+		secs := (resp.RetryAfterMs + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.WriteHeader(resp.Status)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// handleTxn executes one transaction per request.
+func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "server: POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	var req wire.Request
+	if err := json.NewDecoder(io.LimitReader(r.Body, wire.MaxFrame)).Decode(&req); err != nil {
+		writeResponse(w, s.errResponse(wire.CodeBadRequest, fmt.Sprintf("server: decoding request: %v", err), 0))
+		return
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		writeResponse(w, s.errResponse(wire.CodeBadRequest, err.Error(), 0))
+		return
+	}
+	defer cancel()
+	writeResponse(w, s.execute(ctx, req))
+}
+
+// handleBatch executes a length-prefixed batch: frames are decoded
+// sequentially, executed concurrently, and answered in frame order — the
+// wire-level pipelining that lets one connection keep many partitions busy.
+// Frames share the request's deadline. The response is always HTTP 200;
+// per-frame outcomes travel in each frame's embedded status.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "server: POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.batches.Add(1)
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		writeResponse(w, s.errResponse(wire.CodeBadRequest, err.Error(), 0))
+		return
+	}
+	defer cancel()
+
+	var reqs []wire.Request
+	for {
+		if len(reqs) >= s.cfg.MaxBatch {
+			writeResponse(w, s.errResponse(wire.CodeBadRequest,
+				fmt.Sprintf("server: batch exceeds %d frames", s.cfg.MaxBatch), 0))
+			return
+		}
+		var req wire.Request
+		if err := wire.DecodeFrame(r.Body, &req); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			writeResponse(w, s.errResponse(wire.CodeBadRequest,
+				fmt.Sprintf("server: decoding batch frame %d: %v", len(reqs), err), 0))
+			return
+		}
+		reqs = append(reqs, req)
+	}
+	s.frames.Add(int64(len(reqs)))
+
+	resps := make([]wire.Response, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i] = s.execute(ctx, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	w.Header().Set("Content-Type", wire.ContentTypeBatch)
+	w.WriteHeader(http.StatusOK)
+	for i := range resps {
+		if err := wire.EncodeFrame(w, resps[i]); err != nil {
+			return // connection gone; nothing left to report
+		}
+	}
+}
+
+// handleTxns serves the transaction catalog in dense-id order.
+func (s *Server) handleTxns(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Txns []string `json:"txns"`
+	}{Txns: s.cfg.Engine.TxnNames()})
+}
+
+// handleInfo serves the configured info payload (or an empty object).
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	info := s.cfg.Info
+	if info == nil {
+		info = struct{}{}
+	}
+	_ = json.NewEncoder(w).Encode(info)
+}
+
+// handleHealth reports liveness.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"ok":true}`)
+}
+
+// handleShutdown signals the serving process to stop (it still owns the
+// actual Shutdown call, so in-flight work drains first).
+func (s *Server) handleShutdown(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "server: POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, `{"ok":true}`)
+	s.shutdownOnce.Do(func() { close(s.shutdownCh) })
+}

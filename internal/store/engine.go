@@ -165,6 +165,24 @@ func (e *Engine) Handle(name string) (TxnID, bool) {
 	return id, ok
 }
 
+// TxnNames lists every registered transaction name in dense-id order (so
+// TxnNames()[id] is the name of handle id). It is the catalog a network
+// front end serves to remote clients for name resolution.
+func (e *Engine) TxnNames() []string {
+	out := make([]string, len(e.procs))
+	for i, p := range e.procs {
+		out[i] = p.name
+	}
+	return out
+}
+
+// PartitionOfKey returns the partition currently owning a key's bucket —
+// the queue a submission for that key would join. The wire front end uses
+// it to size retry hints from the destination's estimated queueing delay.
+func (e *Engine) PartitionOfKey(key string) int {
+	return e.ownerOf(e.bucketOf(key))
+}
+
 // SetServiceTime overrides the simulated execution time for one transaction
 // type. It must be called before Start.
 func (e *Engine) SetServiceTime(name string, d time.Duration) error {
@@ -323,6 +341,23 @@ func (e *Engine) executeID(done <-chan struct{}, ctxErr func() error, id TxnID, 
 		if err := e.admit(dest); err != nil {
 			e.submitted.Add(1)
 			return nil, err
+		}
+	}
+	// A context that is already done must be refused deterministically:
+	// without this check the select below is a coin flip between the queue
+	// send and the done channel whenever the queue has room, and the wire
+	// front end would sometimes enqueue work for a client that already gave
+	// up on it.
+	if done != nil {
+		select {
+		case <-done:
+			e.submitted.Add(1)
+			e.rejected.Add(1)
+			if r := e.recorder.Load(); r != nil {
+				r.CountRejected()
+			}
+			return nil, fmt.Errorf("store: submission already expired for partition %d: %w: %w", dest.id, ErrOverload, ctxErr())
+		default:
 		}
 	}
 	req := acquireTxnReq()

@@ -44,9 +44,12 @@
 package pstore
 
 import (
+	"context"
+	"encoding/json"
 	"time"
 
 	"pstore/internal/b2w"
+	"pstore/internal/client"
 	"pstore/internal/cluster"
 	"pstore/internal/elastic"
 	"pstore/internal/experiments"
@@ -56,6 +59,7 @@ import (
 	"pstore/internal/planner"
 	"pstore/internal/predictor"
 	"pstore/internal/recovery"
+	"pstore/internal/server"
 	"pstore/internal/sim"
 	"pstore/internal/squall"
 	"pstore/internal/store"
@@ -335,6 +339,60 @@ func LoadB2W(eng *Engine, spec B2WLoadSpec) error { return b2w.Load(eng, spec) }
 // B2WDriver replays a load trace against the engine as benchmark
 // transactions.
 type B2WDriver = b2w.Driver
+
+// B2WExecutor is the driver's submission boundary: in-process engine calls
+// or a remote server over the wire, behind one interface.
+type B2WExecutor = b2w.Executor
+
+// NewB2WRemoteExecutor points the driver at a network front end through a
+// connected client, turning the same driver into a separate-process load
+// generator.
+func NewB2WRemoteExecutor(ctx context.Context, c *Client) (B2WExecutor, error) {
+	return b2w.NewRemoteExecutor(ctx, c)
+}
+
+// --- network front end and client (wire protocol) ---------------------------
+
+// Server serves an engine over HTTP/1.1: JSON single-transaction requests,
+// length-prefixed binary batches with pipelined execution, per-request
+// deadlines from wire headers, and the engine's overload plane surfaced as
+// 429/504/503 with machine-readable retry hints.
+type Server = server.Server
+
+// ServerConfig assembles a Server.
+type ServerConfig = server.Config
+
+// ServerCounters are a server's cumulative wire-level counts.
+type ServerCounters = server.Counters
+
+// NewServer fronts a started engine; run it with Serve on a listener.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Client is the Go client library: pooled connections, an in-flight cap
+// with client-side shedding, deadline propagation, and retry-hint honoring.
+// Its errors map back onto the engine's typed errors, so errors.Is works
+// identically in-process and over the wire.
+type Client = client.Client
+
+// ClientConfig assembles a Client.
+type ClientConfig = client.Config
+
+// ClientCounters are a client's cumulative counts, including transport
+// errors and client-side sheds.
+type ClientCounters = client.Counters
+
+// NewClient connects to a server address ("host:port" or a base URL).
+func NewClient(cfg ClientConfig) (*Client, error) { return client.New(cfg) }
+
+// ErrClientSaturated is returned when the client's in-flight cap sheds a
+// submission locally; it matches store.ErrOverload under errors.Is.
+var ErrClientSaturated = client.ErrSaturated
+
+// B2WDecodeArgs is the wire codec for the benchmark's transactions — the
+// ServerConfig.DecodeArgs for an engine registered with RegisterB2W.
+func B2WDecodeArgs(txn string, raw json.RawMessage) (any, error) {
+	return b2w.DecodeArgs(txn, raw)
+}
 
 // --- measurement ------------------------------------------------------------
 

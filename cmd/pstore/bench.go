@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"path/filepath"
+
 	"pstore/internal/client"
 	"pstore/internal/faults"
 	"pstore/internal/metrics"
@@ -19,6 +21,7 @@ import (
 	"pstore/internal/server"
 	"pstore/internal/squall"
 	"pstore/internal/store"
+	"pstore/internal/transport"
 	"pstore/internal/wire"
 )
 
@@ -55,6 +58,16 @@ type benchMigrationResult struct {
 	RollbackChunks int64   `json:"rollback_chunks"`
 	FaultsOffered  int64   `json:"faults_offered"`
 	FaultsDropped  int64   `json:"faults_dropped"`
+	// The networked column: the same round trip driven through a 2-node
+	// loopback cluster, every chunk crossing extract/install RPCs. PlanParity
+	// reports whether the networked run finished with the byte-identical
+	// bucket plan and the same retry count as the in-process run — the
+	// shared-nothing refactor's determinism contract.
+	NetNodes     int     `json:"net_nodes"`
+	NetMoveOutMs float64 `json:"net_move_out_ms"`
+	NetMoveInMs  float64 `json:"net_move_in_ms"`
+	NetRetries   int64   `json:"net_retries"`
+	PlanParity   bool    `json:"plan_parity"`
 }
 
 // runBench measures the transaction hot path on an idle engine: a serial
@@ -75,6 +88,7 @@ func runBench(args []string) error {
 	olDur := fs.Duration("overload-duration", 500*time.Millisecond, "length of each overload bench point")
 	wireOut := fs.String("wire-out", "BENCH_wire.json", "wire bench output JSON path (- for stdout, empty to skip)")
 	wireDur := fs.Duration("wire-duration", 500*time.Millisecond, "length of each wire bench point")
+	check := fs.String("check", "", "baseline directory holding committed BENCH_*.json; fail if tps regressed >20% against it or the migration plans diverged")
 	if helped, err := parseFlags(fs, args); helped || err != nil {
 		return err
 	}
@@ -212,7 +226,110 @@ func runBench(args []string) error {
 		}
 	}
 	if *wireOut != "" {
-		return runBenchWire(*wireOut, *wireDur)
+		if err := runBenchWire(*wireOut, *wireDur); err != nil {
+			return err
+		}
+	}
+	if *check != "" {
+		return benchCheck(*check, *out, *wireOut, *migOut)
+	}
+	return nil
+}
+
+// benchCheck is the CI regression gate: it compares the engine and wire tps
+// of the run just written against the committed baselines in dir, failing on
+// a >20% throughput regression, and requires the migration pass to have
+// reached plan parity between its in-process and networked runs. Latency and
+// duration columns are informational — wall-clock noise on shared runners —
+// but a 20% tps cliff or a placement divergence is a real defect.
+func benchCheck(dir, engineOut, wireOut, migOut string) error {
+	const maxRegression = 0.20
+	readJSON := func(path string, v any) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return json.Unmarshal(data, v)
+	}
+	// Baselines live in dir under the canonical names regardless of where
+	// this run wrote its outputs; a run that writes straight over its own
+	// baseline would vacuously pass, so that is rejected outright.
+	baselinePath := func(name, out string) (string, error) {
+		p := filepath.Join(dir, name)
+		bi, err1 := os.Stat(p)
+		oi, err2 := os.Stat(out)
+		if err1 == nil && err2 == nil && os.SameFile(bi, oi) {
+			return "", fmt.Errorf("check: output %s is the baseline itself; write outputs elsewhere (e.g. -out /tmp/%s)", out, name)
+		}
+		return p, nil
+	}
+	gate := func(name string, baseline, got float64) error {
+		if baseline <= 0 {
+			return fmt.Errorf("check: baseline %s tps is %g", name, baseline)
+		}
+		if got < (1-maxRegression)*baseline {
+			return fmt.Errorf("check: %s regressed %.0f%%: %.0f tps vs baseline %.0f",
+				name, 100*(1-got/baseline), got, baseline)
+		}
+		fmt.Printf("bench: check %s: %.0f tps vs baseline %.0f ok\n", name, got, baseline)
+		return nil
+	}
+	if engineOut != "" && engineOut != "-" {
+		bp, err := baselinePath("BENCH_engine.json", engineOut)
+		if err != nil {
+			return err
+		}
+		var baseline, got benchResult
+		if err := readJSON(bp, &baseline); err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		if err := readJSON(engineOut, &got); err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		if err := gate("engine", baseline.TPS, got.TPS); err != nil {
+			return err
+		}
+	}
+	if wireOut != "" && wireOut != "-" {
+		bp, err := baselinePath("BENCH_wire.json", wireOut)
+		if err != nil {
+			return err
+		}
+		var baseline, got benchWireResult
+		if err := readJSON(bp, &baseline); err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		if err := readJSON(wireOut, &got); err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		base := map[string]float64{}
+		for _, pt := range baseline.Points {
+			if pt.Mode == "clean" {
+				base[pt.Transport] = pt.CompletedTPS
+			}
+		}
+		for _, pt := range got.Points {
+			if pt.Mode != "clean" {
+				continue
+			}
+			b, ok := base[pt.Transport]
+			if !ok {
+				continue
+			}
+			if err := gate("wire/"+pt.Transport, b, pt.CompletedTPS); err != nil {
+				return err
+			}
+		}
+	}
+	if migOut != "" && migOut != "-" {
+		var got benchMigrationResult
+		if err := readJSON(migOut, &got); err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		if !got.PlanParity {
+			return errors.New("check: migration plan parity failed: the networked round trip diverged from the in-process run")
+		}
+		fmt.Println("bench: check migration plan parity ok")
 	}
 	return nil
 }
@@ -764,6 +881,9 @@ func runBenchMigration(out, spec string) error {
 		res.FaultsOffered = ist.Offered
 		res.FaultsDropped = ist.Drops
 	}
+	if err := runBenchMigrationNetworked(&res, cfg, sqCfg, spec, eng.Plan()); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -776,8 +896,96 @@ func runBenchMigration(out, spec string) error {
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench: migration 1->%d->1 of %d rows: out %.1f ms, in %.1f ms, %d retries, %d rolled back -> %s\n",
-		cfg.MaxMachines, rows, res.MoveOutMs, res.MoveInMs, res.Retries, res.RollbackChunks, out)
+	fmt.Printf("bench: migration 1->%d->1 of %d rows: out %.1f/%.1f ms, in %.1f/%.1f ms (in-process/%d-node networked), %d/%d retries, plan parity %v -> %s\n",
+		cfg.MaxMachines, rows, res.MoveOutMs, res.NetMoveOutMs, res.MoveInMs, res.NetMoveInMs,
+		res.NetNodes, res.Retries, res.NetRetries, res.PlanParity, out)
+	return nil
+}
+
+// runBenchMigrationNetworked repeats the migration round trip over a 2-node
+// loopback cluster — same geometry, same rows, a fresh injector from the same
+// fault spec — so every chunk crosses the node RPC vocabulary. The fault
+// decisions are keyed by (seed, pair, chunk, attempt), not by placement, so
+// the networked run must land on the identical final plan with identical
+// retry work; PlanParity records that it did.
+func runBenchMigrationNetworked(res *benchMigrationResult, cfg store.Config, sqCfg squall.Config, spec string, localPlan []int32) error {
+	const nodes = 2
+	res.NetNodes = nodes
+	lb, err := transport.NewLoopback(transport.LoopbackConfig{
+		Nodes: nodes,
+		Store: cfg,
+		Register: func(eng *store.Engine) error {
+			return eng.Register("put", func(tx *store.Tx) (any, error) {
+				return nil, tx.Put("kv", tx.Key, tx.Args)
+			})
+		},
+		DecodeArgs: func(txn string, raw json.RawMessage) (any, error) {
+			var v int
+			err := json.Unmarshal(raw, &v)
+			return v, err
+		},
+		DecodeRow: func(table string, raw json.RawMessage) (any, error) {
+			var v int
+			err := json.Unmarshal(raw, &v)
+			return v, err
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer lb.Close()
+	for _, eng := range lb.Engines() {
+		for i := 0; i < res.Rows; i++ {
+			if _, err := eng.Execute("put", fmt.Sprintf("mig-key-%05d", i), i); err != nil {
+				if errors.Is(err, store.ErrNotOwned) {
+					continue
+				}
+				return err
+			}
+		}
+	}
+	remote := lb.Remote()
+	if spec != "" {
+		fcfg, err := faults.Parse(spec)
+		if err != nil {
+			return err
+		}
+		inj, err := faults.New(fcfg)
+		if err != nil {
+			return err
+		}
+		remote.SetFaultInjector(inj)
+	}
+	ex, err := squall.NewExecutor(remote, sqCfg)
+	if err != nil {
+		return err
+	}
+	startOut := time.Now()
+	if err := ex.Reconfigure(1, cfg.MaxMachines, 0); err != nil {
+		return fmt.Errorf("networked scale-out aborted: %w", err)
+	}
+	res.NetMoveOutMs = float64(time.Since(startOut).Microseconds()) / 1000
+	startIn := time.Now()
+	if err := ex.Reconfigure(cfg.MaxMachines, 1, 0); err != nil {
+		return fmt.Errorf("networked scale-in aborted: %w", err)
+	}
+	res.NetMoveInMs = float64(time.Since(startIn).Microseconds()) / 1000
+	res.NetRetries = ex.Stats().Retries
+
+	parity := remote.TotalRows() == res.Rows &&
+		res.NetRetries == res.Retries && remote.FlipErrors() == 0
+	netPlan := remote.Plan()
+	if len(netPlan) != len(localPlan) {
+		parity = false
+	} else {
+		for b := range netPlan {
+			if netPlan[b] != localPlan[b] {
+				parity = false
+				break
+			}
+		}
+	}
+	res.PlanParity = parity
 	return nil
 }
 

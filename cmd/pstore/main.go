@@ -11,6 +11,8 @@
 //	pstore experiment <id> [flags]           run one experiment (or "all")
 //	pstore serve [flags]                     run a live cluster against a trace
 //	pstore serve -listen addr [flags]        same, but serve remote clients over HTTP
+//	pstore serve -node N -nodes M [flags]    run one partition-group node of a multi-process cluster
+//	pstore coord -peers a,b [flags]          drive migration and crash scripts against the nodes
 //	pstore drive -connect addr [flags]       replay the trace against a served cluster
 //	pstore trace [flags]                     generate a synthetic load trace CSV
 //	pstore predict [flags]                   fit a predictor on a trace CSV and forecast
@@ -42,6 +44,7 @@ var commands = map[string]func([]string) error{
 	"list":       func([]string) error { return runList() },
 	"experiment": runExperiment,
 	"serve":      runServe,
+	"coord":      runCoord,
 	"drive":      runDrive,
 	"trace":      runTrace,
 	"predict":    runPredict,
@@ -78,6 +81,8 @@ func usage() {
   pstore experiment <id|all>      run an experiment (-full for paper-size runs, -seed N)
   pstore serve                    run a live cluster replaying a trace under a controller
   pstore serve -listen addr       serve the cluster over HTTP for remote drivers
+  pstore serve -node N -nodes M   run one partition-group node of a multi-process cluster
+  pstore coord -peers a,b         drive migration/crash scripts against node processes
   pstore drive -connect addr      replay the served trace from a separate process
   pstore trace                    generate a synthetic B2W-like load trace CSV
   pstore predict                  fit SPAR/AR/ARMA on a trace CSV and report accuracy

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pstore/internal/b2w"
+	"pstore/internal/recovery"
+	"pstore/internal/server"
+	"pstore/internal/store"
+	"pstore/internal/workload"
+)
+
+// serveNodeConfig carries the serve flags that apply in node mode.
+type serveNodeConfig struct {
+	node, nodes   int
+	peers         string
+	days          int
+	minute        time.Duration
+	seed          int64
+	initial, maxM int
+	deadline      time.Duration
+	overloadSpec  string
+	listen        string
+	serveFor      time.Duration
+}
+
+// runServeNode runs one partition-group node of a multi-process cluster: an
+// engine hosting machines m where m % nodes == node, behind a front end that
+// serves both the transaction plane (forwarding keys it does not host to the
+// hosting peer) and the node plane (extract/install/flip, crash/restore)
+// that pstore coord drives. Every node loads the same deterministic dataset
+// and keeps only its share, so the union across nodes is exactly the
+// single-process dataset.
+func runServeNode(cfg serveNodeConfig) error {
+	if cfg.nodes < 1 {
+		return errors.New("-node requires -nodes >= 1")
+	}
+	if cfg.node >= cfg.nodes {
+		return fmt.Errorf("-node %d out of range for -nodes %d", cfg.node, cfg.nodes)
+	}
+	if cfg.listen == "" {
+		return errors.New("-node requires -listen")
+	}
+	var peers []string
+	if cfg.peers != "" {
+		peers = strings.Split(cfg.peers, ",")
+		if len(peers) != cfg.nodes {
+			return fmt.Errorf("-peers lists %d URLs, want %d (one per node, in node-id order)", len(peers), cfg.nodes)
+		}
+	}
+
+	// The trace contract is computed exactly as in single-process serve, so
+	// a drive process pointed at any node replays the same workload.
+	full, err := workload.SyntheticB2W(workload.DefaultB2WConfig(cfg.seed, 28+cfg.days))
+	if err != nil {
+		return err
+	}
+	replay := full.Slice(28*workload.MinutesPerDay, full.Len())
+
+	olCfg, err := store.ParseOverload(cfg.overloadSpec)
+	if err != nil {
+		return err
+	}
+	if cfg.deadline < 0 {
+		return fmt.Errorf("negative -deadline %v", cfg.deadline)
+	}
+	if cfg.deadline > 0 {
+		olCfg.Deadline = cfg.deadline
+	}
+	engCfg := store.Config{
+		MaxMachines:          cfg.maxM,
+		PartitionsPerMachine: 4,
+		Buckets:              640,
+		ServiceTime:          3 * time.Millisecond,
+		QueueCapacity:        1 << 15,
+		InitialMachines:      cfg.initial,
+		Overload:             olCfg,
+	}
+	for m := 0; m < cfg.maxM; m++ {
+		if m%cfg.nodes == cfg.node {
+			engCfg.HostedMachines = append(engCfg.HostedMachines, m)
+		}
+	}
+	perMachine := 0.8 * float64(engCfg.PartitionsPerMachine) / engCfg.ServiceTime.Seconds()
+	rateScale := 0.75 * float64(cfg.maxM) * perMachine * cfg.minute.Seconds() / replay.Max()
+
+	eng, err := store.NewEngine(engCfg)
+	if err != nil {
+		return err
+	}
+	if err := b2w.Register(eng); err != nil {
+		return err
+	}
+	// The recovery manager attaches before Start so the bulk load is logged
+	// and the coordinator's crash plane works from the first transaction on.
+	rm := recovery.NewManager(eng)
+	eng.Start()
+	defer eng.Stop()
+
+	spec := b2w.LoadSpec{Carts: 2400, Checkouts: 600, Stocks: 1200, LinesPerCart: 3, Seed: cfg.seed}
+	fmt.Fprintf(os.Stderr, "serve: node %d/%d hosting machines %v, loading dataset\n",
+		cfg.node, cfg.nodes, engCfg.HostedMachines)
+	if err := b2w.Load(eng, spec); err != nil {
+		return err
+	}
+	// Baseline checkpoint: restores replay only live traffic, not the load.
+	if _, err := rm.Checkpoint(); err != nil {
+		return err
+	}
+	if olCfg.Enabled() {
+		fmt.Fprintf(os.Stderr, "serve: overload plane armed: %s\n", olCfg)
+	}
+
+	info := serveInfo{
+		Seed: cfg.seed, Days: cfg.days,
+		MinuteMs:     float64(cfg.minute) / float64(time.Millisecond),
+		RateScale:    rateScale,
+		DeadlineMs:   float64(olCfg.Deadline) / float64(time.Millisecond),
+		Carts:        spec.Carts,
+		Checkouts:    spec.Checkouts,
+		Stocks:       spec.Stocks,
+		LinesPerCart: spec.LinesPerCart,
+		Node:         cfg.node,
+		Nodes:        cfg.nodes,
+	}
+	if olCfg.Enabled() {
+		info.Overload = olCfg.String()
+	}
+	nodeCfg := &server.NodeConfig{
+		ID:        cfg.node,
+		Nodes:     cfg.nodes,
+		Recovery:  rm,
+		DecodeRow: b2w.DecodeRow,
+	}
+	if peers != nil {
+		nodeCfg.PeerURL = func(node int) string { return peers[node] }
+	}
+	scfg := server.Config{
+		Engine:          eng,
+		DecodeArgs:      b2w.DecodeArgs,
+		DefaultDeadline: time.Duration(info.DeadlineMs * float64(time.Millisecond)),
+		Info:            info,
+		Node:            nodeCfg,
+	}
+	start := time.Now()
+	sc, err := serveWire(context.Background(), scfg, cfg.listen, cfg.serveFor)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("wire: %d requests in %d frames (%d batches): %d ok, %d txn-errors, %d bad-requests, %d internal, %d forwarded\n",
+		sc.Requests, sc.Frames, sc.Batches, sc.OK, sc.TxnErrors, sc.BadRequests, sc.Internal, sc.Forwarded)
+	ec := eng.Counters()
+	fmt.Printf("node %d served %d transactions (%d failed) in %v\n",
+		cfg.node, ec.Completed, ec.Errored, time.Since(start).Round(time.Millisecond))
+	rs := rm.Stats()
+	if rs.Crashes > 0 || rs.Checkpoints > 1 {
+		fmt.Printf("recovery: %d crashes, %d recoveries, %d commands replayed (max lag %d), downtime %v, %d checkpoints\n",
+			rs.Crashes, rs.Recoveries, rs.ReplayedCommands, rs.MaxReplayLag,
+			rs.Downtime.Round(time.Millisecond), rs.Checkpoints)
+	}
+	return nil
+}

@@ -39,6 +39,16 @@ type serveInfo struct {
 	Checkouts    int     `json:"checkouts"`
 	Stocks       int     `json:"stocks"`
 	LinesPerCart int     `json:"lines_per_cart"`
+	// The armed chaos planes, as their canonical spec strings, so a driver
+	// (or an operator with curl) can see exactly what a server is running
+	// without access to its command line.
+	Faults   string `json:"faults,omitempty"`
+	Crash    string `json:"crash,omitempty"`
+	Overload string `json:"overload,omitempty"`
+	// Node identity in multi-process mode; Nodes is 0 on a single-process
+	// server.
+	Node  int `json:"node,omitempty"`
+	Nodes int `json:"nodes,omitempty"`
 }
 
 func runServe(args []string) error {
@@ -59,11 +69,26 @@ func runServe(args []string) error {
 	listen := fs.String("listen", "", "serve remote clients on this address (host:port) instead of driving the trace in-process")
 	serveFor := fs.Duration("serve-for", 0, "with -listen: stop after this long (0 = until SIGINT/SIGTERM or POST /v1/shutdown)")
 	quiet := fs.Bool("quiet", false, "suppress the live event log")
+	node := fs.Int("node", -1, "run as node N of a multi-process cluster (requires -nodes and -listen; migration and crashes are driven by pstore coord)")
+	nodes := fs.Int("nodes", 0, "total node count in multi-process mode")
+	peerList := fs.String("peers", "", "comma-separated node base URLs in node-id order, for forwarding transactions to the hosting node")
 	if helped, err := parseFlags(fs, args); helped || err != nil {
 		return err
 	}
 	if *days < 1 || *initial < 1 || *maxM < *initial || *cycleMin < 1 || *minute <= 0 {
 		return errors.New("invalid sizing flags")
+	}
+	if *node >= 0 {
+		if *faultSpec != "" || *crashSpec != "" {
+			return errors.New("-faults and -crash are coordinator-side in multi-process mode; pass them to pstore coord")
+		}
+		return runServeNode(serveNodeConfig{
+			node: *node, nodes: *nodes, peers: *peerList,
+			days: *days, minute: *minute, seed: *seed,
+			initial: *initial, maxM: *maxM,
+			deadline: *deadline, overloadSpec: *overloadSpec,
+			listen: *listen, serveFor: *serveFor,
+		})
 	}
 
 	// Training month plus the replayed day(s).
@@ -129,6 +154,7 @@ func runServe(args []string) error {
 	}
 
 	var inj *faults.Injector
+	var faultsStr, crashStr string
 	if *faultSpec != "" {
 		fcfg, err := faults.Parse(*faultSpec)
 		if err != nil {
@@ -137,6 +163,7 @@ func runServe(args []string) error {
 		if inj, err = faults.New(fcfg); err != nil {
 			return err
 		}
+		faultsStr = fcfg.String()
 		fmt.Fprintf(os.Stderr, "serve: fault plane armed: %s\n", fcfg)
 	}
 	var crash *faults.CrashSchedule
@@ -146,6 +173,7 @@ func runServe(args []string) error {
 			return err
 		}
 		crash = &cs
+		crashStr = cs.String()
 		fmt.Fprintf(os.Stderr, "serve: crash plane armed: %s\n", cs)
 	}
 
@@ -213,8 +241,20 @@ func runServe(args []string) error {
 			Checkouts:    spec.Checkouts,
 			Stocks:       spec.Stocks,
 			LinesPerCart: spec.LinesPerCart,
+			Faults:       faultsStr,
+			Crash:        crashStr,
 		}
-		sc, err := serveWire(ctx, c, *listen, info, *serveFor)
+		if olCfg.Enabled() {
+			info.Overload = olCfg.String()
+		}
+		scfg := server.Config{
+			Engine:          c.Engine(),
+			DecodeArgs:      b2w.DecodeArgs,
+			Recorder:        c.Recorder(),
+			DefaultDeadline: time.Duration(info.DeadlineMs * float64(time.Millisecond)),
+			Info:            info,
+		}
+		sc, err := serveWire(ctx, scfg, *listen, *serveFor)
 		if err != nil {
 			c.Stop()
 			watch.Wait()
@@ -289,16 +329,11 @@ func printRefusedSummary(rec *metrics.Recorder, eng *store.Engine, sc *server.Co
 	fmt.Printf("%s), worst queue delay %v\n", line, eng.MaxQueueSojourn().Round(time.Millisecond))
 }
 
-// serveWire runs the network front end over a started cluster until a
-// signal, the optional -serve-for timer, or a client's shutdown request.
-func serveWire(ctx context.Context, c *cluster.Cluster, addr string, info serveInfo, serveFor time.Duration) (server.Counters, error) {
-	srv, err := server.New(server.Config{
-		Engine:          c.Engine(),
-		DecodeArgs:      b2w.DecodeArgs,
-		Recorder:        c.Recorder(),
-		DefaultDeadline: time.Duration(info.DeadlineMs * float64(time.Millisecond)),
-		Info:            info,
-	})
+// serveWire runs the network front end over the given server configuration
+// until a signal, the optional -serve-for timer, or a client's shutdown
+// request.
+func serveWire(ctx context.Context, scfg server.Config, addr string, serveFor time.Duration) (server.Counters, error) {
+	srv, err := server.New(scfg)
 	if err != nil {
 		return server.Counters{}, err
 	}

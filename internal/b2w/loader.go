@@ -1,6 +1,7 @@
 package b2w
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -80,6 +81,12 @@ func Load(eng *store.Engine, spec LoadSpec) error {
 			defer wg.Done()
 			for j := range jobs {
 				if _, err := eng.ExecuteID(j.txn, j.key, j.args); err != nil {
+					if errors.Is(err, store.ErrNotOwned) {
+						// Multi-process loading: every node runs the same
+						// deterministic load; a key hosted elsewhere is that
+						// node's to load.
+						continue
+					}
 					select {
 					case errCh <- fmt.Errorf("b2w: loading %s %s: %w", j.name, j.key, err):
 					default:

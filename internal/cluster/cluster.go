@@ -32,6 +32,7 @@ import (
 	"pstore/internal/recovery"
 	"pstore/internal/squall"
 	"pstore/internal/store"
+	"pstore/internal/transport"
 )
 
 // Config assembles a Cluster.
@@ -98,13 +99,27 @@ type Stats struct {
 // ErrMoveInFlight is returned by Reconfigure while another move is running.
 var ErrMoveInFlight = errors.New("cluster: a reconfiguration is already in flight")
 
-// Cluster owns the serving stack and its monitoring/decision loop.
+// errCoordinatorSubmit is returned by the Submit family in coordinator mode:
+// a remote-topology cluster plans and migrates, but transactions enter
+// through the node front ends, not through the coordinator.
+var errCoordinatorSubmit = errors.New("cluster: coordinator has no local engine")
+
+// Cluster owns the serving stack and its monitoring/decision loop. The
+// controllers, the event stream and the recovery plane all run against a
+// transport.Topology, so the same runtime drives a single-process engine
+// (New) or a coordinator over multi-process node groups (NewRemote) without
+// knowing where partitions live.
 type Cluster struct {
 	cfg Config
+	// eng is the local engine, nil in coordinator mode.
 	eng *store.Engine
-	ex  *squall.Executor
-	rec *metrics.Recorder
-	rm  *recovery.Manager
+	// topo is the placement-oblivious surface every decision reads.
+	topo transport.Topology
+	// hasRecovery reports whether topo serves the crash/restore plane.
+	hasRecovery bool
+	ex          *squall.Executor
+	rec         *metrics.Recorder
+	rm          *recovery.Manager
 
 	// down maps a crashed machine to the cycle its recovery begins. It is
 	// owned exclusively by the decision-loop goroutine.
@@ -174,20 +189,91 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex, err := squall.NewExecutor(eng, cfg.Squall)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.FaultInjector != nil {
-		eng.SetFaultInjector(cfg.FaultInjector)
-	}
-	c := &Cluster{cfg: cfg, eng: eng, ex: ex, subs: map[int]chan Event{}}
+	c := &Cluster{cfg: cfg, eng: eng, subs: map[int]chan Event{}}
 	if cfg.Crash != nil || cfg.CheckpointEvery > 0 {
 		// The manager attaches to the command-log hook now, before Start,
 		// so bootstrap writes are logged and every machine is recoverable
 		// from the first transaction on.
 		c.rm = recovery.NewManager(eng)
 		c.down = map[int]int{}
+		c.hasRecovery = true
+	}
+	c.topo = transport.NewLocal(eng, c.rm)
+	c.ex, err = squall.NewExecutor(c.topo, cfg.Squall)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FaultInjector != nil {
+		c.topo.SetFaultInjector(cfg.FaultInjector)
+	}
+	return c, nil
+}
+
+// NewRemote builds the serving runtime in coordinator mode: the same
+// decision loop, event stream and crash plane, but over a multi-process
+// topology instead of a local engine. The coordinator executes migrations
+// and drives crash recovery through node RPCs; transactions are submitted
+// directly to the node front ends, so Submit and friends are unavailable.
+// Bootstrap and RecorderWindow require a local engine and are rejected.
+func NewRemote(cfg Config, topo transport.Topology) (*Cluster, error) {
+	if topo == nil {
+		return nil, errors.New("cluster: NewRemote needs a topology")
+	}
+	if cfg.Bootstrap != nil {
+		return nil, errors.New("cluster: Bootstrap requires a local engine; load through the node front ends")
+	}
+	if cfg.RecorderWindow > 0 {
+		return nil, errors.New("cluster: RecorderWindow requires a local engine")
+	}
+	// The geometry comes from the topology (which took it from the nodes),
+	// never from flags that could drift.
+	cfg.Engine = topo.Config()
+	if cfg.RateScale == 0 {
+		cfg.RateScale = 1
+	}
+	if cfg.RateScale < 0 {
+		return nil, fmt.Errorf("cluster: RateScale %v must be positive", cfg.RateScale)
+	}
+	if cfg.CycleTraceMinutes == 0 {
+		cfg.CycleTraceMinutes = 1
+	}
+	if cfg.CycleTraceMinutes < 0 {
+		return nil, fmt.Errorf("cluster: CycleTraceMinutes %v must be positive", cfg.CycleTraceMinutes)
+	}
+	if cfg.Controller != nil && cfg.Cycle <= 0 {
+		return nil, fmt.Errorf("cluster: Cycle %v must be positive when a controller is set", cfg.Cycle)
+	}
+	if cfg.Crash != nil {
+		if err := cfg.Crash.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Crash.Empty() {
+			cfg.Crash = nil
+		}
+	}
+	if cfg.Crash != nil && cfg.Cycle <= 0 {
+		return nil, fmt.Errorf("cluster: Cycle %v must be positive when a crash schedule is armed", cfg.Cycle)
+	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("cluster: CheckpointEvery %d must be non-negative", cfg.CheckpointEvery)
+	}
+	if cfg.Crash != nil && cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 10
+	}
+	c := &Cluster{cfg: cfg, topo: topo, subs: map[int]chan Event{}}
+	if cfg.Crash != nil || cfg.CheckpointEvery > 0 {
+		// The crash plane is armed exactly as in New; the node processes
+		// must therefore run with recovery managers attached.
+		c.down = map[int]int{}
+		c.hasRecovery = true
+	}
+	var err error
+	c.ex, err = squall.NewExecutor(topo, cfg.Squall)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FaultInjector != nil {
+		topo.SetFaultInjector(cfg.FaultInjector)
 	}
 	return c, nil
 }
@@ -199,8 +285,12 @@ type moveOutcome struct {
 }
 
 // Engine exposes the storage engine for transaction registration and driver
-// attachment. Register transactions before Start.
+// attachment. Register transactions before Start. Nil in coordinator mode.
 func (c *Cluster) Engine() *store.Engine { return c.eng }
+
+// Topology exposes the placement surface the runtime operates on: a Local
+// wrapper in single-process mode, the caller's Remote in coordinator mode.
+func (c *Cluster) Topology() transport.Topology { return c.topo }
 
 // Recorder returns the latency recorder, or nil before Start or when no
 // RecorderWindow was configured. It stays readable after Stop.
@@ -236,30 +326,32 @@ func (c *Cluster) Start(ctx context.Context) error {
 	if c.stopping {
 		return errors.New("cluster: already stopped")
 	}
-	c.eng.Start()
-	if c.cfg.Bootstrap != nil {
-		if err := c.cfg.Bootstrap(c.eng); err != nil {
-			return fmt.Errorf("cluster: bootstrap: %w", err)
+	if c.eng != nil {
+		c.eng.Start()
+		if c.cfg.Bootstrap != nil {
+			if err := c.cfg.Bootstrap(c.eng); err != nil {
+				return fmt.Errorf("cluster: bootstrap: %w", err)
+			}
+		}
+		if c.cfg.RecorderWindow > 0 {
+			rec, err := metrics.NewRecorder(time.Now(), c.cfg.RecorderWindow)
+			if err != nil {
+				return err
+			}
+			c.rec = rec
+			c.eng.SetRecorder(rec)
+			c.ex.SetRecorder(rec)
+			if c.rm != nil {
+				c.rm.SetRecorder(rec)
+			}
+			rec.RecordMachines(time.Now(), c.topo.ActiveMachines())
 		}
 	}
-	if c.cfg.RecorderWindow > 0 {
-		rec, err := metrics.NewRecorder(time.Now(), c.cfg.RecorderWindow)
-		if err != nil {
-			return err
-		}
-		c.rec = rec
-		c.eng.SetRecorder(rec)
-		c.ex.SetRecorder(rec)
-		if c.rm != nil {
-			c.rm.SetRecorder(rec)
-		}
-		rec.RecordMachines(time.Now(), c.eng.ActiveMachines())
-	}
-	if c.rm != nil {
+	if c.hasRecovery {
 		// Baseline checkpoint: the bootstrap data set becomes the image and
 		// its command log is truncated, so the first crash replays only the
 		// live traffic since Start.
-		if _, err := c.rm.Checkpoint(); err != nil {
+		if _, err := c.topo.Checkpoint(); err != nil {
 			return fmt.Errorf("cluster: initial checkpoint: %w", err)
 		}
 	}
@@ -289,9 +381,15 @@ func (c *Cluster) Stop() {
 			<-loopDone
 		}
 		c.moveWG.Wait()
-		c.eng.SetRecorder(nil)
 		c.ex.SetRecorder(nil)
-		c.eng.Stop()
+		if c.eng != nil {
+			c.eng.SetRecorder(nil)
+			c.eng.Stop()
+		} else {
+			// Coordinator mode: release topology resources; the node
+			// processes keep serving.
+			_ = c.topo.Close()
+		}
 		c.subMu.Lock()
 		for id, ch := range c.subs {
 			close(ch)
@@ -305,17 +403,26 @@ func (c *Cluster) Stop() {
 // completes. It is safe for concurrent use. Hot loops should resolve a
 // Handle once and call SubmitID.
 func (c *Cluster) Submit(name, key string, args any) (any, error) {
+	if c.eng == nil {
+		return nil, errCoordinatorSubmit
+	}
 	return c.eng.Execute(name, key, args)
 }
 
 // Handle resolves a registered transaction name to its dense engine id.
 func (c *Cluster) Handle(name string) (store.TxnID, bool) {
+	if c.eng == nil {
+		return 0, false
+	}
 	return c.eng.Handle(name)
 }
 
 // SubmitID routes a pre-resolved transaction through the engine's
 // allocation-free hot path and blocks until it completes.
 func (c *Cluster) SubmitID(id store.TxnID, key string, args any) (any, error) {
+	if c.eng == nil {
+		return nil, errCoordinatorSubmit
+	}
 	return c.eng.ExecuteID(id, key, args)
 }
 
@@ -324,6 +431,9 @@ func (c *Cluster) SubmitID(id store.TxnID, key string, args any) (any, error) {
 // is refused as overload. It is the entry point the network front end uses
 // to propagate per-request wire deadlines into the engine.
 func (c *Cluster) SubmitIDContext(ctx context.Context, id store.TxnID, key string, args any) (any, error) {
+	if c.eng == nil {
+		return nil, errCoordinatorSubmit
+	}
 	return c.eng.ExecuteIDContext(ctx, id, key, args)
 }
 
@@ -393,7 +503,7 @@ func (c *Cluster) beginMove(target int, rateFactor float64, emergency bool) (<-c
 		c.mu.Unlock()
 		return nil, ErrMoveInFlight
 	}
-	from := c.eng.ActiveMachines()
+	from := c.topo.ActiveMachines()
 	if target == from {
 		c.mu.Unlock()
 		return nil, nil
@@ -445,7 +555,7 @@ func (c *Cluster) loop(ctx context.Context) {
 	defer ticker.Stop()
 	// Start from the current counters so bootstrap work does not masquerade
 	// as offered load on the first cycle.
-	last := c.eng.Counters()
+	last := c.topo.Counters()
 	for cycle := 0; ; cycle++ {
 		select {
 		case <-ctx.Done():
@@ -456,7 +566,7 @@ func (c *Cluster) loop(ctx context.Context) {
 		if c.cfg.Controller == nil {
 			continue
 		}
-		cnt := c.eng.Counters()
+		cnt := c.topo.Counters()
 		delta := cnt.Submitted - last.Submitted
 		// Refused work per cycle is the backpressure signal: the engine only
 		// rejects/sheds when past capacity, so any nonzero count is direct
@@ -465,7 +575,7 @@ func (c *Cluster) loop(ctx context.Context) {
 			Rejected:         cnt.Rejected - last.Rejected,
 			Shed:             cnt.Shed - last.Shed,
 			DeadlineExceeded: cnt.DeadlineExceeded - last.DeadlineExceeded,
-			QueueDelay:       c.eng.MaxQueueSojourn(),
+			QueueDelay:       c.topo.MaxQueueSojourn(),
 		}
 		last = cnt
 		load := float64(delta) / c.cfg.RateScale / c.cfg.CycleTraceMinutes
@@ -492,7 +602,7 @@ func (c *Cluster) loop(ctx context.Context) {
 		if obs, ok := c.cfg.Controller.(elastic.OverloadObserver); ok {
 			obs.Overloaded(sig)
 		}
-		machines := c.eng.ActiveMachines()
+		machines := c.topo.ActiveMachines()
 		// The controller plans in units of capacity it can actually use:
 		// crashed machines serve nothing, so it sees the effective size and
 		// its targets are translated back below (the paper's Eq. 7 capacity
@@ -550,12 +660,12 @@ func (c *Cluster) loop(ctx context.Context) {
 // periodic checkpoint runs. It runs on the loop goroutine, the sole owner of
 // c.down, so FailureObserver callbacks are never concurrent with Tick.
 func (c *Cluster) recoveryTick(cycle int) {
-	if c.rm == nil {
+	if !c.hasRecovery {
 		return
 	}
 	obs, _ := c.cfg.Controller.(elastic.FailureObserver)
 	for _, m := range c.downDue(cycle) {
-		st, err := c.rm.Restore(m)
+		st, err := c.topo.Restore(m)
 		if err != nil {
 			// Still down; retried next cycle.
 			c.failures.Add(1)
@@ -569,11 +679,11 @@ func (c *Cluster) recoveryTick(cycle int) {
 		}
 	}
 	if c.cfg.Crash != nil {
-		for _, pc := range c.cfg.Crash.CrashesAt(cycle, c.eng.ActiveMachines()) {
+		for _, pc := range c.cfg.Crash.CrashesAt(cycle, c.topo.ActiveMachines()) {
 			if _, dead := c.down[pc.Machine]; dead {
 				continue
 			}
-			if err := c.rm.Crash(pc.Machine); err != nil {
+			if err := c.topo.Crash(pc.Machine); err != nil {
 				c.failures.Add(1)
 				continue
 			}
@@ -586,7 +696,7 @@ func (c *Cluster) recoveryTick(cycle int) {
 		}
 	}
 	if every := c.cfg.CheckpointEvery; every > 0 && cycle > 0 && cycle%every == 0 {
-		if _, err := c.rm.Checkpoint(); err != nil {
+		if _, err := c.topo.Checkpoint(); err != nil {
 			c.failures.Add(1)
 		}
 	}

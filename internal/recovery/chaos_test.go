@@ -1,4 +1,4 @@
-package recovery
+package recovery_test
 
 import (
 	"errors"

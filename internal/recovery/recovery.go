@@ -192,6 +192,11 @@ func (m *Manager) Checkpoint() (int, error) {
 	cfg := m.eng.Config()
 	installed := 0
 	for part := 0; part < cfg.MaxMachines*cfg.PartitionsPerMachine; part++ {
+		if !m.eng.Hosted(part / cfg.PartitionsPerMachine) {
+			// A multi-process node checkpoints only the data it hosts —
+			// buckets living elsewhere are that node's responsibility.
+			continue
+		}
 		if m.eng.PartitionDown(part) {
 			continue
 		}
@@ -209,6 +214,25 @@ func (m *Manager) Checkpoint() (int, error) {
 		r.CountCheckpoint()
 	}
 	return installed, nil
+}
+
+// CheckpointPartition snapshots one live partition and installs the images
+// as its buckets' new recovery baseline. Multi-process nodes call this right
+// after installing a migrated-in chunk: the chunk's command history lives on
+// the node it executed on, so the receiving node's recovery baseline for
+// those buckets is the installed image itself — from that point on, local
+// commands accumulate on top of it and a crash restores exactly.
+func (m *Manager) CheckpointPartition(part int) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snaps, err := m.eng.SnapshotPartition(part)
+	if err != nil {
+		return 0, fmt.Errorf("recovery: checkpointing partition %d: %w", part, err)
+	}
+	for _, s := range snaps {
+		m.installImage(s)
+	}
+	return len(snaps), nil
 }
 
 // installImage makes one bucket snapshot the bucket's recovery baseline and

@@ -1,4 +1,7 @@
-package recovery
+// The recovery tests live in an external package: the crash-chaos suite
+// drives migration through internal/squall, whose transport layer imports
+// recovery — an in-package test would close an import cycle.
+package recovery_test
 
 import (
 	"errors"
@@ -8,13 +11,14 @@ import (
 
 	"pstore/internal/hash"
 	"pstore/internal/metrics"
+	"pstore/internal/recovery"
 	"pstore/internal/store"
 )
 
 // testEngine builds a started engine with machines active machines (2
 // partitions each), 240 buckets, "put"/"get" procedures and an attached
 // recovery manager. The manager attaches before any data loads, as required.
-func testEngine(t *testing.T, maxMachines, initial int) (*store.Engine, *Manager) {
+func testEngine(t *testing.T, maxMachines, initial int) (*store.Engine, *recovery.Manager) {
 	t.Helper()
 	cfg := store.Config{
 		MaxMachines:          maxMachines,
@@ -43,7 +47,7 @@ func testEngine(t *testing.T, maxMachines, initial int) (*store.Engine, *Manager
 	}); err != nil {
 		t.Fatal(err)
 	}
-	m := NewManager(e)
+	m := recovery.NewManager(e)
 	e.Start()
 	t.Cleanup(e.Stop)
 	return e, m

@@ -1,0 +1,428 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pstore/internal/recovery"
+	"pstore/internal/store"
+	"pstore/internal/wire"
+)
+
+// NodeConfig turns a Server into one node of a multi-process cluster. The
+// node serves the /v1/node/* coordination vocabulary (chunk extract/install,
+// ownership flips, crash/restore) next to the regular transaction endpoints,
+// and forwards transactions for partitions hosted elsewhere to their hosting
+// peer.
+type NodeConfig struct {
+	// ID is this node's index and Nodes the cluster's node count; machine m
+	// is hosted by node m % Nodes on every node, so routing needs no
+	// membership protocol.
+	ID    int
+	Nodes int
+	// Recovery, when set, serves the node-local crash/restore/checkpoint
+	// plane. Command logs live with the data: each node recovers exactly the
+	// machines it hosts.
+	Recovery *recovery.Manager
+	// DecodeRow rebuilds workload rows from incoming chunk frames. Nil keeps
+	// rows as raw JSON — enough for row accounting, not for executing
+	// transactions against migrated-in buckets.
+	DecodeRow wire.RowDecoder
+	// PeerURL maps a node index to its base URL ("http://host:port") for
+	// transaction forwarding. Nil disables forwarding: not-owned refusals
+	// surface to the client as retryable 503s instead.
+	PeerURL func(node int) string
+}
+
+func (nc *NodeConfig) validate() error {
+	if nc.Nodes < 1 {
+		return fmt.Errorf("server: node config: %d nodes", nc.Nodes)
+	}
+	if nc.ID < 0 || nc.ID >= nc.Nodes {
+		return fmt.Errorf("server: node config: id %d outside [0, %d)", nc.ID, nc.Nodes)
+	}
+	return nil
+}
+
+// NodeOf returns the node index hosting a machine.
+func (nc *NodeConfig) NodeOf(machine int) int { return machine % nc.Nodes }
+
+// maxForwardHops caps node-to-node transaction forwarding. Plans converge
+// after one flip broadcast, so a request bouncing this many times means
+// routing state is broken, not merely stale.
+const maxForwardHops = 3
+
+func (s *Server) registerNodeHandlers(mux *http.ServeMux) {
+	mux.HandleFunc(wire.PathNodeMove, s.handleNodeMove)
+	mux.HandleFunc(wire.PathNodeExtract, s.handleNodeExtract)
+	mux.HandleFunc(wire.PathNodeInstall, s.handleNodeInstall)
+	mux.HandleFunc(wire.PathNodeFlip, s.handleNodeFlip)
+	mux.HandleFunc(wire.PathNodeCrash, s.handleNodeCrash)
+	mux.HandleFunc(wire.PathNodeRestore, s.handleNodeRestore)
+	mux.HandleFunc(wire.PathNodeCheckpoint, s.handleNodeCheckpoint)
+	mux.HandleFunc(wire.PathNodeSnapshot, s.handleNodeSnapshot)
+	mux.HandleFunc(wire.PathNodeStatus, s.handleNodeStatus)
+	mux.HandleFunc(wire.PathNodeMachines, s.handleNodeMachines)
+	mux.HandleFunc(wire.PathNodeAccesses, s.handleNodeAccesses)
+}
+
+// writeNodeError maps a node-plane error onto the wire with the same stable
+// code vocabulary as the transaction path, without touching the transaction
+// counters — coordination failures are not client traffic.
+func writeNodeError(w http.ResponseWriter, err error) {
+	code := wire.CodeOf(err)
+	if errors.Is(err, errBadNodeRequest) {
+		code = wire.CodeBadRequest
+	} else if code == wire.CodeTxn {
+		// The node plane executes no transactions; anything that is not a
+		// typed engine refusal is a coordination failure.
+		code = wire.CodeInternal
+	}
+	writeResponse(w, wire.Response{Status: wire.StatusOf(code), Code: code, Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeNodeJSON reads a small JSON request body, refusing non-POSTs.
+func decodeNodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "server: POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, wire.MaxFrame)).Decode(v); err != nil {
+		writeNodeError(w, fmt.Errorf("%w: decoding request: %v", errBadNodeRequest, err))
+		return false
+	}
+	return true
+}
+
+// errBadNodeRequest maps malformed node-plane bodies to CodeBadRequest.
+var errBadNodeRequest = errors.New("server: bad node request")
+
+// handleNodeMove executes a same-node MoveBuckets: both partitions are
+// hosted here, so the node runs the full in-process migration protocol.
+func (s *Server) handleNodeMove(w http.ResponseWriter, r *http.Request) {
+	var req wire.NodeMove
+	if !decodeNodeJSON(w, r, &req) {
+		return
+	}
+	perRow := time.Duration(req.PerRowNs)
+	overhead := time.Duration(req.OverheadNs)
+	var (
+		rows int
+		err  error
+	)
+	if req.Rollback {
+		rows, err = s.cfg.Engine.MoveBucketsRollback(req.Buckets, req.From, req.To, perRow, overhead)
+	} else {
+		rows, err = s.cfg.Engine.MoveBuckets(req.Buckets, req.From, req.To, perRow, overhead)
+	}
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	writeJSON(w, wire.NodeRows{Rows: rows})
+}
+
+// handleNodeExtract pulls a chunk out of a hosted source partition and
+// streams it back; local ownership flips to the destination as part of the
+// extract, exactly like the in-process protocol's source half.
+func (s *Server) handleNodeExtract(w http.ResponseWriter, r *http.Request) {
+	var req wire.NodeMove
+	if !decodeNodeJSON(w, r, &req) {
+		return
+	}
+	data, err := s.cfg.Engine.ExtractBuckets(req.Buckets, req.From, req.To,
+		time.Duration(req.PerRowNs), time.Duration(req.OverheadNs), req.Rollback)
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	meta, frames, err := wire.ChunkFromBucketData(data)
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", wire.ContentTypeChunk)
+	var buf bytes.Buffer
+	if err := wire.WriteChunkStream(&buf, meta, frames); err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleNodeInstall merges an incoming chunk into a hosted destination
+// partition (body: one NodeMove frame, then the chunk stream) and flips
+// local ownership after the install lands. The installed buckets immediately
+// get a fresh recovery baseline: their command history lives on the node
+// they executed on, so the image itself is the correct recovery point here.
+func (s *Server) handleNodeInstall(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "server: POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req wire.NodeMove
+	if err := wire.DecodeFrame(r.Body, &req); err != nil {
+		writeNodeError(w, fmt.Errorf("%w: decoding move frame: %v", errBadNodeRequest, err))
+		return
+	}
+	_, frames, err := wire.ReadChunkStream(r.Body)
+	if err != nil {
+		writeNodeError(w, fmt.Errorf("%w: %v", errBadNodeRequest, err))
+		return
+	}
+	data, err := wire.BucketDataFromChunk(frames, s.cfg.Node.DecodeRow)
+	if err != nil {
+		writeNodeError(w, fmt.Errorf("%w: %v", errBadNodeRequest, err))
+		return
+	}
+	rows, err := s.cfg.Engine.InstallBuckets(req.Buckets, data, req.To,
+		time.Duration(req.PerRowNs), time.Duration(req.OverheadNs))
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	if rm := s.cfg.Node.Recovery; rm != nil {
+		if _, err := rm.CheckpointPartition(req.To); err != nil {
+			writeNodeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, wire.NodeRows{Rows: rows})
+}
+
+// handleNodeFlip applies a coordinator's ownership broadcast.
+func (s *Server) handleNodeFlip(w http.ResponseWriter, r *http.Request) {
+	var req wire.NodeFlip
+	if !decodeNodeJSON(w, r, &req) {
+		return
+	}
+	if err := s.cfg.Engine.ApplyOwnership(req.Buckets, req.Owner); err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+// nodeRecovery returns the node's recovery manager or a typed error.
+func (s *Server) nodeRecovery() (*recovery.Manager, error) {
+	if rm := s.cfg.Node.Recovery; rm != nil {
+		return rm, nil
+	}
+	return nil, errors.New("server: node has no recovery manager attached")
+}
+
+// handleNodeCrash fences a hosted machine.
+func (s *Server) handleNodeCrash(w http.ResponseWriter, r *http.Request) {
+	var req wire.NodeMachine
+	if !decodeNodeJSON(w, r, &req) {
+		return
+	}
+	rm, err := s.nodeRecovery()
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	if !s.cfg.Engine.Hosted(req.Machine) {
+		writeNodeError(w, fmt.Errorf("%w: machine %d", store.ErrNotOwned, req.Machine))
+		return
+	}
+	if err := rm.Crash(req.Machine); err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+// handleNodeRestore rebuilds a hosted machine from the node-local
+// checkpoint and command log.
+func (s *Server) handleNodeRestore(w http.ResponseWriter, r *http.Request) {
+	var req wire.NodeMachine
+	if !decodeNodeJSON(w, r, &req) {
+		return
+	}
+	rm, err := s.nodeRecovery()
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	if !s.cfg.Engine.Hosted(req.Machine) {
+		writeNodeError(w, fmt.Errorf("%w: machine %d", store.ErrNotOwned, req.Machine))
+		return
+	}
+	st, err := rm.Restore(req.Machine)
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	writeJSON(w, wire.NodeRestoreResult{
+		Machine:    st.Machine,
+		Partitions: st.Partitions,
+		Snapshots:  st.Snapshots,
+		Replayed:   st.Replayed,
+		DowntimeMs: st.Downtime.Milliseconds(),
+	})
+}
+
+// handleNodeCheckpoint installs a fresh baseline on every live hosted
+// partition.
+func (s *Server) handleNodeCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "server: POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	rm, err := s.nodeRecovery()
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	n, err := rm.Checkpoint()
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	writeJSON(w, wire.NodeRows{Rows: n})
+}
+
+// handleNodeSnapshot streams one partition's fuzzy-checkpoint image as a
+// chunk stream whose frames carry per-bucket LSNs.
+func (s *Server) handleNodeSnapshot(w http.ResponseWriter, r *http.Request) {
+	part, err := strconv.Atoi(r.URL.Query().Get("part"))
+	if err != nil {
+		writeNodeError(w, fmt.Errorf("%w: bad part %q", errBadNodeRequest, r.URL.Query().Get("part")))
+		return
+	}
+	snaps, err := s.cfg.Engine.SnapshotPartition(part)
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	meta := wire.ChunkMeta{Buckets: len(snaps)}
+	frames := make([]wire.BucketFrame, 0, len(snaps))
+	for _, sn := range snaps {
+		f, err := wire.FrameFromSnapshot(sn)
+		if err != nil {
+			writeNodeError(w, err)
+			return
+		}
+		meta.Rows += f.Rows
+		frames = append(frames, f)
+	}
+	w.Header().Set("Content-Type", wire.ContentTypeChunk)
+	var buf bytes.Buffer
+	if err := wire.WriteChunkStream(&buf, meta, frames); err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleNodeStatus serves the node's self-description: identity, geometry,
+// hosted machines, plan and load — the coordinator's bootstrap and poll
+// surface.
+func (s *Server) handleNodeStatus(w http.ResponseWriter, r *http.Request) {
+	eng := s.cfg.Engine
+	cfg := eng.Config()
+	writeJSON(w, wire.NodeStatus{
+		Node:                 s.cfg.Node.ID,
+		Nodes:                s.cfg.Node.Nodes,
+		MaxMachines:          cfg.MaxMachines,
+		PartitionsPerMachine: cfg.PartitionsPerMachine,
+		Buckets:              cfg.Buckets,
+		InitialMachines:      cfg.InitialMachines,
+		Hosted:               eng.HostedMachines(),
+		Active:               eng.ActiveMachines(),
+		Plan:                 eng.Plan(),
+		DownMachines:         eng.DownMachines(),
+		TotalRows:            eng.TotalRows(),
+		Counters:             eng.Counters(),
+		MaxSojournNs:         eng.MaxQueueSojourn().Nanoseconds(),
+	})
+}
+
+// handleNodeMachines sets the active machine count.
+func (s *Server) handleNodeMachines(w http.ResponseWriter, r *http.Request) {
+	var req wire.NodeActive
+	if !decodeNodeJSON(w, r, &req) {
+		return
+	}
+	if err := s.cfg.Engine.SetActiveMachines(req.Active); err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+// handleNodeAccesses reports (and optionally resets) per-bucket access
+// counts — the skew signal a coordinator-side rebalance pass aggregates.
+func (s *Server) handleNodeAccesses(w http.ResponseWriter, r *http.Request) {
+	var req wire.NodeAccessesReq
+	if !decodeNodeJSON(w, r, &req) {
+		return
+	}
+	writeJSON(w, wire.NodeAccesses{Accesses: s.cfg.Engine.BucketAccesses(req.Reset)})
+}
+
+// forward relays a transaction refused with ErrNotOwned to the node hosting
+// its destination partition, stamping the hop count so a mid-flip routing
+// disagreement degrades into a bounded bounce instead of a loop. The peer's
+// response passes through verbatim — success, transaction error or refusal
+// alike — so the client sees exactly what the hosting node decided.
+func (s *Server) forward(ctx context.Context, req wire.Request, hops int, refusal error) wire.Response {
+	nc := s.cfg.Node
+	if nc.PeerURL == nil {
+		return s.failure(req, refusal)
+	}
+	if hops >= maxForwardHops {
+		return s.errResponse(wire.CodeInternal,
+			fmt.Sprintf("server: %q still not owned after %d forwards: %v", req.Txn, hops, refusal), 0)
+	}
+	part := s.cfg.Engine.PartitionOfKey(req.Key)
+	node := nc.NodeOf(s.cfg.Engine.MachineOfPartition(part))
+	if node == nc.ID {
+		// Our own plan routes the key here yet the engine refused: the flip
+		// raced the lookup. Surface the transient refusal; the client retries.
+		return s.failure(req, refusal)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return s.errResponse(wire.CodeInternal, fmt.Sprintf("server: encoding forward: %v", err), 0)
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, nc.PeerURL(node)+wire.PathTxn, bytes.NewReader(body))
+	if err != nil {
+		return s.errResponse(wire.CodeInternal, fmt.Sprintf("server: building forward: %v", err), 0)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set(wire.HeaderForwarded, strconv.Itoa(hops+1))
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		hr.Header.Set(wire.HeaderDeadlineMs, strconv.FormatInt(ms, 10))
+	}
+	resp, err := s.fwd.Do(hr)
+	if err != nil {
+		return s.errResponse(wire.CodeInternal,
+			fmt.Sprintf("server: forwarding %q to node %d: %v", req.Txn, node, err), 0)
+	}
+	defer resp.Body.Close()
+	var out wire.Response
+	if err := json.NewDecoder(io.LimitReader(resp.Body, wire.MaxFrame)).Decode(&out); err != nil {
+		return s.errResponse(wire.CodeInternal,
+			fmt.Sprintf("server: decoding forward reply from node %d: %v", node, err), 0)
+	}
+	s.forwarded.Add(1)
+	return out
+}

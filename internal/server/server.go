@@ -65,6 +65,10 @@ type Config struct {
 	// IdleTimeout closes keep-alive connections idle this long. Zero
 	// means 2 minutes.
 	IdleTimeout time.Duration
+	// Node, when set, turns this server into one node of a multi-process
+	// cluster: the /v1/node/* endpoints are served and transactions for
+	// partitions hosted elsewhere are forwarded to their hosting peer.
+	Node *NodeConfig
 }
 
 // Counters are the server's cumulative wire-level counts.
@@ -88,6 +92,9 @@ type Counters struct {
 	Down503     int64
 	BadRequests int64
 	Internal    int64
+	// Forwarded counts transactions relayed to their hosting peer
+	// (multi-process mode only).
+	Forwarded int64
 }
 
 // Server fronts one engine. Create with New, run with Serve, stop with
@@ -113,6 +120,10 @@ type Server struct {
 	down503     atomic.Int64
 	badRequests atomic.Int64
 	internal    atomic.Int64
+	forwarded   atomic.Int64
+
+	// fwd relays not-owned transactions to hosting peers in node mode.
+	fwd *http.Client
 }
 
 // New builds a server over a started engine. The engine's transaction
@@ -146,6 +157,15 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc(wire.PathInfo, s.handleInfo)
 	mux.HandleFunc(wire.PathHealth, s.handleHealth)
 	mux.HandleFunc(wire.PathShutdown, s.handleShutdown)
+	if cfg.Node != nil {
+		if err := cfg.Node.validate(); err != nil {
+			return nil, err
+		}
+		s.fwd = &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: 16, IdleConnTimeout: 30 * time.Second},
+		}
+		s.registerNodeHandlers(mux)
+	}
 	s.httpSrv = &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
@@ -197,13 +217,15 @@ func (s *Server) Counters() Counters {
 		Down503:     s.down503.Load(),
 		BadRequests: s.badRequests.Load(),
 		Internal:    s.internal.Load(),
+		Forwarded:   s.forwarded.Load(),
 	}
 }
 
 // execute runs one wire request through the engine and shapes the wire
 // response. It never returns transport errors — every outcome, success or
-// failure, is a Response.
-func (s *Server) execute(ctx context.Context, req wire.Request) wire.Response {
+// failure, is a Response. hops is how many node-to-node forwards the request
+// has already taken (0 for a client-originated request).
+func (s *Server) execute(ctx context.Context, req wire.Request, hops int) wire.Response {
 	id, ok := s.handles[req.Txn]
 	if !ok {
 		return s.failure(req, fmt.Errorf("%w: %q", store.ErrUnknownTxn, req.Txn))
@@ -227,6 +249,9 @@ func (s *Server) execute(ctx context.Context, req wire.Request) wire.Response {
 		// rejected offered load.
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 			return s.failure(req, fmt.Errorf("%w: %v", store.ErrDeadlineExceeded, err))
+		}
+		if errors.Is(err, store.ErrNotOwned) && s.cfg.Node != nil {
+			return s.forward(ctx, req, hops, err)
 		}
 		return s.failure(req, err)
 	}
@@ -344,7 +369,21 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	writeResponse(w, s.execute(ctx, req))
+	writeResponse(w, s.execute(ctx, req, forwardHops(r)))
+}
+
+// forwardHops reads the forwarding hop count a peer node stamped on the
+// request (0 when absent or unparsable — i.e. client-originated).
+func forwardHops(r *http.Request) int {
+	h := r.Header.Get(wire.HeaderForwarded)
+	if h == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(h)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // handleBatch executes a length-prefixed batch: frames are decoded
@@ -385,13 +424,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.frames.Add(int64(len(reqs)))
 
+	hops := forwardHops(r)
 	resps := make([]wire.Response, len(reqs))
 	var wg sync.WaitGroup
 	for i := range reqs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resps[i] = s.execute(ctx, reqs[i])
+			resps[i] = s.execute(ctx, reqs[i], hops)
 		}(i)
 	}
 	wg.Wait()

@@ -17,6 +17,7 @@ import (
 	"pstore/internal/metrics"
 	"pstore/internal/migration"
 	"pstore/internal/store"
+	"pstore/internal/transport"
 )
 
 // Config tunes migration aggressiveness — the paper's chunk-size and
@@ -91,9 +92,13 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Executor performs live reconfigurations against an engine.
+// Executor performs live reconfigurations against a node boundary: a
+// *store.Engine in single-process mode, or a networked topology
+// (transport.Remote) whose MoveBuckets decomposes into chunk RPCs between
+// node processes. The executor itself is placement-oblivious — schedule,
+// chunking, retry and rollback logic are identical either way.
 type Executor struct {
-	eng *store.Engine
+	eng transport.Node
 	cfg Config
 
 	mu         sync.Mutex // serializes reconfigurations
@@ -161,8 +166,10 @@ func (e *MoveError) Error() string {
 // Unwrap exposes the abort cause to errors.Is/As.
 func (e *MoveError) Unwrap() error { return e.Cause }
 
-// NewExecutor returns a migration executor for the engine.
-func NewExecutor(eng *store.Engine, cfg Config) (*Executor, error) {
+// NewExecutor returns a migration executor for a node boundary — a
+// *store.Engine for single-process mode, or any transport.Node (e.g. a
+// networked topology) for multi-process mode.
+func NewExecutor(eng transport.Node, cfg Config) (*Executor, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

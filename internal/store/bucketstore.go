@@ -36,6 +36,56 @@ func (d BucketData) Buckets() []int {
 	return out
 }
 
+// NewBucketData returns an empty bundle ready for AddRow — the decode side
+// of the wire representation of a migrating chunk.
+func NewBucketData() BucketData {
+	return BucketData{data: make(map[int]tableMap), rows: make(map[int]int)}
+}
+
+// AddRow adds one row to the bundle under (bucket, table, key). Later adds
+// win on key collision, matching install semantics.
+func (d BucketData) AddRow(bucket int, table, key string, row any) {
+	b := d.data[bucket]
+	if b == nil {
+		b = make(tableMap)
+		d.data[bucket] = b
+	}
+	t := b[table]
+	if t == nil {
+		t = make(map[string]any)
+		b[table] = t
+	}
+	if _, exists := t[key]; !exists {
+		d.rows[bucket]++
+	}
+	t[key] = row
+}
+
+// ForEachRow visits every row carried by the bundle in deterministic order
+// (bucket, then table name, then key, all ascending) — the encode side of
+// the wire representation, ordered so serialized chunks are byte-stable.
+func (d BucketData) ForEachRow(fn func(bucket int, table, key string, row any)) {
+	for _, b := range d.Buckets() {
+		tables := d.data[b]
+		names := make([]string, 0, len(tables))
+		for tn := range tables {
+			names = append(names, tn)
+		}
+		sort.Strings(names)
+		for _, tn := range names {
+			t := tables[tn]
+			keys := make([]string, 0, len(t))
+			for k := range t {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fn(b, tn, k, t[k])
+			}
+		}
+	}
+}
+
 // bucketStore is a partition's data plane: the rows of every bucket the
 // partition owns, plus per-bucket row counts maintained incrementally. It is
 // confined to the owning executor goroutine — no locking.

@@ -48,6 +48,14 @@ type Config struct {
 	// behavior where a saturated data backlog starves the scale-out escape
 	// hatch, so tests can prove the lane is what prevents the starvation.
 	DisableCtlLane bool
+	// HostedMachines restricts this engine instance to a subset of the
+	// cluster's machines in multi-process mode: transactions routed to a
+	// partition of a non-hosted machine fail with ErrNotOwned instead of
+	// executing, and their bucket data never lives here. All partitions
+	// still exist (ids are cluster-global) so the plan, migration schedule
+	// and fault decisions stay identical to single-process mode. Nil or
+	// empty hosts every machine — the single-process reference oracle.
+	HostedMachines []int
 }
 
 // DefaultConfig returns a configuration suitable for tests and examples: a
@@ -87,6 +95,11 @@ func (c Config) Validate() error {
 	}
 	if err := c.Overload.Validate(); err != nil {
 		return err
+	}
+	for _, m := range c.HostedMachines {
+		if m < 0 || m >= c.MaxMachines {
+			return fmt.Errorf("store: HostedMachines entry %d must be in [0, %d)", m, c.MaxMachines)
+		}
 	}
 	return nil
 }

@@ -98,6 +98,12 @@ type Engine struct {
 	started atomic.Bool
 	stopped atomic.Bool
 
+	// hosted[m] reports whether machine m's partitions execute transactions
+	// on this engine instance; hostedAll short-circuits the check in
+	// single-process mode so the hot path pays one predictable branch.
+	hosted    []bool
+	hostedAll bool
+
 	activeMachines atomic.Int32
 	submitted      atomic.Int64
 	completed      atomic.Int64
@@ -126,6 +132,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 		handles:     make(map[string]TxnID),
 		svcOverride: make(map[string]time.Duration),
 		ol:          newOverloadRuntime(cfg.Overload),
+	}
+	e.hosted = make([]bool, cfg.MaxMachines)
+	if len(cfg.HostedMachines) == 0 {
+		e.hostedAll = true
+		for m := range e.hosted {
+			e.hosted[m] = true
+		}
+	} else {
+		for _, m := range cfg.HostedMachines {
+			e.hosted[m] = true
+		}
 	}
 	total := cfg.MaxMachines * cfg.PartitionsPerMachine
 	e.parts = make([]*partition, total)
@@ -278,6 +295,12 @@ func (e *Engine) forward(r *txnRequest) {
 		return
 	}
 	dest := e.parts[e.ownerOf(int(r.bucket))]
+	if !e.hostedAll && !e.hosted[dest.id/e.cfg.PartitionsPerMachine] {
+		// Ownership migrated off this node mid-flight; the caller (the node's
+		// HTTP front end) re-routes to the new owner's node.
+		r.reply <- txnResult{err: notOwnedError(dest.id)}
+		return
+	}
 	select {
 	case dest.ch <- request{txn: r}:
 	default:
@@ -337,6 +360,12 @@ func (e *Engine) executeID(done <-chan struct{}, ctxErr func() error, id TxnID, 
 	}
 	bucket := e.bucketOf(key)
 	dest := e.parts[e.ownerOf(bucket)]
+	if !e.hostedAll && !e.hosted[dest.id/e.cfg.PartitionsPerMachine] {
+		// Not counted as submitted: the owning node will count it when the
+		// front end forwards the request there, so cluster-wide counters sum
+		// each transaction exactly once.
+		return nil, notOwnedError(dest.id)
+	}
 	if e.ol.enabled {
 		if err := e.admit(dest); err != nil {
 			e.submitted.Add(1)
@@ -444,6 +473,16 @@ func (e *Engine) moveBuckets(buckets []int, from, to int, perRow, overhead time.
 	}
 	if from < 0 || from >= len(e.parts) || to < 0 || to >= len(e.parts) {
 		return 0, fmt.Errorf("store: partition out of range (%d -> %d)", from, to)
+	}
+	if !e.hostedAll {
+		// A direct move needs both endpoints on this node; cross-node chunks
+		// go through ExtractBuckets/InstallBuckets instead.
+		if !e.hosted[from/e.cfg.PartitionsPerMachine] {
+			return 0, notOwnedError(from)
+		}
+		if !e.hosted[to/e.cfg.PartitionsPerMachine] {
+			return 0, notOwnedError(to)
+		}
 	}
 	for _, b := range buckets {
 		if own := e.ownerOf(b); own != from {

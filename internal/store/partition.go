@@ -163,6 +163,8 @@ func (p *partition) handle(req request) {
 		switch req.ctl.kind {
 		case ctlMoveOut:
 			p.moveOut(req.ctl)
+		case ctlExtract:
+			p.extractOut(req.ctl)
 		case ctlInstall:
 			p.install(req.ctl)
 		case ctlCrash:
@@ -327,6 +329,29 @@ func (p *partition) moveOut(r *ctlRequest) {
 		return
 	}
 	p.eng.setOwner(r.buckets, r.dest.id)
+}
+
+// extractOut is the cross-node half of moveOut: it extracts the buckets,
+// pays the full send cost and flips ownership to the (remote) destination
+// partition, but returns the data to the caller instead of enqueueing an
+// install — the chunk travels over the wire to another engine instance.
+// Once the flip is visible, transactions routed here fail with ErrNotOwned
+// (the destination machine is not hosted on this engine) and the node's
+// front end re-routes them to the destination's node, where they queue
+// behind the install exactly as forwarded transactions do in-process.
+func (p *partition) extractOut(r *ctlRequest) {
+	if p.down.Load() && !r.rollback {
+		r.done <- moveResult{err: partitionDownError(p.id)}
+		return
+	}
+	data := p.store.extract(r.buckets)
+	rows := data.Rows()
+	if cost := r.overhead + time.Duration(rows)*r.perRow; cost > 0 {
+		time.Sleep(cost)
+	}
+	atomic.AddInt64(&p.rowsAtomic, -int64(rows))
+	p.eng.setOwner(r.buckets, r.dest.id)
+	r.done <- moveResult{rows: rows, data: data}
 }
 
 // install merges migrated buckets into this partition's data. It proceeds

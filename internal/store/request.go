@@ -67,6 +67,11 @@ const (
 	ctlSnapshot
 	// ctlRestore rebuilds a down partition from snapshots + command replay.
 	ctlRestore
+	// ctlExtract is the cross-node half of a moveOut: extract the buckets,
+	// pay the full send cost, flip ownership to the (remote) destination
+	// partition and return the data to the caller instead of enqueueing an
+	// install — the data travels over the wire to another engine instance.
+	ctlExtract
 )
 
 // ctlRequest is a migration step processed by a partition executor. A
@@ -104,5 +109,7 @@ type moveResult struct {
 	rows int
 	// snaps carries a snapshot reply.
 	snaps []BucketSnapshot
-	err   error
+	// data carries an extract reply (cross-node move).
+	data BucketData
+	err  error
 }

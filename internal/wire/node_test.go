@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"pstore/internal/store"
+)
+
+type testRow struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+}
+
+func decodeTestRow(table string, raw json.RawMessage) (any, error) {
+	var r testRow
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// TestChunkRoundTrip pushes a BucketData bundle through the full wire path —
+// serialize, frame, unframe, decode — and checks the rebuilt bundle carries
+// the same rows with their concrete types restored.
+func TestChunkRoundTrip(t *testing.T) {
+	d := store.NewBucketData()
+	for b := 0; b < 3; b++ {
+		for i := 0; i < 4; i++ {
+			key := fmt.Sprintf("k%d-%d", b, i)
+			d.AddRow(b*7, "T", key, &testRow{Name: key, N: i})
+		}
+	}
+	d.AddRow(21, "U", "only", &testRow{Name: "only", N: 99})
+
+	meta, frames, err := ChunkFromBucketData(d)
+	if err != nil {
+		t.Fatalf("ChunkFromBucketData: %v", err)
+	}
+	if meta.Rows != d.Rows() {
+		t.Fatalf("meta rows %d, want %d", meta.Rows, d.Rows())
+	}
+	var buf bytes.Buffer
+	if err := WriteChunkStream(&buf, meta, frames); err != nil {
+		t.Fatalf("WriteChunkStream: %v", err)
+	}
+	gotMeta, gotFrames, err := ReadChunkStream(&buf)
+	if err != nil {
+		t.Fatalf("ReadChunkStream: %v", err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta round trip: got %+v, want %+v", gotMeta, meta)
+	}
+	rebuilt, err := BucketDataFromChunk(gotFrames, decodeTestRow)
+	if err != nil {
+		t.Fatalf("BucketDataFromChunk: %v", err)
+	}
+	if rebuilt.Rows() != d.Rows() {
+		t.Fatalf("rebuilt rows %d, want %d", rebuilt.Rows(), d.Rows())
+	}
+	if got, want := rebuilt.Buckets(), d.Buckets(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rebuilt buckets %v, want %v", got, want)
+	}
+	rebuilt.ForEachRow(func(bucket int, table, key string, row any) {
+		r, ok := row.(*testRow)
+		if !ok {
+			t.Fatalf("row %s/%s decoded as %T, want *testRow", table, key, row)
+		}
+		if r.Name != key {
+			t.Fatalf("row %s/%s carries name %q", table, key, r.Name)
+		}
+	})
+}
+
+// TestChunkStreamDeterministic asserts the serialized bytes of a chunk are
+// stable across encodings — map iteration order must not leak into the wire.
+func TestChunkStreamDeterministic(t *testing.T) {
+	build := func() []byte {
+		d := store.NewBucketData()
+		for b := 0; b < 5; b++ {
+			for i := 0; i < 10; i++ {
+				d.AddRow(b, "T", fmt.Sprintf("k%d", i), &testRow{Name: "x", N: i})
+			}
+		}
+		meta, frames, err := ChunkFromBucketData(d)
+		if err != nil {
+			t.Fatalf("ChunkFromBucketData: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteChunkStream(&buf, meta, frames); err != nil {
+			t.Fatalf("WriteChunkStream: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same chunk differ")
+	}
+}
+
+// TestChunkStreamTruncation: a chunk stream cut anywhere must surface as a
+// typed transport error, never as silently partial data.
+func TestChunkStreamTruncation(t *testing.T) {
+	d := store.NewBucketData()
+	d.AddRow(1, "T", "a", &testRow{Name: "a"})
+	d.AddRow(2, "T", "b", &testRow{Name: "b"})
+	meta, frames, err := ChunkFromBucketData(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChunkStream(&buf, meta, frames); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, _, err := ReadChunkStream(bytes.NewReader(full[:n])); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d/%d: got %v, want io.ErrUnexpectedEOF", n, len(full), err)
+		}
+	}
+	if _, _, err := ReadChunkStream(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full stream: %v", err)
+	}
+}
+
+// TestSnapshotFrameRoundTrip covers the snapshot leg: LSNs and row counts
+// survive, and rows come back typed.
+func TestSnapshotFrameRoundTrip(t *testing.T) {
+	s := store.BucketSnapshot{
+		Bucket: 9,
+		Rows:   2,
+		LSN:    42,
+		Tables: map[string]map[string]any{
+			"T": {"a": &testRow{Name: "a", N: 1}, "b": &testRow{Name: "b", N: 2}},
+		},
+	}
+	f, err := FrameFromSnapshot(s)
+	if err != nil {
+		t.Fatalf("FrameFromSnapshot: %v", err)
+	}
+	got, err := SnapshotFromFrame(f, decodeTestRow)
+	if err != nil {
+		t.Fatalf("SnapshotFromFrame: %v", err)
+	}
+	if got.Bucket != s.Bucket || got.Rows != s.Rows || got.LSN != s.LSN {
+		t.Fatalf("snapshot header round trip: got %+v", got)
+	}
+	r, ok := got.Tables["T"]["a"].(*testRow)
+	if !ok || r.N != 1 {
+		t.Fatalf("snapshot row decoded as %T %v", got.Tables["T"]["a"], got.Tables["T"]["a"])
+	}
+}
+
+// TestNotOwnedCodeMapping pins the new code's wire identity: engine error →
+// code → HTTP status → sentinel must compose back to store.ErrNotOwned.
+func TestNotOwnedCodeMapping(t *testing.T) {
+	err := fmt.Errorf("wrapped: %w", store.ErrNotOwned)
+	code := CodeOf(err)
+	if code != CodeNotOwned {
+		t.Fatalf("CodeOf: got %q, want %q", code, CodeNotOwned)
+	}
+	if got := StatusOf(code); got != 503 {
+		t.Fatalf("StatusOf: got %d, want 503", got)
+	}
+	if !errors.Is(SentinelOf(code), store.ErrNotOwned) {
+		t.Fatalf("SentinelOf(%q) = %v", code, SentinelOf(code))
+	}
+}

@@ -36,6 +36,9 @@ const (
 const (
 	HeaderDeadlineMs   = "X-Pstore-Deadline-Ms"
 	HeaderRetryAfterMs = "X-Pstore-Retry-After-Ms"
+	// HeaderForwarded counts node-to-node forwarding hops on a transaction
+	// request, capping forwarding loops while plans are mid-flip.
+	HeaderForwarded = "X-Pstore-Forwarded"
 )
 
 // ContentTypeBatch marks a length-prefixed binary batch body.
@@ -95,6 +98,10 @@ const (
 	// CodeTxn: the procedure executed and returned an application error —
 	// a business outcome, not a transport failure (HTTP 422).
 	CodeTxn = "txn_error"
+	// CodeNotOwned: the partition targeted is not hosted on this node —
+	// transient during an ownership flip, so HTTP 503 with a retry hint; a
+	// node front end with peers forwards instead of refusing.
+	CodeNotOwned = "not_owned"
 	// CodeInternal: any other engine error (HTTP 500).
 	CodeInternal = "internal"
 )
@@ -114,6 +121,8 @@ func CodeOf(err error) string {
 		return CodeUnknownTxn
 	case errors.Is(err, store.ErrStopped):
 		return CodeStopped
+	case errors.Is(err, store.ErrNotOwned):
+		return CodeNotOwned
 	default:
 		return CodeTxn
 	}
@@ -128,7 +137,7 @@ func StatusOf(code string) int {
 		return 429
 	case CodeDeadline:
 		return 504
-	case CodePartitionDown, CodeStopped:
+	case CodePartitionDown, CodeStopped, CodeNotOwned:
 		return 503
 	case CodeUnknownTxn, CodeBadRequest:
 		return 400
@@ -155,6 +164,8 @@ func SentinelOf(code string) error {
 		return store.ErrUnknownTxn
 	case CodeStopped:
 		return store.ErrStopped
+	case CodeNotOwned:
+		return store.ErrNotOwned
 	default:
 		return nil
 	}

@@ -1005,17 +1005,50 @@ type benchRecoveryResult struct {
 type benchRecoveryScenario struct {
 	// LogTail is how many transactions ran between the checkpoint and the
 	// crash; Replayed is how many of them landed on the crashed machine's
-	// buckets and had to be replayed.
-	LogTail      int     `json:"log_tail_txns"`
-	Replayed     int     `json:"replayed_commands"`
-	CheckpointMs float64 `json:"checkpoint_ms"`
-	RecoveryMs   float64 `json:"recovery_ms"`
+	// buckets and had to be replayed. The Disk* columns are the same scenario
+	// against the on-disk WAL: recovery reads segment and image files, and
+	// DiskLogTailBytes is how many bytes of log sat on disk at crash time.
+	LogTail          int     `json:"log_tail_txns"`
+	Replayed         int     `json:"replayed_commands"`
+	CheckpointMs     float64 `json:"checkpoint_ms"`
+	RecoveryMs       float64 `json:"recovery_ms"`
+	DiskCheckpointMs float64 `json:"disk_checkpoint_ms"`
+	DiskRecoveryMs   float64 `json:"disk_recovery_ms"`
+	DiskLogTailBytes int64   `json:"disk_log_tail_bytes"`
 }
 
-// runBenchRecovery crashes and recovers a machine on a loaded engine with
-// increasingly stale checkpoints. The key layout is deterministic, so the
-// numbers are reproducible run to run.
-func runBenchRecovery(out string) error {
+// benchRecoveryTails are the log-tail sizes each recovery pass measures.
+var benchRecoveryTails = []int{0, 5_000, 20_000}
+
+// benchParallelPut writes n rows from 12 concurrent submitters. Keys are
+// distinct within one call, so the final values are deterministic; the
+// concurrency is what lets the disk store's group commit amortize fsyncs the
+// way live traffic would.
+func benchParallelPut(eng *store.Engine, n int, key func(int) string, val func(int) any) error {
+	const submitters = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters)
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += submitters {
+				if _, err := eng.Execute("put", key(i), val(i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// benchRecoveryPass runs the checkpoint / crash / restore scenarios against
+// one recovery configuration (in-memory oracle or disk-backed WAL) and
+// returns one measurement per tail size.
+func benchRecoveryPass(rcfg recovery.Config, rows int) ([]benchRecoveryScenario, int64, error) {
 	cfg := store.Config{
 		MaxMachines:          2,
 		PartitionsPerMachine: 2,
@@ -1026,62 +1059,97 @@ func runBenchRecovery(out string) error {
 	}
 	eng, err := store.NewEngine(cfg)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	if err := eng.Register("put", func(tx *store.Tx) (any, error) {
 		return nil, tx.Put("kv", tx.Key, tx.Args)
 	}); err != nil {
-		return err
+		return nil, 0, err
 	}
-	rm := recovery.NewManager(eng)
+	rm, err := recovery.New(eng, rcfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer rm.Close()
 	eng.Start()
 	defer eng.Stop()
-	const rows = 20_000
-	for i := 0; i < rows; i++ {
-		if _, err := eng.Execute("put", fmt.Sprintf("rec-key-%05d", i), i); err != nil {
-			return err
-		}
+	key := func(i int) string { return fmt.Sprintf("rec-key-%05d", i%rows) }
+	if err := benchParallelPut(eng, rows, key, func(i int) any { return i }); err != nil {
+		return nil, 0, err
 	}
 
-	res := benchRecoveryResult{
-		Benchmark: "crash_recovery",
-		GoVersion: runtime.Version(),
-		Rows:      rows,
-		Machines:  cfg.MaxMachines,
-	}
-	for _, tail := range []int{0, 5_000, 20_000} {
+	var scenarios []benchRecoveryScenario
+	for _, tail := range benchRecoveryTails {
 		ckStart := time.Now()
 		if _, err := rm.Checkpoint(); err != nil {
-			return err
+			return nil, 0, err
 		}
 		ckMs := float64(time.Since(ckStart).Microseconds()) / 1000
 		// The post-checkpoint tail rewrites existing rows, so every scenario
 		// recovers the same data set from a different image/log split.
-		for i := 0; i < tail; i++ {
-			if _, err := eng.Execute("put", fmt.Sprintf("rec-key-%05d", i%rows), i); err != nil {
-				return err
-			}
+		if err := benchParallelPut(eng, tail, key, func(i int) any { return i }); err != nil {
+			return nil, 0, err
 		}
+		logBytes := rm.LogBytes()
 		if err := rm.Crash(1); err != nil {
-			return err
+			return nil, 0, err
 		}
 		recStart := time.Now()
 		st, err := rm.Restore(1)
 		if err != nil {
-			return err
+			return nil, 0, err
 		}
 		recMs := float64(time.Since(recStart).Microseconds()) / 1000
 		if got := eng.TotalRows(); got != rows {
-			return fmt.Errorf("%d rows after recovery, want %d", got, rows)
+			return nil, 0, fmt.Errorf("%d rows after recovery, want %d", got, rows)
 		}
-		res.Scenarios = append(res.Scenarios, benchRecoveryScenario{
-			LogTail:      tail,
-			Replayed:     st.Replayed,
-			CheckpointMs: ckMs,
-			RecoveryMs:   recMs,
+		scenarios = append(scenarios, benchRecoveryScenario{
+			LogTail:          tail,
+			Replayed:         st.Replayed,
+			CheckpointMs:     ckMs,
+			RecoveryMs:       recMs,
+			DiskLogTailBytes: logBytes,
 		})
 	}
-	res.MaxReplayLag = rm.Stats().MaxReplayLag
+	if err := rm.Err(); err != nil {
+		return nil, 0, fmt.Errorf("recovery log latched an error: %w", err)
+	}
+	return scenarios, rm.Stats().MaxReplayLag, nil
+}
+
+// runBenchRecovery crashes and recovers a machine on a loaded engine with
+// increasingly stale checkpoints, once against the in-memory log and once
+// against the on-disk WAL. The key layout is deterministic, so the numbers
+// are reproducible run to run.
+func runBenchRecovery(out string) error {
+	const rows = 20_000
+	mem, maxLag, err := benchRecoveryPass(recovery.Config{}, rows)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "pstore-bench-recovery-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	disk, _, err := benchRecoveryPass(recovery.Config{DataDir: dir}, rows)
+	if err != nil {
+		return err
+	}
+
+	res := benchRecoveryResult{
+		Benchmark:    "crash_recovery",
+		GoVersion:    runtime.Version(),
+		Rows:         rows,
+		Machines:     2,
+		MaxReplayLag: maxLag,
+	}
+	for i, s := range mem {
+		s.DiskCheckpointMs = disk[i].CheckpointMs
+		s.DiskRecoveryMs = disk[i].RecoveryMs
+		s.DiskLogTailBytes = disk[i].DiskLogTailBytes
+		res.Scenarios = append(res.Scenarios, s)
+	}
 
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -1096,7 +1164,8 @@ func runBenchRecovery(out string) error {
 		return err
 	}
 	last := res.Scenarios[len(res.Scenarios)-1]
-	fmt.Printf("bench: recovery of %d rows: %.1f ms with a %d-txn log tail (%d replayed), max lag %d -> %s\n",
-		rows, last.RecoveryMs, last.LogTail, last.Replayed, res.MaxReplayLag, out)
+	fmt.Printf("bench: recovery of %d rows: %.1f ms mem / %.1f ms disk with a %d-txn log tail (%d replayed, %s on disk), max lag %d -> %s\n",
+		rows, last.RecoveryMs, last.DiskRecoveryMs, last.LogTail, last.Replayed,
+		byteCount(last.DiskLogTailBytes), res.MaxReplayLag, out)
 	return nil
 }

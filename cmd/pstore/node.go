@@ -27,6 +27,7 @@ type serveNodeConfig struct {
 	overloadSpec  string
 	listen        string
 	serveFor      time.Duration
+	dataDir       string
 }
 
 // runServeNode runs one partition-group node of a multi-process cluster: an
@@ -98,19 +99,38 @@ func runServeNode(cfg serveNodeConfig) error {
 	}
 	// The recovery manager attaches before Start so the bulk load is logged
 	// and the coordinator's crash plane works from the first transaction on.
-	rm := recovery.NewManager(eng)
+	// With -data-dir the log is the on-disk WAL and a restart of this node
+	// cold-starts from the directory instead of reloading the dataset.
+	rm, err := recovery.New(eng, recovery.Config{DataDir: cfg.dataDir})
+	if err != nil {
+		return err
+	}
+	defer rm.Close()
 	eng.Start()
 	defer eng.Stop()
 
 	spec := b2w.LoadSpec{Carts: 2400, Checkouts: 600, Stocks: 1200, LinesPerCart: 3, Seed: cfg.seed}
-	fmt.Fprintf(os.Stderr, "serve: node %d/%d hosting machines %v, loading dataset\n",
-		cfg.node, cfg.nodes, engCfg.HostedMachines)
-	if err := b2w.Load(eng, spec); err != nil {
-		return err
-	}
-	// Baseline checkpoint: restores replay only live traffic, not the load.
-	if _, err := rm.Checkpoint(); err != nil {
-		return err
+	if rm.HasColdState() {
+		fmt.Fprintf(os.Stderr, "serve: node %d/%d hosting machines %v, cold-starting from %s\n",
+			cfg.node, cfg.nodes, engCfg.HostedMachines, cfg.dataDir)
+		cs, err := rm.ColdStart()
+		if err != nil {
+			return fmt.Errorf("cold start from %s: %w", cfg.dataDir, err)
+		}
+		fmt.Fprintf(os.Stderr, "serve: cold start rebuilt %d machines / %d partitions: %d images, %d commands replayed, %s of log, in %v\n",
+			cs.Machines, cs.Partitions, cs.Snapshots, cs.Replayed, byteCount(cs.LogBytes),
+			cs.Duration.Round(time.Millisecond))
+	} else {
+		fmt.Fprintf(os.Stderr, "serve: node %d/%d hosting machines %v, loading dataset\n",
+			cfg.node, cfg.nodes, engCfg.HostedMachines)
+		if err := b2w.Load(eng, spec); err != nil {
+			return err
+		}
+		// Baseline checkpoint: restores replay only live traffic, not the
+		// load.
+		if _, err := rm.Checkpoint(); err != nil {
+			return err
+		}
 	}
 	if olCfg.Enabled() {
 		fmt.Fprintf(os.Stderr, "serve: overload plane armed: %s\n", olCfg)
@@ -163,6 +183,12 @@ func runServeNode(cfg serveNodeConfig) error {
 		fmt.Printf("recovery: %d crashes, %d recoveries, %d commands replayed (max lag %d), downtime %v, %d checkpoints\n",
 			rs.Crashes, rs.Recoveries, rs.ReplayedCommands, rs.MaxReplayLag,
 			rs.Downtime.Round(time.Millisecond), rs.Checkpoints)
+	}
+	if cfg.dataDir != "" {
+		fmt.Printf("durable log: %d records retained, %s on disk\n", rm.LogSize(), byteCount(rm.LogBytes()))
+		if err := rm.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: WARNING: durable log latched an error: %v\n", err)
+		}
 	}
 	return nil
 }

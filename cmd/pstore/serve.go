@@ -64,6 +64,7 @@ func runServe(args []string) error {
 	faultSpec := fs.String("faults", "", "fault-injection spec, e.g. seed=42,chunk-drop=0.05 (keys: seed, chunk-drop, chunk-slow, slow-delay, stall, stall-delay, crash-pair=F:T, crash-part=N)")
 	crashSpec := fs.String("crash", "", "machine-crash schedule, e.g. seed=42,rate=0.02,downtime=4,at=1@10+5 (keys: seed, rate, downtime, at=M@T[+D] in controller cycles)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint the recovery command log every N controller cycles (0 = 10 when -crash is set)")
+	dataDir := fs.String("data-dir", "", "durable storage directory: command log becomes an on-disk WAL with checkpoint images; an existing directory cold-starts the engine from disk instead of loading fresh data")
 	deadline := fs.Duration("deadline", 0, "per-request deadline arming admission control and queue-deadline enforcement (0 = off)")
 	overloadSpec := fs.String("overload", "", "overload-plane spec, e.g. deadline=50ms,target=5ms,interval=100ms,track=true (shorthand: -deadline)")
 	listen := fs.String("listen", "", "serve remote clients on this address (host:port) instead of driving the trace in-process")
@@ -88,6 +89,7 @@ func runServe(args []string) error {
 			initial: *initial, maxM: *maxM,
 			deadline: *deadline, overloadSpec: *overloadSpec,
 			listen: *listen, serveFor: *serveFor,
+			dataDir: *dataDir,
 		})
 	}
 
@@ -191,6 +193,7 @@ func runServe(args []string) error {
 		},
 		Crash:           crash,
 		CheckpointEvery: *ckptEvery,
+		DataDir:         *dataDir,
 	}
 	if inj != nil {
 		clusterCfg.FaultInjector = inj
@@ -227,6 +230,11 @@ func runServe(args []string) error {
 		return err
 	}
 	defer c.Stop()
+	if cs := c.ColdStart(); cs != nil {
+		fmt.Fprintf(os.Stderr, "serve: cold start from %s: %d machines / %d partitions rebuilt, %d images + %d replayed commands, %s of log scanned in %v\n",
+			*dataDir, cs.Machines, cs.Partitions, cs.Snapshots, cs.Replayed,
+			byteCount(cs.LogBytes), cs.Duration.Round(time.Millisecond))
+	}
 	start := time.Now()
 
 	var stats b2w.Stats
@@ -300,6 +308,12 @@ func runServe(args []string) error {
 		fmt.Printf("recovery: %d crashes, %d recoveries, %d commands replayed (max lag %d), downtime %v, %d checkpoints\n",
 			rs.Crashes, rs.Recoveries, rs.ReplayedCommands, rs.MaxReplayLag,
 			rs.Downtime.Round(time.Millisecond), rs.Checkpoints)
+		if *dataDir != "" {
+			fmt.Printf("durable log: %d records retained, %s on disk\n", rm.LogSize(), byteCount(rm.LogBytes()))
+			if err := rm.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: WARNING: durable log failed mid-run: %v\n", err)
+			}
+		}
 	}
 	if inj != nil {
 		ist := inj.Stats()
@@ -307,6 +321,18 @@ func runServe(args []string) error {
 			ist.Offered, ist.Drops, ist.Crashes, ist.Slows, ist.Stalls)
 	}
 	return nil
+}
+
+// byteCount renders a byte total human-readably for summaries.
+func byteCount(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // printRefusedSummary prints one refused-work total across the whole stack:

@@ -1,0 +1,26 @@
+package b2w
+
+import "encoding/gob"
+
+// The durable command log (internal/wal) gob-encodes transaction arguments
+// and checkpoint-image rows as interface values, which requires every
+// concrete type that can appear there to be registered. gob allows exactly
+// one registered form per base type and the registered form decides the
+// decoded shape, so row types register as pointers (rows live in tables as
+// *Cart etc. and must come back that way) while argument structs register as
+// values (DecodeArgs returns values). The bulk-load procedures accept either
+// shape, since a replayed load command decodes its row argument as a
+// pointer.
+func init() {
+	gob.Register(LineArgs{})
+	gob.Register(QuantityArgs{})
+	gob.Register(StockTxArgs{})
+	gob.Register(StatusArgs{})
+	gob.Register(CheckoutArgs{})
+	gob.Register(Payment{})
+	gob.Register(CartLine{})
+	gob.Register(&Cart{})
+	gob.Register(&Checkout{})
+	gob.Register(&StockItem{})
+	gob.Register(&StockTransaction{})
+}

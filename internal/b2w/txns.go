@@ -123,8 +123,16 @@ func Register(eng *store.Engine) error {
 
 // loadCartRow installs a complete cart during bulk loading.
 func loadCartRow(tx *store.Tx) (any, error) {
-	c, ok := tx.Args.(Cart)
-	if !ok {
+	// Loader jobs pass the row by value; a replayed load command from the
+	// durable log decodes it as a pointer (see gob.go). Either way a private
+	// copy is installed.
+	var c Cart
+	switch v := tx.Args.(type) {
+	case Cart:
+		c = v
+	case *Cart:
+		c = *v
+	default:
 		return nil, fmt.Errorf("b2w: loadCart wants Cart, got %T", tx.Args)
 	}
 	c.ID = tx.Key
@@ -133,8 +141,13 @@ func loadCartRow(tx *store.Tx) (any, error) {
 
 // loadCheckoutRow installs a complete checkout during bulk loading.
 func loadCheckoutRow(tx *store.Tx) (any, error) {
-	c, ok := tx.Args.(Checkout)
-	if !ok {
+	var c Checkout
+	switch v := tx.Args.(type) {
+	case Checkout:
+		c = v
+	case *Checkout:
+		c = *v
+	default:
 		return nil, fmt.Errorf("b2w: loadCheckout wants Checkout, got %T", tx.Args)
 	}
 	c.ID = tx.Key
@@ -245,8 +258,13 @@ func reserveCart(tx *store.Tx) (any, error) {
 // loadStockRow is the loader's bootstrap procedure: it installs a complete
 // inventory record for a SKU.
 func loadStockRow(tx *store.Tx) (any, error) {
-	item, ok := tx.Args.(StockItem)
-	if !ok {
+	var item StockItem
+	switch v := tx.Args.(type) {
+	case StockItem:
+		item = v
+	case *StockItem:
+		item = *v
+	default:
 		return nil, fmt.Errorf("b2w: loadStock wants StockItem, got %T", tx.Args)
 	}
 	item.SKU = tx.Key

@@ -82,6 +82,13 @@ type Config struct {
 	// it without a crash schedule still builds the recovery manager (for
 	// manual Crash/Restore via Recovery()).
 	CheckpointEvery int
+	// DataDir enables the durable storage tier: the recovery manager's
+	// command log becomes a segmented on-disk WAL with per-bucket checkpoint
+	// images under this directory. If the directory already holds a previous
+	// life's state, Start cold-starts the engine from it *instead of*
+	// running Bootstrap — the data outlives the process. Implies a recovery
+	// manager even without a crash schedule.
+	DataDir string
 }
 
 // Stats summarizes the runtime's decision activity.
@@ -120,6 +127,9 @@ type Cluster struct {
 	ex          *squall.Executor
 	rec         *metrics.Recorder
 	rm          *recovery.Manager
+	// coldStart records the rebuild Start performed when the data directory
+	// held a previous life's state; nil after a fresh bootstrap.
+	coldStart *recovery.ColdStartStats
 
 	// down maps a crashed machine to the cycle its recovery begins. It is
 	// owned exclusively by the decision-loop goroutine.
@@ -190,11 +200,14 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg, eng: eng, subs: map[int]chan Event{}}
-	if cfg.Crash != nil || cfg.CheckpointEvery > 0 {
+	if cfg.Crash != nil || cfg.CheckpointEvery > 0 || cfg.DataDir != "" {
 		// The manager attaches to the command-log hook now, before Start,
 		// so bootstrap writes are logged and every machine is recoverable
 		// from the first transaction on.
-		c.rm = recovery.NewManager(eng)
+		c.rm, err = recovery.New(eng, recovery.Config{DataDir: cfg.DataDir})
+		if err != nil {
+			return nil, err
+		}
 		c.down = map[int]int{}
 		c.hasRecovery = true
 	}
@@ -304,6 +317,10 @@ func (c *Cluster) Recorder() *metrics.Recorder {
 // without one (no crash schedule and no checkpoint interval configured).
 func (c *Cluster) Recovery() *recovery.Manager { return c.rm }
 
+// ColdStart returns the stats of the cold start Start performed, or nil if
+// the cluster bootstrapped fresh data.
+func (c *Cluster) ColdStart() *recovery.ColdStartStats { return c.coldStart }
+
 // Stats snapshots the runtime's decision counters.
 func (c *Cluster) Stats() Stats {
 	return Stats{
@@ -328,7 +345,15 @@ func (c *Cluster) Start(ctx context.Context) error {
 	}
 	if c.eng != nil {
 		c.eng.Start()
-		if c.cfg.Bootstrap != nil {
+		if c.rm != nil && c.rm.HasColdState() {
+			// The data directory holds a previous life's state: rebuild the
+			// whole engine from disk instead of bootstrapping fresh data.
+			st, err := c.rm.ColdStart()
+			if err != nil {
+				return fmt.Errorf("cluster: cold start: %w", err)
+			}
+			c.coldStart = &st
+		} else if c.cfg.Bootstrap != nil {
 			if err := c.cfg.Bootstrap(c.eng); err != nil {
 				return fmt.Errorf("cluster: bootstrap: %w", err)
 			}
@@ -385,6 +410,11 @@ func (c *Cluster) Stop() {
 		if c.eng != nil {
 			c.eng.SetRecorder(nil)
 			c.eng.Stop()
+			if c.rm != nil {
+				// Release the WAL's active segment (everything acknowledged
+				// is already durable; this flushes nothing).
+				_ = c.rm.Close()
+			}
 		} else {
 			// Coordinator mode: release topology resources; the node
 			// processes keep serving.

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"pstore/internal/recovery"
 	"pstore/internal/squall"
 	"pstore/internal/store"
 )
@@ -28,12 +29,20 @@ func chaosSquallConfig() squall.Config {
 // a full value checksum. Wall-clock dependent quantities (downtime, worker
 // throughput) are asserted per run but kept out of the fingerprint.
 func runCrashChaosScript(t *testing.T) string {
+	return runCrashChaosScriptCfg(t, recovery.Config{})
+}
+
+// runCrashChaosScriptCfg is the script with an explicit recovery
+// configuration — the chaos suite's data-dir axis. The fingerprint contains
+// nothing medium-dependent, so a disk-backed run must reproduce the
+// in-memory run exactly.
+func runCrashChaosScriptCfg(t *testing.T, rcfg recovery.Config) string {
 	t.Helper()
 	const (
 		keys    = 600
 		workers = 8
 	)
-	e, m := testEngine(t, 4, 2)
+	e, m := testEngineCfg(t, 4, 2, rcfg)
 	ex, err := squall.NewExecutor(e, chaosSquallConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -167,6 +176,18 @@ func TestCrashChaosDeterministic(t *testing.T) {
 		if got := runCrashChaosScript(t); got != first {
 			t.Fatalf("run %d diverged:\n%s\nvs first:\n%s", rep+1, got, first)
 		}
+	}
+}
+
+// TestCrashChaosDiskMatchesMemory is the chaos suite's data-dir axis: the
+// same scripted run, backed by the on-disk WAL, must produce the exact
+// fingerprint of the in-memory oracle — same step outcomes, same restored
+// data, same final plan.
+func TestCrashChaosDiskMatchesMemory(t *testing.T) {
+	mem := runCrashChaosScript(t)
+	disk := runCrashChaosScriptCfg(t, recovery.Config{DataDir: t.TempDir()})
+	if disk != mem {
+		t.Fatalf("disk-backed run diverged from oracle:\n%s\nvs\n%s", disk, mem)
 	}
 }
 

@@ -1,0 +1,160 @@
+package recovery
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pstore/internal/store"
+	"pstore/internal/wal"
+)
+
+// diskStore is the durable LogStore: command records go through the WAL's
+// group commit (Append returns only after its batch is fsynced), checkpoint
+// images spill to per-bucket files, and Checkpoint compacts the log.
+//
+// Records travel by transaction *name*, not dense TxnID — handles are
+// assigned in registration order and need not survive a restart. The
+// id<->name catalog is resolved lazily from the engine on first use,
+// because transactions are registered after the manager (and its store) is
+// constructed.
+type diskStore struct {
+	eng *store.Engine
+	log *wal.Log
+
+	// heads is each bucket's last-assigned LSN; bases each bucket's image
+	// LSN. One executor appends per bucket, but installs happen on the
+	// manager goroutine, so both are atomics.
+	heads []atomic.Uint64
+	bases []atomic.Uint64
+
+	records atomic.Int64
+
+	// failErr latches the first fatal append error; once set, Append becomes
+	// a no-op (the engine keeps serving from memory, durability is gone and
+	// the operator learns via Err).
+	failMu  sync.Mutex
+	failErr error
+
+	nameOnce sync.Once
+	names    []string // dense id -> name
+}
+
+func newDiskStore(eng *store.Engine, log *wal.Log, rec *wal.Recovered) *diskStore {
+	buckets := eng.Config().Buckets
+	s := &diskStore{
+		eng:   eng,
+		log:   log,
+		heads: make([]atomic.Uint64, buckets),
+		bases: make([]atomic.Uint64, buckets),
+	}
+	for b, br := range rec.Buckets {
+		s.heads[b].Store(br.Head)
+		s.bases[b].Store(br.Base)
+		s.records.Add(int64(len(br.Tail)))
+	}
+	return s
+}
+
+// resolve returns the name of a dense handle, snapshotting the engine's
+// catalog on first use (registration is complete by the time the first
+// transaction executes).
+func (s *diskStore) resolve(id store.TxnID) string {
+	s.nameOnce.Do(func() { s.names = s.eng.TxnNames() })
+	if int(id) < 0 || int(id) >= len(s.names) {
+		return ""
+	}
+	return s.names[id]
+}
+
+func (s *diskStore) fail(err error) {
+	s.failMu.Lock()
+	if s.failErr == nil {
+		s.failErr = err
+	}
+	s.failMu.Unlock()
+}
+
+func (s *diskStore) Err() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failErr
+}
+
+func (s *diskStore) Append(bucket int, id store.TxnID, key string, args any) {
+	if bucket < 0 || bucket >= len(s.heads) || s.Err() != nil {
+		return
+	}
+	lsn := s.heads[bucket].Add(1)
+	err := s.log.Append(wal.Record{
+		Bucket: bucket, LSN: lsn, Txn: s.resolve(id), Key: key, Args: args,
+	})
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	s.records.Add(1)
+}
+
+func (s *diskStore) Head(bucket int) uint64 {
+	if bucket < 0 || bucket >= len(s.heads) {
+		return 0
+	}
+	return s.heads[bucket].Load()
+}
+
+func (s *diskStore) Install(snap store.BucketSnapshot) {
+	err := s.log.WriteImage(&wal.Image{
+		Bucket: snap.Bucket,
+		Rows:   snap.Rows,
+		LSN:    snap.LSN,
+		Tables: snap.Tables,
+	})
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	if base := s.bases[snap.Bucket].Load(); snap.LSN > base {
+		s.bases[snap.Bucket].Store(snap.LSN)
+		s.records.Add(-int64(snap.LSN - base))
+	}
+}
+
+func (s *diskStore) Load(buckets []int) ([]store.BucketSnapshot, []store.ReplayCommand, error) {
+	tails, err := s.log.LoadTails(buckets)
+	if err != nil {
+		return nil, nil, err
+	}
+	var snaps []store.BucketSnapshot
+	var cmds []store.ReplayCommand
+	for _, b := range buckets {
+		img, ok, err := s.log.LoadImage(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			snaps = append(snaps, store.BucketSnapshot{
+				Bucket: b, Rows: img.Rows, LSN: img.LSN, Tables: img.Tables,
+			})
+		}
+		for _, r := range tails[b] {
+			id, okID := s.eng.Handle(r.Txn)
+			if !okID {
+				return nil, nil, fmt.Errorf("recovery: log names unregistered transaction %q", r.Txn)
+			}
+			cmds = append(cmds, store.ReplayCommand{Bucket: b, ID: id, Key: r.Key, Args: r.Args})
+		}
+	}
+	return snaps, cmds, nil
+}
+
+func (s *diskStore) LogPlan(plan []int32, active int) {
+	if err := s.log.LogPlan(plan, active); err != nil {
+		s.fail(err)
+	}
+}
+
+func (s *diskStore) Checkpoint() error { return s.log.Checkpoint() }
+func (s *diskStore) Records() int64    { return s.records.Load() }
+func (s *diskStore) Bytes() int64      { return s.log.DiskBytes() }
+func (s *diskStore) Close() error      { return s.log.Close() }

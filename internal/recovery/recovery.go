@@ -1,7 +1,12 @@
 // Package recovery is the machine-level crash-recovery subsystem: fuzzy
-// checkpoints of the engine's bucket stores plus an in-memory logical command
-// log, combined into deterministic replay that rebuilds a crashed machine's
-// partitions to their exact pre-crash state.
+// checkpoints of the engine's bucket stores plus a logical command log,
+// combined into deterministic replay that rebuilds a crashed machine's
+// partitions to their exact pre-crash state. The log lives behind the
+// LogStore interface: in memory by default (fast, and the deterministic
+// oracle the disk path is tested against), or on disk as a segmented WAL
+// with group commit and per-bucket checkpoint images when Config.DataDir is
+// set — in which case ColdStart can rebuild an entire engine, all machines,
+// from a directory left behind by a dead process.
 //
 // The design is H-Store-style command logging, adapted to this engine's
 // bucket-granular data plane:
@@ -39,36 +44,18 @@ import (
 
 	"pstore/internal/metrics"
 	"pstore/internal/store"
+	"pstore/internal/wal"
 )
 
-// Command is one command-log record: the input of one executed procedure.
-type Command struct {
-	// LSN is the bucket-local sequence number, starting at 1.
-	LSN uint64
-	// ID is the procedure's dense engine handle.
-	ID store.TxnID
-	// Key and Args are the procedure's original input.
-	Key  string
-	Args any
-}
-
-// ckptImage is one bucket's latest checkpoint: its tables (row values
-// aliased, immutable by convention) and row count as of the covered LSN.
-type ckptImage struct {
-	rows   int
-	tables map[string]map[string]any
-}
-
-// bucketLog is one bucket's recovery state: its command tail and latest
-// checkpoint image. base is the LSN the image covers; cmds[i] has LSN
-// base+1+i. The mutex makes appends (executor goroutines) safe against
-// checkpoint truncation and restore reads (manager goroutine).
-type bucketLog struct {
-	mu   sync.Mutex
-	head uint64
-	base uint64
-	cmds []Command
-	ckpt *ckptImage
+// Config selects and parameterizes the manager's log store.
+type Config struct {
+	// DataDir enables the durable store: a segmented WAL plus checkpoint
+	// images under this directory. Empty keeps the log in memory.
+	DataDir string
+	// SegmentBytes is the WAL's segment rotation threshold (0 = default).
+	SegmentBytes int64
+	// FS substitutes the WAL's filesystem (crash-injection tests).
+	FS wal.FS
 }
 
 // Stats are the manager's cumulative recovery counters.
@@ -103,15 +90,38 @@ type RestoreStats struct {
 	Downtime time.Duration
 }
 
-// Manager owns the command log and drives crash/checkpoint/restore against
-// one engine. It implements store.CommandLogger; NewManager attaches it, so
-// every transaction executed afterwards is recoverable.
-type Manager struct {
-	eng  *store.Engine
-	logs []bucketLog
+// ColdStartStats describe one completed cold start: a whole engine rebuilt
+// from a data directory.
+type ColdStartStats struct {
+	// Machines and Partitions count what was rebuilt.
+	Machines, Partitions int
+	// Snapshots is how many bucket images were installed; Replayed how many
+	// log commands ran on top of them.
+	Snapshots, Replayed int
+	// LogBytes is the on-disk log volume the cold start scanned.
+	LogBytes int64
+	// PlanRecovered reports whether a durable plan was reinstalled.
+	PlanRecovered bool
+	// Duration is the wall time of the rebuild.
+	Duration time.Duration
+}
 
-	// mu serializes the orchestration paths (Crash / Checkpoint / Restore);
-	// the per-bucket locks alone protect the append hot path.
+// Manager owns the command log and drives crash/checkpoint/restore against
+// one engine. It implements store.CommandLogger and store.PlanLogger;
+// New/NewManager attach it, so every transaction executed afterwards is
+// recoverable.
+type Manager struct {
+	eng *store.Engine
+	log LogStore
+
+	// cold is the state a durable store recovered at open, consumed by
+	// ColdStart; planMuted suppresses plan re-logging while ColdStart is
+	// reinstalling the very plan that was just read back from disk.
+	cold      *wal.Recovered
+	planMuted atomic.Bool
+
+	// mu serializes the orchestration paths (Crash / Checkpoint / Restore /
+	// ColdStart); the log store alone protects the append hot path.
 	mu        sync.Mutex
 	downSince map[int]time.Time
 
@@ -125,18 +135,49 @@ type Manager struct {
 	downtimeNs   atomic.Int64
 }
 
-// NewManager builds a recovery manager for the engine and attaches it as the
-// engine's command logger. Attach before loading any data: replay rebuilds
-// buckets from their full command history (or their latest checkpoint), so
-// pre-attachment writes would be invisible to recovery.
+// NewManager builds an in-memory recovery manager for the engine and
+// attaches it as the engine's command logger. Attach before loading any
+// data: replay rebuilds buckets from their full command history (or their
+// latest checkpoint), so pre-attachment writes would be invisible to
+// recovery.
 func NewManager(eng *store.Engine) *Manager {
+	m, _ := New(eng, Config{})
+	return m
+}
+
+// New builds a recovery manager with an explicit log-store configuration.
+// With Config.DataDir set, the log is a segmented on-disk WAL: the
+// directory is opened (or created), its contents recovered, and — if it
+// holds a previous life's state — HasColdState reports true and ColdStart
+// will rebuild the engine from it.
+func New(eng *store.Engine, cfg Config) (*Manager, error) {
 	m := &Manager{
 		eng:       eng,
-		logs:      make([]bucketLog, eng.Config().Buckets),
 		downSince: make(map[int]time.Time),
 	}
+	if cfg.DataDir == "" {
+		m.log = newMemStore(eng.Config().Buckets)
+	} else {
+		ec := eng.Config()
+		l, rec, err := wal.Open(wal.Config{
+			Dir: cfg.DataDir,
+			Geometry: wal.Geometry{
+				Buckets:              ec.Buckets,
+				MaxMachines:          ec.MaxMachines,
+				PartitionsPerMachine: ec.PartitionsPerMachine,
+			},
+			SegmentBytes: cfg.SegmentBytes,
+			FS:           cfg.FS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.log = newDiskStore(eng, l, rec)
+		m.cold = rec
+	}
 	eng.SetCommandLog(m)
-	return m
+	eng.SetPlanLog(m)
+	return m, nil
 }
 
 // SetRecorder attaches a metrics recorder; recovery counters are mirrored
@@ -144,48 +185,51 @@ func NewManager(eng *store.Engine) *Manager {
 func (m *Manager) SetRecorder(r *metrics.Recorder) { m.rec.Store(r) }
 
 // AppendCommand implements store.CommandLogger. It runs on partition
-// executor goroutines — one lock + one append per transaction.
+// executor goroutines — with a durable store, the record is on disk (group
+// commit) before the executor acknowledges the transaction.
 func (m *Manager) AppendCommand(bucket int, id store.TxnID, key string, args any) {
-	if bucket < 0 || bucket >= len(m.logs) {
-		return
-	}
-	l := &m.logs[bucket]
-	l.mu.Lock()
-	l.head++
-	l.cmds = append(l.cmds, Command{LSN: l.head, ID: id, Key: key, Args: args})
-	l.mu.Unlock()
+	m.log.Append(bucket, id, key, args)
 }
 
 // LogHead implements store.CommandLogger: the LSN of the last command
 // appended for the bucket.
-func (m *Manager) LogHead(bucket int) uint64 {
-	if bucket < 0 || bucket >= len(m.logs) {
-		return 0
+func (m *Manager) LogHead(bucket int) uint64 { return m.log.Head(bucket) }
+
+// LogPlan implements store.PlanLogger: plan mutations flow into the log so
+// a cold start reinstalls the exact plan the process died with.
+func (m *Manager) LogPlan(plan []int32, active int) {
+	if m.planMuted.Load() {
+		return
 	}
-	l := &m.logs[bucket]
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.head
+	m.log.LogPlan(plan, active)
 }
 
 // LogSize returns the number of command records currently retained across
-// all buckets — the replay debt a crash right now would incur.
-func (m *Manager) LogSize() int {
-	total := 0
-	for b := range m.logs {
-		l := &m.logs[b]
-		l.mu.Lock()
-		total += len(l.cmds)
-		l.mu.Unlock()
-	}
-	return total
-}
+// all buckets — the replay debt a crash right now would incur. It reads an
+// atomic counter; it never walks the log, so summary pollers cannot contend
+// with the AppendCommand hot path.
+func (m *Manager) LogSize() int { return int(m.log.Records()) }
+
+// LogBytes returns the on-disk log volume (0 with the in-memory store),
+// also from a counter.
+func (m *Manager) LogBytes() int64 { return m.log.Bytes() }
+
+// Err returns the log store's latched fatal error, if any. A durable store
+// that fails to append stops persisting and reports here; the engine keeps
+// serving from memory.
+func (m *Manager) Err() error { return m.log.Err() }
+
+// Close releases the log store (the WAL's active segment, for a durable
+// store). Everything acknowledged is already durable; Close flushes
+// nothing.
+func (m *Manager) Close() error { return m.log.Close() }
 
 // Checkpoint snapshots every live partition and installs the images as the
 // buckets' new recovery baseline, truncating each bucket's command log up to
-// the covered LSN. Down partitions are skipped (their buckets keep their
-// older baseline, which is exactly what their restore will need). It returns
-// the number of bucket images installed.
+// the covered LSN (on disk: images are spilled per bucket, then fully
+// covered segments are deleted). Down partitions are skipped (their buckets
+// keep their older baseline, which is exactly what their restore will
+// need). It returns the number of bucket images installed.
 func (m *Manager) Checkpoint() (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -205,9 +249,12 @@ func (m *Manager) Checkpoint() (int, error) {
 			return installed, fmt.Errorf("recovery: checkpointing partition %d: %w", part, err)
 		}
 		for _, s := range snaps {
-			m.installImage(s)
+			m.log.Install(s)
 			installed++
 		}
+	}
+	if err := m.log.Checkpoint(); err != nil {
+		return installed, fmt.Errorf("recovery: completing checkpoint: %w", err)
 	}
 	m.checkpoints.Add(1)
 	if r := m.rec.Load(); r != nil {
@@ -230,26 +277,9 @@ func (m *Manager) CheckpointPartition(part int) (int, error) {
 		return 0, fmt.Errorf("recovery: checkpointing partition %d: %w", part, err)
 	}
 	for _, s := range snaps {
-		m.installImage(s)
+		m.log.Install(s)
 	}
 	return len(snaps), nil
-}
-
-// installImage makes one bucket snapshot the bucket's recovery baseline and
-// drops the commands it covers.
-func (m *Manager) installImage(s store.BucketSnapshot) {
-	l := &m.logs[s.Bucket]
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if s.LSN > l.base {
-		drop := int(s.LSN - l.base)
-		if drop > len(l.cmds) {
-			drop = len(l.cmds)
-		}
-		l.cmds = append([]Command(nil), l.cmds[drop:]...)
-		l.base = s.LSN
-	}
-	l.ckpt = &ckptImage{rows: s.Rows, tables: s.Tables}
 }
 
 // Crash takes a machine down. Its partitions stop executing transactions
@@ -276,7 +306,8 @@ func (m *Manager) Crash(machine int) error {
 // plus command replay and brings the machine back up. The buckets to rebuild
 // are taken from the *current* plan — a bucket that migrated onto the
 // machine after its last checkpoint is still recovered exactly, because its
-// image and log tail traveled with it.
+// image and log tail traveled with it. With a durable store, the images and
+// tails are read back from disk, not from process memory.
 func (m *Manager) Restore(machine int) (RestoreStats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -285,31 +316,13 @@ func (m *Manager) Restore(machine int) (RestoreStats, error) {
 		return st, fmt.Errorf("recovery: machine %d is not down", machine)
 	}
 	for _, part := range m.eng.PartitionsOfMachine(machine) {
-		var snaps []store.BucketSnapshot
-		var cmds []store.ReplayCommand
-		for _, b := range m.eng.OwnedBuckets(part) {
-			l := &m.logs[b]
-			l.mu.Lock()
-			if l.ckpt != nil {
-				snaps = append(snaps, store.BucketSnapshot{
-					Bucket: b,
-					Rows:   l.ckpt.rows,
-					LSN:    l.base,
-					Tables: cloneTables(l.ckpt.tables),
-				})
-			}
-			for _, c := range l.cmds {
-				cmds = append(cmds, store.ReplayCommand{Bucket: b, ID: c.ID, Key: c.Key, Args: c.Args})
-			}
-			l.mu.Unlock()
-		}
-		n, err := m.eng.RestorePartition(part, snaps, cmds)
+		snaps, replayed, err := m.restorePartitionLocked(part)
 		if err != nil {
-			return st, fmt.Errorf("recovery: restoring partition %d: %w", part, err)
+			return st, err
 		}
 		st.Partitions++
-		st.Snapshots += len(snaps)
-		st.Replayed += n
+		st.Snapshots += snaps
+		st.Replayed += replayed
 	}
 	if since, ok := m.downSince[machine]; ok {
 		st.Downtime = time.Since(since)
@@ -330,19 +343,88 @@ func (m *Manager) Restore(machine int) (RestoreStats, error) {
 	return st, nil
 }
 
-// cloneTables copies the map structure of a checkpoint image, aliasing row
-// values. Replay mutates the installed maps, and the baseline may serve
-// later restores, so each restore gets its own copy.
-func cloneTables(tables map[string]map[string]any) map[string]map[string]any {
-	out := make(map[string]map[string]any, len(tables))
-	for tn, t := range tables {
-		ct := make(map[string]any, len(t))
-		for k, v := range t {
-			ct[k] = v
-		}
-		out[tn] = ct
+// restorePartitionLocked rebuilds one down partition from the log store.
+func (m *Manager) restorePartitionLocked(part int) (snapshots, replayed int, err error) {
+	snaps, cmds, err := m.log.Load(m.eng.OwnedBuckets(part))
+	if err != nil {
+		return 0, 0, fmt.Errorf("recovery: loading partition %d: %w", part, err)
 	}
-	return out
+	n, err := m.eng.RestorePartition(part, snaps, cmds)
+	if err != nil {
+		return 0, 0, fmt.Errorf("recovery: restoring partition %d: %w", part, err)
+	}
+	return len(snaps), n, nil
+}
+
+// HasColdState reports whether the manager's data directory held a previous
+// life's state — a recovered plan or bucket data — so the owner knows to
+// ColdStart instead of bootstrapping fresh data.
+func (m *Manager) HasColdState() bool {
+	return m.cold != nil && m.cold.Existing &&
+		(m.cold.Plan != nil || len(m.cold.Buckets) > 0)
+}
+
+// ColdStart rebuilds the entire engine — every hosted machine, not one
+// crashed slot — from the data directory: the durable plan is reinstalled,
+// then each hosted partition is fenced and restored from its buckets'
+// checkpoint images plus replayed log tails. Call it after Start (and after
+// registering every transaction), in place of loading fresh data.
+func (m *Manager) ColdStart() (ColdStartStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := time.Now()
+	st := ColdStartStats{}
+	if m.cold == nil {
+		return st, fmt.Errorf("recovery: cold start requires a durable store")
+	}
+	st.LogBytes = m.cold.SegmentBytes
+
+	// Reinstall the durable plan before touching data: OwnedBuckets below
+	// must see the ownership the process died with. The plan logger is
+	// muted — re-logging the plan we just read back would be noise.
+	m.planMuted.Store(true)
+	if m.cold.Plan != nil {
+		byOwner := make(map[int][]int)
+		for b, p := range m.cold.Plan {
+			byOwner[int(p)] = append(byOwner[int(p)], b)
+		}
+		for owner, buckets := range byOwner {
+			if err := m.eng.ApplyOwnership(buckets, owner); err != nil {
+				m.planMuted.Store(false)
+				return st, fmt.Errorf("recovery: reinstalling plan: %w", err)
+			}
+		}
+		st.PlanRecovered = true
+	}
+	if m.cold.Active > 0 {
+		if err := m.eng.SetActiveMachines(m.cold.Active); err != nil {
+			m.planMuted.Store(false)
+			return st, fmt.Errorf("recovery: reinstalling active machines: %w", err)
+		}
+	}
+	m.planMuted.Store(false)
+
+	for _, machine := range m.eng.HostedMachines() {
+		// Fence first: RestorePartition rebuilds only down partitions.
+		if !m.eng.MachineDown(machine) {
+			if err := m.eng.Crash(machine); err != nil {
+				return st, fmt.Errorf("recovery: fencing machine %d: %w", machine, err)
+			}
+		}
+		for _, part := range m.eng.PartitionsOfMachine(machine) {
+			snaps, replayed, err := m.restorePartitionLocked(part)
+			if err != nil {
+				return st, err
+			}
+			st.Partitions++
+			st.Snapshots += snaps
+			st.Replayed += replayed
+		}
+		st.Machines++
+	}
+	m.replayed.Add(int64(st.Replayed))
+	st.Duration = time.Since(start)
+	return st, nil
 }
 
 // Stats snapshots the manager's cumulative counters.

@@ -17,8 +17,17 @@ import (
 
 // testEngine builds a started engine with machines active machines (2
 // partitions each), 240 buckets, "put"/"get" procedures and an attached
-// recovery manager. The manager attaches before any data loads, as required.
+// in-memory recovery manager. The manager attaches before any data loads,
+// as required.
 func testEngine(t *testing.T, maxMachines, initial int) (*store.Engine, *recovery.Manager) {
+	t.Helper()
+	return testEngineCfg(t, maxMachines, initial, recovery.Config{})
+}
+
+// testEngineCfg is testEngine with an explicit recovery configuration — the
+// data-dir axis: the same scripts run against the in-memory oracle and the
+// disk-backed store.
+func testEngineCfg(t *testing.T, maxMachines, initial int, rcfg recovery.Config) (*store.Engine, *recovery.Manager) {
 	t.Helper()
 	cfg := store.Config{
 		MaxMachines:          maxMachines,
@@ -47,7 +56,11 @@ func testEngine(t *testing.T, maxMachines, initial int) (*store.Engine, *recover
 	}); err != nil {
 		t.Fatal(err)
 	}
-	m := recovery.NewManager(e)
+	m, err := recovery.New(e, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
 	e.Start()
 	t.Cleanup(e.Stop)
 	return e, m

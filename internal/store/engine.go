@@ -120,6 +120,7 @@ type Engine struct {
 	recorder atomic.Pointer[metrics.Recorder]
 	faults   atomic.Pointer[faultHolder]
 	cmdLog   atomic.Pointer[cmdLogHolder]
+	planLog  atomic.Pointer[planLogHolder]
 }
 
 // NewEngine constructs an engine; register transactions, then call Start.
@@ -278,6 +279,9 @@ func (e *Engine) setOwner(buckets []int, dest int) {
 		next[b] = int32(dest)
 	}
 	e.plan.Store(&next)
+	if h := e.planLog.Load(); h != nil && h.l != nil {
+		h.l.LogPlan(next, int(e.activeMachines.Load()))
+	}
 }
 
 // maxForwards bounds ownership-chase hops for one request; ownership
@@ -594,6 +598,12 @@ func (e *Engine) SetActiveMachines(n int) error {
 		return fmt.Errorf("store: active machines %d out of [1, %d]", n, e.cfg.MaxMachines)
 	}
 	e.activeMachines.Store(int32(n))
+	if h := e.planLog.Load(); h != nil && h.l != nil {
+		// The plan mutex orders this record against ownership flips.
+		e.planMu.Lock()
+		h.l.LogPlan(*e.plan.Load(), n)
+		e.planMu.Unlock()
+	}
 	if r := e.recorder.Load(); r != nil {
 		r.RecordMachines(time.Now(), n)
 	}

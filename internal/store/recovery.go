@@ -24,9 +24,29 @@ type CommandLogger interface {
 	LogHead(bucket int) uint64
 }
 
+// PlanLogger receives every bucket-plan mutation — ownership flips (local
+// moves, networked migrations, broadcast flips) and active-machine resizes —
+// so a durable log can reconstruct the plan a cold start must reinstall.
+// LogPlan is called under the engine's plan mutex: calls are totally ordered
+// and carry the complete new plan, so the *last* logged plan is the current
+// one. A durable implementation may block (group commit); the cost lands on
+// the migration path, not the transaction hot path.
+type PlanLogger interface {
+	LogPlan(plan []int32, active int)
+}
+
 // cmdLogHolder wraps the logger interface so it can live in an
 // atomic.Pointer (and be cleared by storing a holder with a nil logger).
 type cmdLogHolder struct{ l CommandLogger }
+
+// planLogHolder mirrors cmdLogHolder for the plan logger.
+type planLogHolder struct{ l PlanLogger }
+
+// SetPlanLog attaches (or, with nil, detaches) a plan logger. Attach before
+// any ownership changes the logger should capture.
+func (e *Engine) SetPlanLog(l PlanLogger) {
+	e.planLog.Store(&planLogHolder{l: l})
+}
 
 // SetCommandLog attaches (or, with nil, detaches) a command logger. Attach it
 // before any data loads: replay reconstructs a bucket from its full command

@@ -1,0 +1,211 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// On-disk record framing. A segment is a sequence of frames:
+//
+//	[4B big-endian payload length][4B CRC32-C of payload][payload]
+//
+// where the payloads of one segment form a single gob stream (one encoder
+// per segment, so type descriptors are transmitted once, not per record).
+// Frames are the torn-tail detection unit: on open, a segment is scanned
+// frame by frame and truncated at the first frame whose length is absurd,
+// whose CRC mismatches, or whose payload the gob stream rejects — everything
+// before that point is a durable prefix, everything after is discarded.
+// Because appends are written in order and fsync preserves ordering, a
+// truncated suffix can only contain records that were never acknowledged.
+
+const (
+	// frameHeaderSize is the per-record framing overhead.
+	frameHeaderSize = 8
+	// MaxRecordBytes bounds one frame's payload; a length prefix beyond it
+	// marks the frame (and the rest of the segment) as garbage. Records are
+	// procedure inputs — a few hundred bytes — so 16 MiB is generous.
+	MaxRecordBytes = 16 << 20
+)
+
+// crcTable is the Castagnoli polynomial, the same choice as iSCSI/ext4.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// recKind discriminates segment records.
+type recKind uint8
+
+const (
+	// recCommand is one executed procedure's input.
+	recCommand recKind = 1
+	// recPlan is a bucket-plan change (ownership flip or active-machine
+	// resize). PlanSeq totally orders plan records across segments and
+	// manifest rewrites.
+	recPlan recKind = 2
+)
+
+// segRecord is the single gob-encoded payload type. Kind selects which
+// fields are meaningful; gob omits zero fields, so the union costs nothing
+// on the wire.
+type segRecord struct {
+	Kind recKind
+
+	// recCommand fields.
+	Bucket int32
+	LSN    uint64
+	Txn    string
+	Key    string
+	Args   any
+
+	// recPlan fields.
+	PlanSeq uint64
+	Plan    []int32
+	Active  int32
+}
+
+// Record is one durable command-log record: the input of one executed
+// procedure. The transaction travels by name, not by dense engine handle —
+// handles are assigned in registration order and need not survive a process
+// restart.
+type Record struct {
+	Bucket int
+	LSN    uint64
+	Txn    string
+	Key    string
+	Args   any
+}
+
+// segEncoder frames records into an in-memory buffer using one gob stream.
+type segEncoder struct {
+	enc    *gob.Encoder
+	stream bytes.Buffer // gob output; frames are cut from it per record
+}
+
+func newSegEncoder() *segEncoder {
+	e := &segEncoder{}
+	e.enc = gob.NewEncoder(&e.stream)
+	return e
+}
+
+// encode appends one framed record to out and returns the extended slice.
+func (e *segEncoder) encode(out []byte, rec *segRecord) ([]byte, error) {
+	e.stream.Reset()
+	if err := e.enc.Encode(rec); err != nil {
+		return out, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	payload := e.stream.Bytes()
+	if len(payload) > MaxRecordBytes {
+		return out, fmt.Errorf("wal: record payload %d bytes exceeds max %d", len(payload), MaxRecordBytes)
+	}
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	out = append(out, hdr[:]...)
+	return append(out, payload...), nil
+}
+
+// frameReader feeds CRC-validated frame payloads to a gob decoder. The gob
+// stream is only ever advanced one whole frame at a time, so a decode error
+// can never consume bytes past the offending frame.
+type frameReader struct {
+	buf bytes.Buffer
+}
+
+func (r *frameReader) Read(p []byte) (int, error) { return r.buf.Read(p) }
+
+// DecodeSegment scans one segment's raw bytes and returns every command
+// record in its valid prefix plus the prefix's length in bytes. It never
+// panics and never returns a record whose frame did not CRC-validate (no
+// phantom records — the fuzz target's contract). A non-nil error describes
+// why scanning stopped early; a fully clean segment returns
+// valid == len(data) and a nil error. Plan records are internal bookkeeping
+// and are skipped here.
+func DecodeSegment(data []byte) (recs []Record, valid int64, err error) {
+	srs, valid, err := decodeSegRecords(data)
+	for i := range srs {
+		if srs[i].Kind == recCommand {
+			sr := &srs[i]
+			recs = append(recs, Record{Bucket: int(sr.Bucket), LSN: sr.LSN, Txn: sr.Txn, Key: sr.Key, Args: sr.Args})
+		}
+	}
+	return recs, valid, err
+}
+
+// decodeSegRecords is the core segment scanner: it walks frames, validates
+// length and CRC, feeds payloads one whole frame at a time into the
+// segment's gob stream, and stops at the first sign of a torn or corrupt
+// frame — returning the records of the valid prefix and its byte length.
+func decodeSegRecords(data []byte) (recs []segRecord, valid int64, err error) {
+	fr := &frameReader{}
+	dec := gob.NewDecoder(fr)
+	off := int64(0)
+	for int64(len(data))-off >= frameHeaderSize {
+		length := binary.BigEndian.Uint32(data[off : off+4])
+		sum := binary.BigEndian.Uint32(data[off+4 : off+8])
+		if length > MaxRecordBytes {
+			return recs, off, fmt.Errorf("wal: frame at %d claims %d bytes", off, length)
+		}
+		end := off + frameHeaderSize + int64(length)
+		if end > int64(len(data)) {
+			return recs, off, fmt.Errorf("wal: frame at %d torn (%d of %d payload bytes)",
+				off, int64(len(data))-off-frameHeaderSize, length)
+		}
+		payload := data[off+frameHeaderSize : end]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return recs, off, fmt.Errorf("wal: frame at %d fails CRC", off)
+		}
+		fr.buf.Write(payload)
+		var sr segRecord
+		if derr := dec.Decode(&sr); derr != nil {
+			return recs, off, fmt.Errorf("wal: frame at %d fails gob decode: %w", off, derr)
+		}
+		if fr.buf.Len() != 0 {
+			// A frame must carry exactly one gob value (plus its type
+			// descriptors); leftover bytes mean the stream is out of step.
+			return recs, off, fmt.Errorf("wal: frame at %d left %d undecoded bytes", off, fr.buf.Len())
+		}
+		if sr.Kind != recCommand && sr.Kind != recPlan {
+			return recs, off, fmt.Errorf("wal: frame at %d has unknown kind %d", off, sr.Kind)
+		}
+		recs = append(recs, sr)
+		off = end
+	}
+	if off != int64(len(data)) {
+		return recs, off, fmt.Errorf("wal: %d trailing bytes after last whole frame", int64(len(data))-off)
+	}
+	return recs, off, nil
+}
+
+// readAll reads a whole file through the FS abstraction.
+func readAll(fs FS, name string) ([]byte, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// writeFileAtomic writes data as name via a temp file + Sync + Rename, the
+// all-or-nothing idiom images and the manifest rely on.
+func writeFileAtomic(fs FS, name string, data []byte) error {
+	tmp := name + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, name)
+}

@@ -1,0 +1,675 @@
+// Package wal is the engine's durable storage tier: a segmented on-disk
+// write-ahead log of command records plus per-bucket checkpoint images.
+//
+// The log is H-Store-style: records are procedure *inputs* (transaction
+// name, key, args), appended after execution and made durable before the
+// submitter is acknowledged. Durability is group commit — concurrent
+// appenders encode into a shared buffer and one of them (the batch leader)
+// writes and fsyncs the whole batch, so a busy log pays one sync per batch,
+// not per transaction.
+//
+// On-disk layout under the data directory:
+//
+//	MANIFEST.json        store identity, geometry, last checkpointed plan
+//	seg-00000001.log     CRC-framed record segments, in sequence order
+//	seg-00000002.log
+//	img/bucket-000017.img  one checkpoint image per bucket
+//
+// Open scans every segment, truncates a torn tail (last segment only — a
+// bad frame in any earlier segment is real corruption and refuses to open),
+// and returns the recovered state: the latest plan and, per bucket, its
+// image LSN and command tail. Checkpoint rewrites the manifest and deletes
+// segments made fully redundant by the images — the log's truncation story.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultSegmentBytes is the rotation threshold when Config leaves it zero.
+const DefaultSegmentBytes = 4 << 20
+
+// Config parameterizes Open.
+type Config struct {
+	// Dir is the data directory; created if missing.
+	Dir string
+	// Geometry is the engine shape the log serves; validated against the
+	// manifest on reopen.
+	Geometry Geometry
+	// SegmentBytes rotates the active segment once it grows past this many
+	// bytes. Zero means DefaultSegmentBytes.
+	SegmentBytes int64
+	// FS substitutes the filesystem (crash-injection tests). Nil means the
+	// real one.
+	FS FS
+}
+
+// Stats are the log's cumulative I/O counters. Syncs much smaller than
+// Appends is the group-commit effect made visible.
+type Stats struct {
+	// Appends counts durable record appends (commands + plan records).
+	Appends int64
+	// Syncs counts fsync batches on the record path.
+	Syncs int64
+	// Rotations counts segment rollovers.
+	Rotations int64
+	// CompactedSegments counts segments deleted at checkpoints.
+	CompactedSegments int64
+	// AppendedBytes counts framed record bytes written to segments.
+	AppendedBytes int64
+	// TornBytes is how many bytes the last Open truncated from a torn tail.
+	TornBytes int64
+}
+
+// BucketRecovery is one bucket's state as recovered by Open.
+type BucketRecovery struct {
+	// Base is the LSN covered by the bucket's checkpoint image (0 = none).
+	Base uint64
+	// HasImage reports whether an image file exists for the bucket.
+	HasImage bool
+	// Head is the largest LSN known for the bucket.
+	Head uint64
+	// Tail holds the bucket's records with LSN > Base, in LSN order.
+	Tail []Record
+}
+
+// Recovered is everything Open learned from the directory.
+type Recovered struct {
+	// Existing reports whether the directory already held a manifest — the
+	// difference between a fresh store and a restart.
+	Existing bool
+	// Plan is the latest recovered bucket plan (nil if none was ever
+	// logged); Active and PlanSeq accompany it.
+	Plan    []int32
+	Active  int
+	PlanSeq uint64
+	// Buckets maps bucket id to its recovered state; buckets with no image
+	// and no records are absent.
+	Buckets map[int]*BucketRecovery
+	// TornBytes is how many trailing bytes were discarded as torn.
+	TornBytes int64
+	// SegmentBytes is the total size of the recovered segments — the
+	// on-disk log volume a cold start must scan.
+	SegmentBytes int64
+}
+
+// segment is one sealed (immutable) segment's compaction bookkeeping.
+type segment struct {
+	name       string
+	size       int64
+	maxLSN     map[int]uint64 // bucket -> largest LSN in this segment
+	maxPlanSeq uint64
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent use.
+type Log struct {
+	cfg Config
+	fs  FS
+	dir string
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// enc frames records for the active segment (one gob stream per
+	// segment); buf accumulates framed-but-not-yet-durable bytes.
+	enc *segEncoder
+	buf []byte
+	// appendSeq numbers encoded records; syncedSeq is the largest sequence
+	// made durable. An appender waits until its record's sequence is synced,
+	// electing itself leader if no sync is in flight.
+	appendSeq, syncedSeq uint64
+	syncing              bool
+	err                  error // first fatal I/O error; latched
+
+	active     File
+	activeName string
+	activeSeq  int
+	activeSize int64          // durable bytes in the active segment
+	activeMax  map[int]uint64 // active segment's bucket -> max LSN
+	activePlan uint64         // active segment's max plan seq
+
+	segs  []segment      // sealed segments, oldest first
+	bases map[int]uint64 // bucket -> image LSN
+
+	planSeq         uint64
+	lastPlan        []int32
+	lastActive      int
+	manifestPlanSeq uint64
+
+	appends   atomic.Int64
+	diskBytes atomic.Int64 // durable segment bytes; kept lock-free for stats
+	syncs     atomic.Int64
+	rotations atomic.Int64
+	compacted atomic.Int64
+	appBytes  atomic.Int64
+	tornBytes int64
+
+	closed bool
+}
+
+// Open opens (or creates) a log directory, recovers its contents, and
+// leaves the log ready for appends on a fresh segment.
+func Open(cfg Config) (*Log, *Recovered, error) {
+	if cfg.Dir == "" {
+		return nil, nil, errors.New("wal: Config.Dir is required")
+	}
+	g := cfg.Geometry
+	if g.Buckets <= 0 || g.MaxMachines <= 0 || g.PartitionsPerMachine <= 0 {
+		return nil, nil, fmt.Errorf("wal: invalid geometry %+v", g)
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = DefaultSegmentBytes
+	}
+	l := &Log{cfg: cfg, fs: cfg.FS, dir: cfg.Dir, bases: make(map[int]uint64)}
+	if l.fs == nil {
+		l.fs = OSFS{}
+	}
+	l.cond = sync.NewCond(&l.mu)
+	if err := l.fs.MkdirAll(l.dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating %s: %w", l.dir, err)
+	}
+	if err := l.fs.MkdirAll(filepath.Join(l.dir, "img")); err != nil {
+		return nil, nil, err
+	}
+	rec, err := l.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := l.openActive(); err != nil {
+		return nil, nil, err
+	}
+	return l, rec, nil
+}
+
+// recover loads the manifest, image headers, and every segment, rebuilding
+// the log's in-memory indexes and the caller's Recovered view.
+func (l *Log) recover() (*Recovered, error) {
+	rec := &Recovered{Buckets: make(map[int]*BucketRecovery)}
+
+	// Manifest: identity or creation.
+	mpath := filepath.Join(l.dir, manifestName)
+	if data, err := readAll(l.fs, mpath); err == nil {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return nil, err
+		}
+		if m.Geometry != l.cfg.Geometry {
+			return nil, fmt.Errorf("wal: %s was created for geometry %+v, engine has %+v",
+				l.dir, m.Geometry, l.cfg.Geometry)
+		}
+		rec.Existing = true
+		rec.Plan, rec.Active, rec.PlanSeq = m.Plan, m.Active, m.PlanSeq
+		l.planSeq, l.manifestPlanSeq = m.PlanSeq, m.PlanSeq
+		l.lastPlan, l.lastActive = m.Plan, m.Active
+	} else if errors.Is(err, os.ErrNotExist) {
+		if err := l.writeManifest(); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, fmt.Errorf("wal: reading manifest: %w", err)
+	}
+
+	// Leftover temp files from an interrupted atomic write are garbage.
+	for _, sub := range []string{l.dir, filepath.Join(l.dir, "img")} {
+		names, err := l.fs.ReadDir(sub)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			if strings.HasSuffix(n, ".tmp") {
+				if err := l.fs.Remove(filepath.Join(sub, n)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Image headers establish each bucket's base LSN.
+	imgNames, err := l.fs.ReadDir(filepath.Join(l.dir, "img"))
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range imgNames {
+		data, err := readAll(l.fs, filepath.Join(l.dir, "img", n))
+		if err != nil {
+			return nil, err
+		}
+		bucket, lsn, _, err := decodeImageHeader(data)
+		if err != nil {
+			return nil, fmt.Errorf("wal: image %s: %w", n, err)
+		}
+		if bucket < 0 || bucket >= l.cfg.Geometry.Buckets {
+			return nil, fmt.Errorf("wal: image %s names bucket %d out of range", n, bucket)
+		}
+		l.bases[bucket] = lsn
+		rec.Buckets[bucket] = &BucketRecovery{Base: lsn, HasImage: true, Head: lsn}
+	}
+
+	// Segments, in sequence order.
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, n := range names {
+		var seq int
+		if _, err := fmt.Sscanf(n, "seg-%08d.log", &seq); err == nil && segName(seq) == n {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	for i, seq := range seqs {
+		path := filepath.Join(l.dir, segName(seq))
+		data, err := readAll(l.fs, path)
+		if err != nil {
+			return nil, err
+		}
+		srs, valid, derr := decodeSegRecords(data)
+		if derr != nil {
+			if i != len(seqs)-1 {
+				// Only the final segment may have a torn tail; damage in the
+				// middle of the log is corruption, not a crash artifact.
+				return nil, fmt.Errorf("wal: segment %s is corrupt mid-log: %w", path, derr)
+			}
+			// Truncate the torn tail by rewriting the valid prefix
+			// atomically, so every future open sees a clean segment.
+			if err := writeFileAtomic(l.fs, path, data[:valid]); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+			}
+			l.tornBytes = int64(len(data)) - valid
+			rec.TornBytes = l.tornBytes
+			data = data[:valid]
+		}
+		seg := segment{name: segName(seq), size: int64(len(data)), maxLSN: make(map[int]uint64)}
+		for i := range srs {
+			sr := &srs[i]
+			switch sr.Kind {
+			case recPlan:
+				if sr.PlanSeq > seg.maxPlanSeq {
+					seg.maxPlanSeq = sr.PlanSeq
+				}
+				if sr.PlanSeq > l.planSeq {
+					l.planSeq = sr.PlanSeq
+					l.lastPlan, l.lastActive = sr.Plan, int(sr.Active)
+					rec.Plan, rec.Active, rec.PlanSeq = sr.Plan, int(sr.Active), sr.PlanSeq
+				}
+			case recCommand:
+				b := int(sr.Bucket)
+				if b < 0 || b >= l.cfg.Geometry.Buckets {
+					return nil, fmt.Errorf("wal: segment %s names bucket %d out of range", path, b)
+				}
+				if sr.LSN > seg.maxLSN[b] {
+					seg.maxLSN[b] = sr.LSN
+				}
+				br := rec.Buckets[b]
+				if br == nil {
+					br = &BucketRecovery{}
+					rec.Buckets[b] = br
+				}
+				if sr.LSN > br.Head {
+					br.Head = sr.LSN
+				}
+				if sr.LSN > br.Base {
+					br.Tail = append(br.Tail, Record{
+						Bucket: b, LSN: sr.LSN, Txn: sr.Txn, Key: sr.Key, Args: sr.Args,
+					})
+				}
+			}
+		}
+		l.segs = append(l.segs, seg)
+		rec.SegmentBytes += seg.size
+		l.activeSeq = seq
+	}
+	l.diskBytes.Store(rec.SegmentBytes)
+	return rec, nil
+}
+
+// openActive starts a fresh segment for appends. Appends never extend an
+// old segment: its gob stream ended with the process that wrote it.
+func (l *Log) openActive() error {
+	l.activeSeq++
+	l.activeName = segName(l.activeSeq)
+	f, err := l.fs.Create(filepath.Join(l.dir, l.activeName))
+	if err != nil {
+		return fmt.Errorf("wal: creating segment %s: %w", l.activeName, err)
+	}
+	l.active = f
+	l.activeSize = 0
+	l.activeMax = make(map[int]uint64)
+	l.activePlan = 0
+	l.enc = newSegEncoder()
+	return nil
+}
+
+func segName(seq int) string { return fmt.Sprintf("seg-%08d.log", seq) }
+
+// Append makes one command record durable and returns once it (and every
+// record encoded before it) has been fsynced. Concurrent appenders share
+// sync batches: whoever finds no sync in flight writes and syncs everything
+// buffered so far, then wakes the rest.
+func (l *Log) Append(r Record) error {
+	if r.Bucket < 0 || r.Bucket >= l.cfg.Geometry.Buckets {
+		return fmt.Errorf("wal: append to bucket %d out of range", r.Bucket)
+	}
+	return l.append(&segRecord{
+		Kind: recCommand, Bucket: int32(r.Bucket), LSN: r.LSN,
+		Txn: r.Txn, Key: r.Key, Args: r.Args,
+	})
+}
+
+// LogPlan makes a bucket-plan change durable: the full plan and active
+// machine count, stamped with the next plan sequence number.
+func (l *Log) LogPlan(plan []int32, active int) error {
+	if len(plan) != l.cfg.Geometry.Buckets {
+		return fmt.Errorf("wal: plan covers %d buckets, want %d", len(plan), l.cfg.Geometry.Buckets)
+	}
+	p := make([]int32, len(plan))
+	copy(p, plan)
+	return l.append(&segRecord{Kind: recPlan, Plan: p, Active: int32(active)})
+}
+
+// append encodes one record into the group-commit buffer and blocks until
+// it is durable.
+func (l *Log) append(sr *segRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	// Rotate between batches: only when nothing is buffered or in flight,
+	// so a segment's gob stream is never split across files.
+	if l.activeSize >= l.cfg.SegmentBytes && len(l.buf) == 0 && !l.syncing {
+		if err := l.rotateLocked(); err != nil {
+			l.err = err
+			l.cond.Broadcast()
+			return err
+		}
+	}
+	if sr.Kind == recPlan {
+		l.planSeq++
+		sr.PlanSeq = l.planSeq
+		l.lastPlan, l.lastActive = sr.Plan, int(sr.Active)
+		if sr.PlanSeq > l.activePlan {
+			l.activePlan = sr.PlanSeq
+		}
+	} else {
+		if lsn := sr.LSN; lsn > l.activeMax[int(sr.Bucket)] {
+			l.activeMax[int(sr.Bucket)] = lsn
+		}
+	}
+	var err error
+	l.buf, err = l.enc.encode(l.buf, sr)
+	if err != nil {
+		l.err = err
+		l.cond.Broadcast()
+		return err
+	}
+	l.appendSeq++
+	seq := l.appendSeq
+	l.appends.Add(1)
+
+	for l.syncedSeq < seq && l.err == nil {
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		// Become the batch leader: write and sync everything buffered.
+		l.syncing = true
+		batch := l.buf
+		l.buf = nil
+		target := l.appendSeq
+		file := l.active
+		l.mu.Unlock()
+
+		var werr error
+		if _, err := file.Write(batch); err != nil {
+			werr = fmt.Errorf("wal: writing segment %s: %w", l.activeName, err)
+		} else if err := file.Sync(); err != nil {
+			werr = fmt.Errorf("wal: syncing segment %s: %w", l.activeName, err)
+		}
+
+		l.mu.Lock()
+		l.syncing = false
+		if werr != nil {
+			l.err = werr
+		} else {
+			l.syncedSeq = target
+			l.activeSize += int64(len(batch))
+			l.syncs.Add(1)
+			l.appBytes.Add(int64(len(batch)))
+			l.diskBytes.Add(int64(len(batch)))
+		}
+		l.cond.Broadcast()
+	}
+	return l.err
+}
+
+// rotateLocked seals the active segment and opens the next one. Caller
+// holds l.mu with an empty buffer and no sync in flight, so every byte of
+// the active segment is durable.
+func (l *Log) rotateLocked() error {
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: closing segment %s: %w", l.activeName, err)
+	}
+	l.segs = append(l.segs, segment{
+		name: l.activeName, size: l.activeSize,
+		maxLSN: l.activeMax, maxPlanSeq: l.activePlan,
+	})
+	l.rotations.Add(1)
+	return l.openActive()
+}
+
+// WriteImage spills one bucket's checkpoint image to disk atomically and
+// raises the bucket's base LSN, making the records the image covers
+// redundant for compaction.
+func (l *Log) WriteImage(img *Image) error {
+	if img.Bucket < 0 || img.Bucket >= l.cfg.Geometry.Buckets {
+		return fmt.Errorf("wal: image for bucket %d out of range", img.Bucket)
+	}
+	data, err := encodeImage(img)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(l.fs, imageName(l.dir, img.Bucket), data); err != nil {
+		return fmt.Errorf("wal: writing image for bucket %d: %w", img.Bucket, err)
+	}
+	l.mu.Lock()
+	if img.LSN > l.bases[img.Bucket] {
+		l.bases[img.Bucket] = img.LSN
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// LoadImage reads one bucket's checkpoint image from disk. ok is false when
+// the bucket has none.
+func (l *Log) LoadImage(bucket int) (img *Image, ok bool, err error) {
+	data, err := readAll(l.fs, imageName(l.dir, bucket))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	img, err = decodeImage(data)
+	if err != nil {
+		return nil, false, err
+	}
+	if img.Bucket != bucket {
+		return nil, false, fmt.Errorf("wal: image file for bucket %d names bucket %d", bucket, img.Bucket)
+	}
+	return img, true, nil
+}
+
+// LoadTails re-reads the durable log and returns, for each requested
+// bucket, its records beyond the bucket's base LSN, in order. This is the
+// restore path's authoritative read: it scans the segment files, not any
+// in-memory copy. Records buffered but not yet synced are invisible — they
+// are not durable, and their submitters have not been acknowledged.
+func (l *Log) LoadTails(buckets []int) (map[int][]Record, error) {
+	want := make(map[int]bool, len(buckets))
+	for _, b := range buckets {
+		want[b] = true
+	}
+	// Snapshot the durable extent under the lock; reads happen outside it.
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return nil, err
+	}
+	type ext struct {
+		name string
+		size int64
+	}
+	exts := make([]ext, 0, len(l.segs)+1)
+	for _, s := range l.segs {
+		exts = append(exts, ext{s.name, s.size})
+	}
+	exts = append(exts, ext{l.activeName, l.activeSize})
+	bases := make(map[int]uint64, len(want))
+	for b := range want {
+		bases[b] = l.bases[b]
+	}
+	l.mu.Unlock()
+
+	out := make(map[int][]Record)
+	for _, e := range exts {
+		if e.size == 0 {
+			continue
+		}
+		data, err := readAll(l.fs, filepath.Join(l.dir, e.name))
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(data)) > e.size {
+			data = data[:e.size] // ignore bytes synced after the snapshot
+		}
+		srs, _, derr := decodeSegRecords(data)
+		if derr != nil && int64(len(data)) == e.size {
+			// The durable extent must decode cleanly; a scan error inside it
+			// is corruption.
+			return nil, fmt.Errorf("wal: segment %s: %w", e.name, derr)
+		}
+		for i := range srs {
+			sr := &srs[i]
+			if sr.Kind != recCommand || !want[int(sr.Bucket)] {
+				continue
+			}
+			if sr.LSN <= bases[int(sr.Bucket)] {
+				continue
+			}
+			b := int(sr.Bucket)
+			out[b] = append(out[b], Record{Bucket: b, LSN: sr.LSN, Txn: sr.Txn, Key: sr.Key, Args: sr.Args})
+		}
+	}
+	return out, nil
+}
+
+// Checkpoint folds the current plan into the manifest and deletes every
+// sealed segment whose records are all covered — command records at or
+// below their bucket's image LSN, plan records at or below the manifest's
+// plan sequence. Call it after a checkpoint round has written its images.
+func (l *Log) Checkpoint() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.writeManifest(); err != nil {
+		return err
+	}
+	l.manifestPlanSeq = l.planSeq
+	kept := l.segs[:0]
+	for _, s := range l.segs {
+		if l.segCoveredLocked(&s) {
+			if err := l.fs.Remove(filepath.Join(l.dir, s.name)); err != nil {
+				return fmt.Errorf("wal: compacting %s: %w", s.name, err)
+			}
+			l.compacted.Add(1)
+			l.diskBytes.Add(-s.size)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segs = kept
+	return nil
+}
+
+// segCoveredLocked reports whether a sealed segment carries any record the
+// recovery path could still need.
+func (l *Log) segCoveredLocked(s *segment) bool {
+	if s.maxPlanSeq > l.manifestPlanSeq {
+		return false
+	}
+	for b, lsn := range s.maxLSN {
+		if lsn > l.bases[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// writeManifest rewrites the manifest with the current identity and plan.
+// Caller holds l.mu (or is still single-threaded in Open).
+func (l *Log) writeManifest() error {
+	m := &Manifest{
+		Version:  manifestVersion,
+		Geometry: l.cfg.Geometry,
+		PlanSeq:  l.planSeq,
+		Plan:     l.lastPlan,
+		Active:   l.lastActive,
+	}
+	data, err := encodeManifest(m)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(l.fs, filepath.Join(l.dir, manifestName), data); err != nil {
+		return fmt.Errorf("wal: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// DiskBytes returns the durable log volume: segment bytes a cold start
+// would scan (images excluded). Lock-free — stats readers never contend
+// with the append path.
+func (l *Log) DiskBytes() int64 { return l.diskBytes.Load() }
+
+// Stats snapshots the log's cumulative counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	torn := l.tornBytes
+	l.mu.Unlock()
+	return Stats{
+		Appends:           l.appends.Load(),
+		Syncs:             l.syncs.Load(),
+		Rotations:         l.rotations.Load(),
+		CompactedSegments: l.compacted.Load(),
+		AppendedBytes:     l.appBytes.Load(),
+		TornBytes:         torn,
+	}
+}
+
+// Close flushes nothing (everything acknowledged is already durable) and
+// releases the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.active != nil {
+		return l.active.Close()
+	}
+	return nil
+}

@@ -1000,6 +1000,10 @@ type benchRecoveryResult struct {
 	Machines     int                     `json:"machines"`
 	MaxReplayLag int64                   `json:"max_replay_lag"`
 	Scenarios    []benchRecoveryScenario `json:"scenarios"`
+	// Failover is the replication plane's column: kill the primary with an
+	// unshipped WAL window behind it and time the coordinator's detect ->
+	// promote -> first-transaction path onto the warm follower.
+	Failover []benchFailoverScenario `json:"failover"`
 }
 
 type benchRecoveryScenario struct {
@@ -1150,6 +1154,9 @@ func runBenchRecovery(out string) error {
 		s.DiskLogTailBytes = disk[i].DiskLogTailBytes
 		res.Scenarios = append(res.Scenarios, s)
 	}
+	if res.Failover, err = runBenchFailover(rows); err != nil {
+		return err
+	}
 
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -1167,5 +1174,8 @@ func runBenchRecovery(out string) error {
 	fmt.Printf("bench: recovery of %d rows: %.1f ms mem / %.1f ms disk with a %d-txn log tail (%d replayed, %s on disk), max lag %d -> %s\n",
 		rows, last.RecoveryMs, last.DiskRecoveryMs, last.LogTail, last.Replayed,
 		byteCount(last.DiskLogTailBytes), res.MaxReplayLag, out)
+	lastFo := res.Failover[len(res.Failover)-1]
+	fmt.Printf("bench: failover: detect %.1f ms + promote %.1f ms + first txn %.1f ms with %s of unshipped WAL behind the kill\n",
+		lastFo.DetectionMs, lastFo.PromotionMs, lastFo.FirstTxnMs, byteCount(lastFo.ShipLagBytes))
 	return nil
 }

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"pstore/internal/cluster"
+	"pstore/internal/recovery"
+	"pstore/internal/server"
+	"pstore/internal/store"
+	"pstore/internal/transport"
+	"pstore/internal/wire"
+)
+
+// benchFailoverScenario is one row of the failover column in
+// BENCH_recovery.json: how long a coordinator takes to notice a dead primary
+// and turn its warm follower into a serving one, as a function of how far
+// the ship stream was behind at the kill. ShipLagBytes is the unshipped
+// (and therefore lost) WAL window — the asynchronous plane's RPO — while
+// Detection/Promotion/FirstTxn add up to the RTO.
+type benchFailoverScenario struct {
+	LagTxns      int     `json:"lag_txns"`
+	ShipLagBytes int64   `json:"ship_lag_bytes"`
+	DetectionMs  float64 `json:"detection_ms"`
+	PromotionMs  float64 `json:"promotion_ms"`
+	FirstTxnMs   float64 `json:"first_txn_ms"`
+}
+
+// benchDecodeAny is the bench harness codec: values are plain JSON scalars on
+// both the txn and the row path.
+func benchDecodeAny(_ string, raw json.RawMessage) (any, error) {
+	if len(raw) == 0 || string(raw) == "null" {
+		return nil, nil
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// benchReplNode is one node of the bench's primary/follower pair: an engine
+// with a disk-backed WAL behind a real listening front end, so detection,
+// promotion and the first transaction all cross the wire the way they would
+// in production.
+type benchReplNode struct {
+	eng  *store.Engine
+	rm   *recovery.Manager
+	srv  *server.Server
+	peer *transport.Peer
+	url  string
+}
+
+func startBenchReplNode(dir, replicaOf string) (*benchReplNode, error) {
+	cfg := store.Config{
+		MaxMachines:          2,
+		PartitionsPerMachine: 2,
+		Buckets:              256,
+		ServiceTime:          0,
+		QueueCapacity:        1 << 14,
+		InitialMachines:      2,
+	}
+	eng, err := store.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Register("put", func(tx *store.Tx) (any, error) {
+		return nil, tx.Put("kv", tx.Key, tx.Args)
+	}); err != nil {
+		return nil, err
+	}
+	rm, err := recovery.New(eng, recovery.Config{DataDir: dir})
+	if err != nil {
+		return nil, err
+	}
+	eng.Start()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		eng.Stop()
+		return nil, err
+	}
+	url := "http://" + l.Addr().String()
+	srv, err := server.New(server.Config{
+		Engine:     eng,
+		DecodeArgs: benchDecodeAny,
+		Node: &server.NodeConfig{
+			ID: 0, Nodes: 1,
+			Recovery:  rm,
+			DecodeRow: benchDecodeAny,
+			PeerURL:   func(int) string { return url },
+			ReplicaOf: replicaOf,
+		},
+	})
+	if err != nil {
+		eng.Stop()
+		return nil, err
+	}
+	go func() { _ = srv.Serve(l) }()
+	n := &benchReplNode{eng: eng, rm: rm, srv: srv, peer: transport.NewPeer(url), url: url}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := n.peer.WaitHealthy(ctx, 10*time.Second); err != nil {
+		n.close()
+		return nil, err
+	}
+	return n, nil
+}
+
+func (n *benchReplNode) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = n.srv.Shutdown(ctx)
+	n.eng.Stop()
+	n.rm.Close()
+}
+
+// benchFailoverScenarioRun runs one kill-the-primary pass: load, sync a
+// follower, drain the ship stream, leave lagTxns unshipped, kill the
+// primary's front end, then measure detect -> promote -> first transaction.
+func benchFailoverScenarioRun(rows, lagTxns int) (benchFailoverScenario, error) {
+	var out benchFailoverScenario
+	pdir, err := os.MkdirTemp("", "pstore-bench-failover-p-*")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(pdir)
+	fdir, err := os.MkdirTemp("", "pstore-bench-failover-f-*")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(fdir)
+
+	primary, err := startBenchReplNode(pdir, "")
+	if err != nil {
+		return out, err
+	}
+	defer primary.close()
+	key := func(i int) string { return fmt.Sprintf("rec-key-%05d", i%rows) }
+	if err := benchParallelPut(primary.eng, rows, key, func(i int) any { return i }); err != nil {
+		return out, err
+	}
+	follower, err := startBenchReplNode(fdir, primary.url)
+	if err != nil {
+		return out, err
+	}
+	defer follower.close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	meta, frames, err := primary.peer.ReplSync(ctx, "")
+	if err != nil {
+		return out, err
+	}
+	if err := follower.srv.InstallReplicaState(meta, frames); err != nil {
+		return out, err
+	}
+	sh, err := transport.NewShipper(transport.ShipperConfig{
+		RM:       primary.rm,
+		Follower: follower.peer,
+		FromNode: 0, ToNode: -1,
+		Start: meta.Cursor,
+	})
+	if err != nil {
+		return out, err
+	}
+	for sh.Lag() > 0 {
+		if _, err := sh.ShipOnce(ctx); err != nil {
+			return out, err
+		}
+	}
+	// The lag window: transactions the primary acked but never shipped.
+	// Rewrites of loaded keys, so the follower's row count is unaffected —
+	// what the window costs is the freshness of those values, not rows.
+	if err := benchParallelPut(primary.eng, lagTxns, key, func(i int) any { return i }); err != nil {
+		return out, err
+	}
+	out.LagTxns = lagTxns
+	out.ShipLagBytes = sh.Lag()
+
+	// Kill the primary's front end; probes now see connection refused, which
+	// reads exactly like a dead process.
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = primary.srv.Shutdown(shCtx)
+	shCancel()
+
+	det, err := cluster.DetectFailure(ctx, primary.peer, cluster.DetectorConfig{
+		Probe: 10 * time.Millisecond, FailAfter: 3,
+	})
+	if err != nil {
+		return out, err
+	}
+	out.DetectionMs = float64(det.Microseconds()) / 1000
+
+	promoteStart := time.Now()
+	if _, err := cluster.Promote(ctx, cluster.PromoteConfig{
+		Replica:    follower.peer,
+		ReplicaURL: follower.url,
+		FailedNode: 0,
+	}); err != nil {
+		return out, err
+	}
+	out.PromotionMs = float64(time.Since(promoteStart).Microseconds()) / 1000
+
+	txnStart := time.Now()
+	body, err := json.Marshal(wire.Request{Txn: "put", Key: key(0), Args: json.RawMessage("-1")})
+	if err != nil {
+		return out, err
+	}
+	resp, err := http.Post(follower.url+wire.PathTxn, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("first transaction on promoted follower: HTTP %d", resp.StatusCode)
+	}
+	out.FirstTxnMs = float64(time.Since(txnStart).Microseconds()) / 1000
+
+	if got := follower.eng.TotalRows(); got != rows {
+		return out, fmt.Errorf("%d rows on promoted follower, want %d", got, rows)
+	}
+	if err := follower.rm.Err(); err != nil {
+		return out, fmt.Errorf("follower log latched an error: %w", err)
+	}
+	return out, nil
+}
+
+// runBenchFailover measures the failover column: one kill-the-primary pass
+// per recovery tail size, so the report shows detection + promotion +
+// first-transaction latency against the unshipped-WAL window those tails
+// leave behind.
+func runBenchFailover(rows int) ([]benchFailoverScenario, error) {
+	var scenarios []benchFailoverScenario
+	for _, tail := range benchRecoveryTails {
+		s, err := benchFailoverScenarioRun(rows, tail)
+		if err != nil {
+			return nil, fmt.Errorf("failover with %d-txn lag: %w", tail, err)
+		}
+		scenarios = append(scenarios, s)
+	}
+	return scenarios, nil
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pstore/internal/b2w"
+	"pstore/internal/cluster"
 	"pstore/internal/faults"
 	"pstore/internal/recovery"
 	"pstore/internal/squall"
@@ -42,8 +43,25 @@ func runCoord(args []string) error {
 	crashStep := fs.Int("crash-step", 0, "1-based index into -migrate before which -crash-machine crashes")
 	connectWait := fs.Duration("connect-wait", 30*time.Second, "how long to wait for every node to answer health checks")
 	shutdownNodes := fs.Bool("shutdown-nodes", false, "ask every node to shut down after the script completes")
+	failover := fs.Int("failover", -1, "watch node N for failure and run one recovery action (-promote or -restart-cmd) when it fires; -migrate becomes optional")
+	probe := fs.Duration("probe", 100*time.Millisecond, "failover health-probe period")
+	failAfter := fs.Int("fail-after", 3, "consecutive failed probes that declare the watched node dead")
+	promoteURL := fs.String("promote", "", "failover action: promote the warm follower at this base URL and rewire the survivors to it")
+	restartCmd := fs.String("restart-cmd", "", "failover action: shell command that cold-restarts the dead node from its own -data-dir")
+	failoverWait := fs.Duration("failover-wait", 2*time.Minute, "give up if the watched node has not failed after this long")
 	if helped, err := parseFlags(fs, args); helped || err != nil {
 		return err
+	}
+	if *failover >= 0 {
+		if *peerList == "" {
+			return errors.New("-failover needs a multi-process cluster (-peers)")
+		}
+		return runCoordFailover(coordFailoverConfig{
+			peers: *peerList, watch: *failover,
+			probe: *probe, failAfter: *failAfter, wait: *failoverWait,
+			promoteURL: *promoteURL, restartCmd: *restartCmd,
+			connectWait: *connectWait,
+		})
 	}
 	if *migrate == "" {
 		return errors.New("-migrate is required")
@@ -85,6 +103,16 @@ func runCoord(args []string) error {
 		for i, p := range peers {
 			if err := p.WaitHealthy(ctx, *connectWait); err != nil {
 				return fmt.Errorf("node %d: %w", i, err)
+			}
+			st, err := p.Status(ctx)
+			if err != nil {
+				return fmt.Errorf("node %d status: %w", i, err)
+			}
+			if st.WALError != "" {
+				// The node answers but has latched a durable-log failure:
+				// treating it as healthy would migrate data onto a machine
+				// that cannot promise durability.
+				return fmt.Errorf("node %d reports a failed WAL: %s", i, st.WALError)
 			}
 		}
 		r, err := transport.NewRemote(context.Background(), peers)
@@ -199,6 +227,78 @@ func runCoord(args []string) error {
 		}
 		fmt.Fprintln(os.Stderr, "coord: node shutdown requested")
 	}
+	return nil
+}
+
+// coordFailoverConfig carries the coord flags for a failover watch.
+type coordFailoverConfig struct {
+	peers       string
+	watch       int
+	probe       time.Duration
+	failAfter   int
+	wait        time.Duration
+	promoteURL  string
+	restartCmd  string
+	connectWait time.Duration
+}
+
+// runCoordFailover is the coordinator's failure-detection loop: probe one
+// node's health endpoint until a deterministic number of consecutive
+// probes fail, then run exactly one recovery action — promote the dead
+// node's warm follower (fenced under a fresh epoch, survivors rewired) or
+// cold-restart the process from its own data directory.
+func runCoordFailover(cfg coordFailoverConfig) error {
+	urls := strings.Split(cfg.peers, ",")
+	if cfg.watch >= len(urls) {
+		return fmt.Errorf("-failover %d out of range for %d peers", cfg.watch, len(urls))
+	}
+	if (cfg.promoteURL == "") == (cfg.restartCmd == "") {
+		return errors.New("-failover needs exactly one recovery action: -promote or -restart-cmd")
+	}
+	peers := make([]*transport.Peer, len(urls))
+	for i, u := range urls {
+		peers[i] = transport.NewPeer(strings.TrimSpace(u))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.wait+cfg.connectWait)
+	defer cancel()
+	fmt.Fprintf(os.Stderr, "coord: watching node %d (%s): probe %v, dead after %d failures\n",
+		cfg.watch, peers[cfg.watch].Addr(), cfg.probe, cfg.failAfter)
+	det, err := cluster.DetectFailure(ctx, peers[cfg.watch], cluster.DetectorConfig{
+		Probe: cfg.probe, FailAfter: cfg.failAfter,
+	})
+	if err != nil {
+		return fmt.Errorf("failure detection: %w", err)
+	}
+	fmt.Printf("coord: node %d declared dead after %v\n", cfg.watch, det.Round(time.Millisecond))
+
+	if cfg.restartCmd != "" {
+		start := time.Now()
+		if err := cluster.RestartNode(ctx, peers[cfg.watch], cfg.restartCmd, cfg.connectWait); err != nil {
+			return err
+		}
+		fmt.Printf("coord: node %d restarted and healthy in %v\n", cfg.watch, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	replica := transport.NewPeer(strings.TrimSpace(cfg.promoteURL))
+	survivors := make(map[int]*transport.Peer)
+	for i, p := range peers {
+		if i != cfg.watch {
+			survivors[i] = p
+		}
+	}
+	start := time.Now()
+	st, err := cluster.Promote(ctx, cluster.PromoteConfig{
+		Replica:    replica,
+		ReplicaURL: replica.Addr(),
+		FailedNode: cfg.watch,
+		Survivors:  survivors,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("coord: follower %s promoted to %s at epoch %d in %v (%d survivors rewired)\n",
+		replica.Addr(), st.Role, st.Epoch, time.Since(start).Round(time.Millisecond), len(survivors))
 	return nil
 }
 

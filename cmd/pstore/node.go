@@ -6,12 +6,16 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"pstore/internal/b2w"
+	"pstore/internal/faults"
 	"pstore/internal/recovery"
 	"pstore/internal/server"
 	"pstore/internal/store"
+	"pstore/internal/transport"
+	"pstore/internal/wire"
 	"pstore/internal/workload"
 )
 
@@ -28,6 +32,26 @@ type serveNodeConfig struct {
 	listen        string
 	serveFor      time.Duration
 	dataDir       string
+	replicaOf     string
+	advertise     string
+	shipFaults    string
+}
+
+// advertiseURL derives the base URL peers use to reach this process: the
+// explicit -advertise flag, or the listen address with a loopback host
+// filled in when it only names a port.
+func (cfg *serveNodeConfig) advertiseURL() string {
+	if cfg.advertise != "" {
+		return cfg.advertise
+	}
+	addr := cfg.listen
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	if !strings.HasPrefix(addr, "http://") {
+		addr = "http://" + addr
+	}
+	return addr
 }
 
 // runServeNode runs one partition-group node of a multi-process cluster: an
@@ -82,6 +106,12 @@ func runServeNode(cfg serveNodeConfig) error {
 		InitialMachines:      cfg.initial,
 		Overload:             olCfg,
 	}
+	if cfg.replicaOf != "" {
+		// A replica executes only its primary's shipped records; admission
+		// control or CoDel shedding here would fork the replicated history,
+		// so the overload plane is disarmed regardless of flags.
+		engCfg.Overload = store.OverloadConfig{}
+	}
 	for m := 0; m < cfg.maxM; m++ {
 		if m%cfg.nodes == cfg.node {
 			engCfg.HostedMachines = append(engCfg.HostedMachines, m)
@@ -110,7 +140,13 @@ func runServeNode(cfg serveNodeConfig) error {
 	defer eng.Stop()
 
 	spec := b2w.LoadSpec{Carts: 2400, Checkouts: 600, Stocks: 1200, LinesPerCart: 3, Seed: cfg.seed}
-	if rm.HasColdState() {
+	if cfg.replicaOf != "" {
+		if rm.HasColdState() {
+			return fmt.Errorf("replica mode needs a fresh -data-dir; %s already has state (cold-restart it as a primary instead)", cfg.dataDir)
+		}
+		fmt.Fprintf(os.Stderr, "serve: node %d/%d hosting machines %v as warm replica of %s\n",
+			cfg.node, cfg.nodes, engCfg.HostedMachines, cfg.replicaOf)
+	} else if rm.HasColdState() {
 		fmt.Fprintf(os.Stderr, "serve: node %d/%d hosting machines %v, cold-starting from %s\n",
 			cfg.node, cfg.nodes, engCfg.HostedMachines, cfg.dataDir)
 		cs, err := rm.ColdStart()
@@ -156,9 +192,73 @@ func runServeNode(cfg serveNodeConfig) error {
 		Nodes:     cfg.nodes,
 		Recovery:  rm,
 		DecodeRow: b2w.DecodeRow,
+		ReplicaOf: cfg.replicaOf,
 	}
+	// The peer table is mutable: after a failover the coordinator rewires
+	// the dead node's slot to its promoted replica via /v1/node/peer.
+	var peerMu sync.RWMutex
 	if peers != nil {
-		nodeCfg.PeerURL = func(node int) string { return peers[node] }
+		nodeCfg.PeerURL = func(node int) string {
+			peerMu.RLock()
+			defer peerMu.RUnlock()
+			return peers[node]
+		}
+		nodeCfg.SetPeerURL = func(node int, url string) {
+			peerMu.Lock()
+			peers[node] = url
+			peerMu.Unlock()
+		}
+	}
+	var shipInj *faults.ShipInjector
+	if cfg.shipFaults != "" {
+		sfc, err := faults.ParseShip(cfg.shipFaults)
+		if err != nil {
+			return err
+		}
+		if sfc.Enabled() {
+			if shipInj, err = faults.NewShip(sfc); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "serve: ship-fault plane armed: %s\n", sfc)
+		}
+	}
+	// When a follower syncs against this node, start (or restart) the WAL
+	// shipper that streams records from the sync cursor to it.
+	var shipMu sync.Mutex
+	var shipCancel context.CancelFunc
+	defer func() {
+		shipMu.Lock()
+		if shipCancel != nil {
+			shipCancel()
+		}
+		shipMu.Unlock()
+	}()
+	nodeCfg.OnReplicaSync = func(url string, cur wire.ShipCursor) {
+		shipMu.Lock()
+		defer shipMu.Unlock()
+		if shipCancel != nil {
+			shipCancel() // the follower resynced; the old stream is dead
+		}
+		sh, err := transport.NewShipper(transport.ShipperConfig{
+			RM:       rm,
+			Follower: transport.NewPeer(url),
+			FromNode: cfg.node,
+			ToNode:   -1,
+			Faults:   shipInj,
+			Start:    cur,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: cannot ship to follower %s: %v\n", url, err)
+			return
+		}
+		sctx, cancel := context.WithCancel(context.Background())
+		shipCancel = cancel
+		fmt.Fprintf(os.Stderr, "serve: shipping WAL to follower %s from segment %d record %d\n", url, cur.Seg, cur.Rec)
+		go func() {
+			if err := sh.Run(sctx); err != nil && sctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "serve: WAL shipper to %s stopped: %v\n", url, err)
+			}
+		}()
 	}
 	scfg := server.Config{
 		Engine:          eng,
@@ -168,7 +268,18 @@ func runServeNode(cfg serveNodeConfig) error {
 		Node:            nodeCfg,
 	}
 	start := time.Now()
-	sc, err := serveWire(context.Background(), scfg, cfg.listen, cfg.serveFor)
+	var started func(*server.Server)
+	if cfg.replicaOf != "" {
+		started = func(srv *server.Server) {
+			go func() {
+				if err := bootstrapReplica(srv, cfg); err != nil {
+					fmt.Fprintf(os.Stderr, "serve: FATAL: replica sync from %s failed: %v\n", cfg.replicaOf, err)
+					os.Exit(1)
+				}
+			}()
+		}
+	}
+	sc, err := serveWireWith(context.Background(), scfg, cfg.listen, cfg.serveFor, started)
 	if err != nil {
 		return err
 	}
@@ -190,5 +301,29 @@ func runServeNode(cfg serveNodeConfig) error {
 			fmt.Fprintf(os.Stderr, "serve: WARNING: durable log latched an error: %v\n", err)
 		}
 	}
+	return nil
+}
+
+// bootstrapReplica runs the follower half of the sync protocol once this
+// node's own server is accepting: fetch a fuzzy snapshot from the primary
+// and install it as the local state and recovery baseline. The primary
+// starts shipping to this node's advertised URL as part of serving the
+// sync; until the install completes, ship batches are refused retryably.
+func bootstrapReplica(srv *server.Server, cfg serveNodeConfig) error {
+	primary := transport.NewPeer(cfg.replicaOf)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := primary.WaitHealthy(ctx, time.Minute); err != nil {
+		return err
+	}
+	meta, frames, err := primary.ReplSync(ctx, cfg.advertiseURL())
+	if err != nil {
+		return err
+	}
+	if err := srv.InstallReplicaState(meta, frames); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serve: replica synced from %s: epoch %d, %d buckets, plan seq %d, cursor segment %d record %d\n",
+		cfg.replicaOf, meta.Epoch, meta.Buckets, meta.PlanSeq, meta.Cursor.Seg, meta.Cursor.Rec)
 	return nil
 }

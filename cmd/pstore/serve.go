@@ -73,11 +73,17 @@ func runServe(args []string) error {
 	node := fs.Int("node", -1, "run as node N of a multi-process cluster (requires -nodes and -listen; migration and crashes are driven by pstore coord)")
 	nodes := fs.Int("nodes", 0, "total node count in multi-process mode")
 	peerList := fs.String("peers", "", "comma-separated node base URLs in node-id order, for forwarding transactions to the hosting node")
+	replicaOf := fs.String("replica-of", "", "node mode: start as a warm follower of the primary at this base URL — sync a snapshot, apply its shipped WAL, refuse client transactions until promoted via /v1/repl/promote")
+	advertise := fs.String("advertise", "", "node mode: base URL the primary and peers use to reach this process (default derives from -listen)")
+	shipFaults := fs.String("ship-faults", "", "replication-stream fault spec applied by this node's WAL shipper, e.g. seed=42,ship-drop=0.05,ship-dup=0.1,ship-reorder=0.05,ship-delay=0.1,ship-partition=0.02")
 	if helped, err := parseFlags(fs, args); helped || err != nil {
 		return err
 	}
 	if *days < 1 || *initial < 1 || *maxM < *initial || *cycleMin < 1 || *minute <= 0 {
 		return errors.New("invalid sizing flags")
+	}
+	if *node < 0 && (*replicaOf != "" || *shipFaults != "") {
+		return errors.New("-replica-of and -ship-faults require node mode (-node)")
 	}
 	if *node >= 0 {
 		if *faultSpec != "" || *crashSpec != "" {
@@ -89,7 +95,8 @@ func runServe(args []string) error {
 			initial: *initial, maxM: *maxM,
 			deadline: *deadline, overloadSpec: *overloadSpec,
 			listen: *listen, serveFor: *serveFor,
-			dataDir: *dataDir,
+			dataDir:   *dataDir,
+			replicaOf: *replicaOf, advertise: *advertise, shipFaults: *shipFaults,
 		})
 	}
 
@@ -359,6 +366,13 @@ func printRefusedSummary(rec *metrics.Recorder, eng *store.Engine, sc *server.Co
 // until a signal, the optional -serve-for timer, or a client's shutdown
 // request.
 func serveWire(ctx context.Context, scfg server.Config, addr string, serveFor time.Duration) (server.Counters, error) {
+	return serveWireWith(ctx, scfg, addr, serveFor, nil)
+}
+
+// serveWireWith is serveWire with a hook invoked once the listener is up,
+// with the running server — the replica bootstrap needs the server handle
+// (to install the sync snapshot) while Serve is already accepting.
+func serveWireWith(ctx context.Context, scfg server.Config, addr string, serveFor time.Duration, started func(*server.Server)) (server.Counters, error) {
 	srv, err := server.New(scfg)
 	if err != nil {
 		return server.Counters{}, err
@@ -369,6 +383,9 @@ func serveWire(ctx context.Context, scfg server.Config, addr string, serveFor ti
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()
+	if started != nil {
+		started(srv)
+	}
 
 	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShipDeterminism pins the replay contract: two injectors with the same
+// seed produce identical decision sequences over the same batch stream,
+// including re-rolled retries, while a different seed diverges somewhere.
+func TestShipDeterminism(t *testing.T) {
+	cfg := ShipConfig{Seed: 42, Drop: 0.2, Dup: 0.2, Reorder: 0.2, Delay: 0.2, Partition: 0.1}
+	run := func(seed int64) []ShipDecision {
+		c := cfg
+		c.Seed = seed
+		inj, err := NewShip(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []ShipDecision
+		for batch := uint64(0); batch < 200; batch++ {
+			// Two attempts per batch: retried deliveries must re-roll under
+			// the attempt counter, not repeat the first verdict.
+			out = append(out, inj.OnBatch(0, 1, batch), inj.OnBatch(0, 1, batch))
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged under the same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+	// Retries must be able to change the verdict: some batch must differ
+	// between its first and second attempt.
+	differs := false
+	for i := 0; i < len(a); i += 2 {
+		if a[i] != a[i+1] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("no batch's retry re-rolled to a different verdict")
+	}
+}
+
+// TestShipPairIndependence checks that decisions hash over the (from, to)
+// pair: the same batch ordinal on different links sees an independent
+// schedule, so ship faults stay placement-invariant.
+func TestShipPairIndependence(t *testing.T) {
+	cfg := ShipConfig{Seed: 7, Drop: 0.5}
+	a, _ := NewShip(cfg)
+	b, _ := NewShip(cfg)
+	same := true
+	for batch := uint64(0); batch < 100; batch++ {
+		if a.OnBatch(0, 1, batch) != b.OnBatch(2, 1, batch) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("links (0,1) and (2,1) share a fault schedule")
+	}
+}
+
+// TestShipPrecedence checks the decision shape invariants: a partitioned or
+// dropped batch carries no other fault, and a reordered batch is never also
+// a dup.
+func TestShipPrecedence(t *testing.T) {
+	inj, err := NewShip(ShipConfig{Seed: 1, Drop: 0.3, Dup: 0.3, Reorder: 0.3, Delay: 0.3, Partition: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := uint64(0); batch < 500; batch++ {
+		d := inj.OnBatch(0, 1, batch)
+		if (d.Partitioned || d.Drop) && (d.Dup || d.Reorder || d.Delay > 0) {
+			t.Fatalf("batch %d: lost batch carries extra faults: %+v", batch, d)
+		}
+		if d.Partitioned && d.Drop {
+			t.Fatalf("batch %d: both partitioned and dropped", batch)
+		}
+		if d.Reorder && d.Dup {
+			t.Fatalf("batch %d: both reordered and duped", batch)
+		}
+	}
+	st := inj.Stats()
+	if st.Offered != 500 {
+		t.Fatalf("Offered = %d", st.Offered)
+	}
+	for name, v := range map[string]int64{
+		"drops": st.Drops, "partitions": st.Partitions, "dups": st.Dups,
+		"reorders": st.Reorders, "delays": st.Delays,
+	} {
+		if v == 0 {
+			t.Errorf("no %s in 500 batches at p=0.3", name)
+		}
+	}
+}
+
+// TestParseShipRoundTrip checks the flag spec round-trips through String.
+func TestParseShipRoundTrip(t *testing.T) {
+	spec := "seed=42,ship-drop=0.05,ship-dup=0.1,ship-reorder=0.05,ship-delay=0.1,ship-delay-for=5ms,ship-partition=0.02"
+	cfg, err := ParseShip(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 || cfg.Drop != 0.05 || cfg.DelayFor != 5*time.Millisecond || cfg.Partition != 0.02 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	cfg2, err := ParseShip(cfg.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", cfg.String(), err)
+	}
+	if cfg2 != cfg {
+		t.Fatalf("round trip drifted: %+v vs %+v", cfg, cfg2)
+	}
+	if _, err := ParseShip("ship-drop=1.5"); err == nil {
+		t.Fatal("accepted probability above 1")
+	}
+	if _, err := ParseShip("bogus=1"); err == nil {
+		t.Fatal("accepted unknown key")
+	}
+	empty, err := ParseShip("  ")
+	if err != nil || empty.Enabled() {
+		t.Fatalf("blank spec: %+v, %v", empty, err)
+	}
+}

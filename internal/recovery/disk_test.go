@@ -39,6 +39,7 @@ func runRestoreScript(t *testing.T, rcfg recovery.Config) (recovery.RestoreStats
 		t.Fatal(err)
 	}
 	st.Downtime = 0
+	st.ReplayWall = 0
 	return st, e
 }
 

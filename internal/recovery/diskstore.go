@@ -154,6 +154,21 @@ func (s *diskStore) LogPlan(plan []int32, active int) {
 	}
 }
 
+func (s *diskStore) AdvanceHead(bucket int, lsn uint64) {
+	if bucket < 0 || bucket >= len(s.heads) {
+		return
+	}
+	for {
+		cur := s.heads[bucket].Load()
+		if lsn <= cur || s.heads[bucket].CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+func (s *diskStore) Epoch() uint64           { return s.log.Epoch() }
+func (s *diskStore) SetEpoch(e uint64) error { return s.log.SetEpoch(e) }
+
 func (s *diskStore) Checkpoint() error { return s.log.Checkpoint() }
 func (s *diskStore) Records() int64    { return s.records.Load() }
 func (s *diskStore) Bytes() int64      { return s.log.DiskBytes() }

@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -47,6 +48,16 @@ type LogStore interface {
 	// Err returns the store's latched fatal error, if any. Once an append
 	// fails the store stops accepting records and reports it here.
 	Err() error
+	// AdvanceHead raises a bucket's last-assigned LSN (never lowers it). A
+	// replica bootstrapping from a primary's snapshot uses it to continue
+	// the primary's LSN numbering: Install raises only the recovery base,
+	// but subsequent local appends must also start above the snapshot LSN.
+	AdvanceHead(bucket int, lsn uint64)
+	// Epoch returns the replication fencing term; SetEpoch raises it (for a
+	// durable store, persisted before returning). Lowering the term is an
+	// error.
+	Epoch() uint64
+	SetEpoch(e uint64) error
 	// Close releases the store's resources.
 	Close() error
 }
@@ -86,6 +97,7 @@ type bucketLog struct {
 type memStore struct {
 	logs    []bucketLog
 	records atomic.Int64
+	epoch   atomic.Uint64
 }
 
 func newMemStore(buckets int) *memStore {
@@ -150,6 +162,32 @@ func (m *memStore) Load(buckets []int) ([]store.BucketSnapshot, []store.ReplayCo
 		l.mu.Unlock()
 	}
 	return snaps, cmds, nil
+}
+
+func (m *memStore) AdvanceHead(bucket int, lsn uint64) {
+	if bucket < 0 || bucket >= len(m.logs) {
+		return
+	}
+	l := &m.logs[bucket]
+	l.mu.Lock()
+	if lsn > l.head {
+		l.head = lsn
+	}
+	l.mu.Unlock()
+}
+
+func (m *memStore) Epoch() uint64 { return m.epoch.Load() }
+
+func (m *memStore) SetEpoch(e uint64) error {
+	for {
+		cur := m.epoch.Load()
+		if e < cur {
+			return fmt.Errorf("recovery: epoch %d below current %d", e, cur)
+		}
+		if m.epoch.CompareAndSwap(cur, e) {
+			return nil
+		}
+	}
 }
 
 func (m *memStore) LogPlan([]int32, int) {}

@@ -38,6 +38,7 @@ package recovery
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,6 +87,8 @@ type RestoreStats struct {
 	Snapshots int
 	// Replayed is how many log commands were replayed on top of them.
 	Replayed int
+	// ReplayWall is the wall time spent loading and replaying partitions.
+	ReplayWall time.Duration
 	// Downtime is how long the machine was down.
 	Downtime time.Duration
 }
@@ -102,8 +105,10 @@ type ColdStartStats struct {
 	LogBytes int64
 	// PlanRecovered reports whether a durable plan was reinstalled.
 	PlanRecovered bool
-	// Duration is the wall time of the rebuild.
-	Duration time.Duration
+	// Duration is the wall time of the rebuild; ReplayWall the part spent
+	// loading and replaying partitions (in parallel across workers).
+	Duration   time.Duration
+	ReplayWall time.Duration
 }
 
 // Manager owns the command log and drives crash/checkpoint/restore against
@@ -113,6 +118,13 @@ type ColdStartStats struct {
 type Manager struct {
 	eng *store.Engine
 	log LogStore
+	// wal is the durable store's underlying log (nil with the in-memory
+	// store); the replication plane ships from it directly.
+	wal *wal.Log
+	// baseline counts out-of-WAL data installs (migrated-in chunks). Ship
+	// batches carry it so a follower synced under an older baseline knows
+	// its copy is incomplete and resyncs.
+	baseline atomic.Uint64
 
 	// cold is the state a durable store recovered at open, consumed by
 	// ColdStart; planMuted suppresses plan re-logging while ColdStart is
@@ -173,6 +185,7 @@ func New(eng *store.Engine, cfg Config) (*Manager, error) {
 			return nil, err
 		}
 		m.log = newDiskStore(eng, l, rec)
+		m.wal = l
 		m.cold = rec
 	}
 	eng.SetCommandLog(m)
@@ -279,6 +292,11 @@ func (m *Manager) CheckpointPartition(part int) (int, error) {
 	for _, s := range snaps {
 		m.log.Install(s)
 	}
+	// The installed data arrived outside the WAL (a migrated-in chunk), so a
+	// follower that synced before this install can no longer reconstruct the
+	// node's state from shipped records alone — bump the baseline to force it
+	// to resync.
+	m.baseline.Add(1)
 	return len(snaps), nil
 }
 
@@ -315,6 +333,7 @@ func (m *Manager) Restore(machine int) (RestoreStats, error) {
 	if !m.eng.MachineDown(machine) {
 		return st, fmt.Errorf("recovery: machine %d is not down", machine)
 	}
+	replayStart := time.Now()
 	for _, part := range m.eng.PartitionsOfMachine(machine) {
 		snaps, replayed, err := m.restorePartitionLocked(part)
 		if err != nil {
@@ -324,6 +343,7 @@ func (m *Manager) Restore(machine int) (RestoreStats, error) {
 		st.Snapshots += snaps
 		st.Replayed += replayed
 	}
+	st.ReplayWall = time.Since(replayStart)
 	if since, ok := m.downSince[machine]; ok {
 		st.Downtime = time.Since(since)
 		delete(m.downSince, machine)
@@ -404,6 +424,11 @@ func (m *Manager) ColdStart() (ColdStartStats, error) {
 	}
 	m.planMuted.Store(false)
 
+	// Fence every hosted machine first, then restore their partitions with a
+	// GOMAXPROCS-bounded worker pool: distinct partitions replay through
+	// independent executors and the log store's reads are concurrency-safe,
+	// so a cold start's replay wall time scales with cores, not partitions.
+	var parts []int
 	for _, machine := range m.eng.HostedMachines() {
 		// Fence first: RestorePartition rebuilds only down partitions.
 		if !m.eng.MachineDown(machine) {
@@ -411,16 +436,44 @@ func (m *Manager) ColdStart() (ColdStartStats, error) {
 				return st, fmt.Errorf("recovery: fencing machine %d: %w", machine, err)
 			}
 		}
-		for _, part := range m.eng.PartitionsOfMachine(machine) {
-			snaps, replayed, err := m.restorePartitionLocked(part)
-			if err != nil {
-				return st, err
-			}
-			st.Partitions++
-			st.Snapshots += snaps
-			st.Replayed += replayed
-		}
+		parts = append(parts, m.eng.PartitionsOfMachine(machine)...)
 		st.Machines++
+	}
+	replayStart := time.Now()
+	type partResult struct {
+		snaps, replayed int
+		err             error
+	}
+	results := make([]partResult, len(parts))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(parts) {
+					return
+				}
+				r := &results[i]
+				r.snaps, r.replayed, r.err = m.restorePartitionLocked(parts[i])
+			}
+		}()
+	}
+	wg.Wait()
+	st.ReplayWall = time.Since(replayStart)
+	for _, r := range results {
+		if r.err != nil {
+			return st, r.err
+		}
+		st.Partitions++
+		st.Snapshots += r.snaps
+		st.Replayed += r.replayed
 	}
 	m.replayed.Add(int64(st.Replayed))
 	st.Duration = time.Since(start)

@@ -1,0 +1,85 @@
+package recovery
+
+import (
+	"errors"
+
+	"pstore/internal/store"
+	"pstore/internal/wal"
+)
+
+// Replication surface: the Manager exposes the durable WAL's ship plane
+// (cursor reads, retention pinning, lag) and the epoch/baseline state the
+// ship protocol is fenced with. Shipping requires a durable store — a
+// memory-backed manager has no byte-addressable record stream to ship.
+
+// ErrNotDurable is returned by ship operations on a memory-backed manager.
+var ErrNotDurable = errors.New("recovery: replication requires a durable store (-data-dir)")
+
+// Durable reports whether the manager has an on-disk WAL to ship from.
+func (m *Manager) Durable() bool { return m.wal != nil }
+
+// Epoch returns the replication fencing term.
+func (m *Manager) Epoch() uint64 { return m.log.Epoch() }
+
+// SetEpoch raises the fencing term (persisted in the WAL manifest for a
+// durable store). Lowering it is an error — that is the zombie case.
+func (m *Manager) SetEpoch(e uint64) error { return m.log.SetEpoch(e) }
+
+// BaselineSeq returns the out-of-WAL install counter ship batches carry.
+func (m *Manager) BaselineSeq() uint64 { return m.baseline.Load() }
+
+// PlanSeq returns the WAL's current plan sequence (0 when not durable) —
+// the skip threshold a freshly synced follower applies to shipped plan
+// records.
+func (m *Manager) PlanSeq() uint64 {
+	if m.wal == nil {
+		return 0
+	}
+	return m.wal.PlanSeq()
+}
+
+// ShipEnd returns the cursor addressing the durable end of the WAL.
+func (m *Manager) ShipEnd() (wal.ShipCursor, error) {
+	if m.wal == nil {
+		return wal.ShipCursor{}, ErrNotDurable
+	}
+	return m.wal.ShipEnd(), nil
+}
+
+// ReadShip returns up to max durable records beyond the cursor and the
+// cursor after them. wal.ErrShipGone means the cursor's records were
+// compacted and the follower must full-resync.
+func (m *Manager) ReadShip(cur wal.ShipCursor, max int) ([]wal.ShipRecord, wal.ShipCursor, error) {
+	if m.wal == nil {
+		return nil, cur, ErrNotDurable
+	}
+	return m.wal.ReadShip(cur, max)
+}
+
+// ShipLag returns the durable bytes beyond the cursor.
+func (m *Manager) ShipLag(cur wal.ShipCursor) int64 {
+	if m.wal == nil {
+		return 0
+	}
+	return m.wal.ShipLag(cur)
+}
+
+// PinShip protects segments at or beyond seg from compaction while a
+// follower catches up. seg <= 0 clears the pin.
+func (m *Manager) PinShip(seg int) {
+	if m.wal != nil {
+		m.wal.PinShip(seg)
+	}
+}
+
+// InstallReplicaBaseline installs a primary's snapshot frames as the local
+// recovery baseline and advances each bucket's LSN head to the snapshot LSN,
+// so subsequently applied ship records continue the primary's numbering and
+// the log head doubles as the dedup state for duplicate batches.
+func (m *Manager) InstallReplicaBaseline(snaps []store.BucketSnapshot) error {
+	for _, s := range snaps {
+		m.log.Install(s)
+		m.log.AdvanceHead(s.Bucket, s.LSN)
+	}
+	return m.log.Err()
+}

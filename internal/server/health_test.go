@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pstore/internal/recovery"
+	"pstore/internal/store"
+	"pstore/internal/wal"
+	"pstore/internal/wire"
+)
+
+// TestHealthzReportsWALFailure is the dead-log regression test: a node whose
+// WAL latches a fail-stop error still executes from memory, but it can no
+// longer promise durability — /v1/healthz must flip to 503 (so the
+// coordinator's failure detector declares it dead) and the node status must
+// carry the latched error.
+func TestHealthzReportsWALFailure(t *testing.T) {
+	cfg := store.Config{
+		MaxMachines:          1,
+		PartitionsPerMachine: 2,
+		Buckets:              64,
+		QueueCapacity:        1 << 10,
+		InitialMachines:      1,
+	}
+	eng, err := store.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register("put", func(tx *store.Tx) (any, error) {
+		return nil, tx.Put("kv", tx.Key, tx.Args)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fs := wal.NewMemFS(1)
+	rm, err := recovery.New(eng, recovery.Config{DataDir: "data", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	t.Cleanup(eng.Stop)
+	srv, err := New(Config{
+		Engine: eng,
+		Node:   &NodeConfig{ID: 0, Nodes: 1, Recovery: rm},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	health := func() (int, string) {
+		w := httptest.NewRecorder()
+		srv.handleHealth(w, httptest.NewRequest(http.MethodGet, wire.PathHealth, nil))
+		return w.Code, w.Body.String()
+	}
+	nodeStatus := func() wire.NodeStatus {
+		w := httptest.NewRecorder()
+		srv.handleNodeStatus(w, httptest.NewRequest(http.MethodGet, wire.PathNodeStatus, nil))
+		if w.Code != 200 {
+			t.Fatalf("node status: %d %s", w.Code, w.Body.String())
+		}
+		var st wire.NodeStatus
+		if err := json.NewDecoder(w.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	if _, err := eng.Execute("put", "k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := health(); code != 200 {
+		t.Fatalf("healthy node: %d %s", code, body)
+	}
+	if st := nodeStatus(); st.WALError != "" || st.Role != "primary" {
+		t.Fatalf("healthy status: WALError=%q Role=%q", st.WALError, st.Role)
+	}
+
+	// Kill the disk: the next durable append tears and latches the log.
+	// Command logging is fail-stop, not fail-txn — the execution itself
+	// still answers from memory, which is exactly why the health probe has
+	// to carry the latched error.
+	fs.CrashAfterWrites(1)
+	if _, err := eng.Execute("put", "k", 2); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if rm.Err() == nil {
+		t.Fatal("WAL error did not latch")
+	}
+
+	code, body := health()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("dead-log healthz: %d %s, want 503", code, body)
+	}
+	var out struct {
+		OK    bool   `json:"ok"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil || out.OK || out.Error == "" {
+		t.Fatalf("dead-log healthz body %q (%v)", body, err)
+	}
+	if st := nodeStatus(); st.WALError == "" {
+		t.Fatal("node status does not surface the latched WAL error")
+	}
+}

@@ -39,6 +39,20 @@ type NodeConfig struct {
 	// transaction forwarding. Nil disables forwarding: not-owned refusals
 	// surface to the client as retryable 503s instead.
 	PeerURL func(node int) string
+	// SetPeerURL repoints one peer slot's base URL — the coordinator's
+	// rewiring step after promoting a follower (served at /v1/node/peer).
+	// Nil refuses rewiring requests.
+	SetPeerURL func(node int, url string)
+	// ReplicaOf, when non-empty, starts this node as a warm follower of the
+	// primary at that base URL: client transactions are refused until
+	// promotion, and the /v1/repl/ship endpoint applies the primary's WAL.
+	ReplicaOf string
+	// OnReplicaSync is invoked (on its own goroutine) after this node, as a
+	// primary, streams a sync snapshot to a follower: the serving process
+	// starts a shipper that streams WAL records from cur to followerURL. The
+	// server cannot own the shipper itself — the ship client lives in
+	// internal/transport, which imports this package.
+	OnReplicaSync func(followerURL string, cur wire.ShipCursor)
 }
 
 func (nc *NodeConfig) validate() error {
@@ -71,6 +85,32 @@ func (s *Server) registerNodeHandlers(mux *http.ServeMux) {
 	mux.HandleFunc(wire.PathNodeStatus, s.handleNodeStatus)
 	mux.HandleFunc(wire.PathNodeMachines, s.handleNodeMachines)
 	mux.HandleFunc(wire.PathNodeAccesses, s.handleNodeAccesses)
+	mux.HandleFunc(wire.PathNodePeer, s.handleNodePeer)
+	mux.HandleFunc(wire.PathReplSync, s.handleReplSync)
+	mux.HandleFunc(wire.PathReplShip, s.handleReplShip)
+	mux.HandleFunc(wire.PathReplPromote, s.handleReplPromote)
+	mux.HandleFunc(wire.PathReplStatus, s.handleReplStatus)
+}
+
+// handleNodePeer repoints one peer slot's base URL — after a failover the
+// coordinator rewires every survivor so forwarded transactions reach the
+// promoted follower instead of the dead primary.
+func (s *Server) handleNodePeer(w http.ResponseWriter, r *http.Request) {
+	var req wire.NodePeer
+	if !decodeNodeJSON(w, r, &req) {
+		return
+	}
+	nc := s.cfg.Node
+	if nc.SetPeerURL == nil {
+		writeNodeError(w, errors.New("server: node has no mutable peer table"))
+		return
+	}
+	if req.Node < 0 || req.Node >= nc.Nodes || req.URL == "" {
+		writeNodeError(w, fmt.Errorf("%w: peer %d -> %q", errBadNodeRequest, req.Node, req.URL))
+		return
+	}
+	nc.SetPeerURL(req.Node, req.URL)
+	writeJSON(w, struct{}{})
 }
 
 // writeNodeError maps a node-plane error onto the wire with the same stable
@@ -334,7 +374,7 @@ func (s *Server) handleNodeSnapshot(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleNodeStatus(w http.ResponseWriter, r *http.Request) {
 	eng := s.cfg.Engine
 	cfg := eng.Config()
-	writeJSON(w, wire.NodeStatus{
+	st := wire.NodeStatus{
 		Node:                 s.cfg.Node.ID,
 		Nodes:                s.cfg.Node.Nodes,
 		MaxMachines:          cfg.MaxMachines,
@@ -348,7 +388,17 @@ func (s *Server) handleNodeStatus(w http.ResponseWriter, r *http.Request) {
 		TotalRows:            eng.TotalRows(),
 		Counters:             eng.Counters(),
 		MaxSojournNs:         eng.MaxQueueSojourn().Nanoseconds(),
-	})
+		Role:                 s.replRole(),
+	}
+	if rm := s.cfg.Node.Recovery; rm != nil {
+		st.Epoch = rm.Epoch()
+		if err := rm.Err(); err != nil {
+			// A latched log failure means durability is gone: the node still
+			// serves from memory, but the coordinator must treat it as failed.
+			st.WALError = err.Error()
+		}
+	}
+	writeJSON(w, st)
 }
 
 // handleNodeMachines sets the active machine count.

@@ -1,0 +1,447 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"pstore/internal/recovery"
+	"pstore/internal/store"
+	"pstore/internal/wal"
+	"pstore/internal/wire"
+)
+
+// Replication plane. A node is either a primary (the default) or a warm
+// replica (started with NodeConfig.ReplicaOf). The primary serves
+// /v1/repl/sync — a fuzzy snapshot of everything it hosts plus the WAL
+// cursor shipping starts from — and the serving process ships batches of
+// WAL records to the follower's /v1/repl/ship, where they are applied
+// through the same engine/recovery machinery that executed them on the
+// primary: commands re-execute (and re-log to the replica's own WAL under
+// the primary's LSNs), plan records re-run the migration locally. The
+// replica is therefore continuously promotable: its own data directory
+// cold-starts to the replicated state.
+//
+// Fencing: every ship batch carries the primary's epoch. Promotion raises
+// the follower's epoch above it, so a zombie primary that comes back and
+// keeps shipping gets CodeFenced and stands down. The epoch is persisted in
+// the WAL manifest, so fencing survives restarts of either side.
+
+// replState is the server's replication role and, for a replica, its
+// applied position in the primary's WAL. The mutex also serializes ship
+// application: batches arrive from one shipper, but retries and a zombie
+// primary can overlap requests.
+type replState struct {
+	mu      sync.Mutex
+	replica bool
+	// ready flips once the sync snapshot is installed; until then ship
+	// batches are refused retryably.
+	ready bool
+	// applied is the cursor after the last applied batch; baseline and
+	// planSeq are the sync-time skip thresholds (see handleReplShip).
+	applied  wire.ShipCursor
+	planSeq  uint64
+	baseline uint64
+}
+
+func (s *Server) isReplica() bool {
+	s.repl.mu.Lock()
+	defer s.repl.mu.Unlock()
+	return s.repl.replica
+}
+
+func (s *Server) replRole() string {
+	if s.isReplica() {
+		return "replica"
+	}
+	return "primary"
+}
+
+func wireCursor(c wal.ShipCursor) wire.ShipCursor {
+	return wire.ShipCursor{Seg: c.Seg, Rec: c.Rec, Off: c.Off}
+}
+
+// handleReplSync seeds a follower: one ReplSyncMeta frame, then one
+// BucketFrame per hosted bucket. The ship cursor is taken before the
+// snapshots, so every record a snapshot may already include arrives again
+// with LSN <= the bucket's image LSN and is deduplicated follower-side;
+// PlanSeq is read before the plan for the same reason (a racing plan change
+// is re-shipped rather than lost). The cursor's segment is pinned against
+// compaction before the snapshot starts so shipping can begin from it.
+func (s *Server) handleReplSync(w http.ResponseWriter, r *http.Request) {
+	var req wire.ReplSync
+	if !decodeNodeJSON(w, r, &req) {
+		return
+	}
+	if s.isReplica() {
+		writeNodeError(w, fmt.Errorf("%w: a replica cannot seed a follower", wire.ErrFenced))
+		return
+	}
+	rm, err := s.nodeRecovery()
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	if !rm.Durable() {
+		writeNodeError(w, errors.New("server: replication requires a durable store (-data-dir)"))
+		return
+	}
+	eng := s.cfg.Engine
+	planSeq := rm.PlanSeq()
+	plan := eng.Plan()
+	active := eng.ActiveMachines()
+	cursor, err := rm.ShipEnd()
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	rm.PinShip(cursor.Seg)
+	var frames []wire.BucketFrame
+	for _, m := range eng.HostedMachines() {
+		if eng.MachineDown(m) {
+			writeNodeError(w, fmt.Errorf("%w: machine %d is down; cannot seed a follower", store.ErrPartitionDown, m))
+			return
+		}
+		for _, part := range eng.PartitionsOfMachine(m) {
+			snaps, err := eng.SnapshotPartition(part)
+			if err != nil {
+				writeNodeError(w, err)
+				return
+			}
+			for _, sn := range snaps {
+				f, err := wire.FrameFromSnapshot(sn)
+				if err != nil {
+					writeNodeError(w, err)
+					return
+				}
+				frames = append(frames, f)
+			}
+		}
+	}
+	meta := wire.ReplSyncMeta{
+		Epoch:    rm.Epoch(),
+		Baseline: rm.BaselineSeq(),
+		Cursor:   wireCursor(cursor),
+		PlanSeq:  planSeq,
+		Plan:     plan,
+		Active:   active,
+		Buckets:  len(frames),
+	}
+	var buf bytes.Buffer
+	if err := wire.EncodeFrame(&buf, meta); err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	for i := range frames {
+		if err := wire.EncodeFrame(&buf, frames[i]); err != nil {
+			writeNodeError(w, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", wire.ContentTypeChunk)
+	_, _ = w.Write(buf.Bytes())
+	if cb := s.cfg.Node.OnReplicaSync; cb != nil && req.FollowerURL != "" {
+		go cb(req.FollowerURL, meta.Cursor)
+	}
+}
+
+// InstallReplicaState applies a primary's sync stream to this node: fence
+// local execution, adopt the primary's plan, restore every hosted partition
+// from the snapshot frames, and make the snapshot this node's own recovery
+// baseline (images installed, per-bucket LSN heads advanced to the
+// snapshot's — so applied ship records continue the primary's numbering and
+// the log head doubles as the duplicate-batch filter). The serving process
+// calls this after fetching /v1/repl/sync, before the node is ready for
+// ship batches.
+func (s *Server) InstallReplicaState(meta wire.ReplSyncMeta, frames []wire.BucketFrame) error {
+	nc := s.cfg.Node
+	if nc == nil || !s.isReplica() {
+		return errors.New("server: InstallReplicaState on a non-replica node")
+	}
+	rm := nc.Recovery
+	if rm == nil {
+		return errors.New("server: replica has no recovery manager attached")
+	}
+	eng := s.cfg.Engine
+	// Fence: no local transaction may interleave with the install. The
+	// partitions come back up one by one through RestorePartition below.
+	for _, m := range eng.HostedMachines() {
+		if !eng.MachineDown(m) {
+			if err := eng.Crash(m); err != nil {
+				return err
+			}
+		}
+	}
+	cur := eng.Plan()
+	if len(meta.Plan) != len(cur) {
+		return fmt.Errorf("server: sync plan covers %d buckets, engine has %d", len(meta.Plan), len(cur))
+	}
+	byOwner := make(map[int][]int)
+	for b := range cur {
+		if cur[b] != meta.Plan[b] {
+			byOwner[int(meta.Plan[b])] = append(byOwner[int(meta.Plan[b])], b)
+		}
+	}
+	for owner, buckets := range byOwner {
+		if err := eng.ApplyOwnership(buckets, owner); err != nil {
+			return err
+		}
+	}
+	if meta.Active > 0 && meta.Active != eng.ActiveMachines() {
+		if err := eng.SetActiveMachines(meta.Active); err != nil {
+			return err
+		}
+	}
+	snaps := make([]store.BucketSnapshot, 0, len(frames))
+	byPart := make(map[int][]store.BucketSnapshot)
+	for _, f := range frames {
+		sn, err := wire.SnapshotFromFrame(f, nc.DecodeRow)
+		if err != nil {
+			return err
+		}
+		snaps = append(snaps, sn)
+		part := eng.OwnerOf(sn.Bucket)
+		byPart[part] = append(byPart[part], sn)
+	}
+	// Every hosted partition restores — including empty ones, which simply
+	// come back up — so the whole node is live and crash-consistent.
+	for _, m := range eng.HostedMachines() {
+		for _, part := range eng.PartitionsOfMachine(m) {
+			if _, err := eng.RestorePartition(part, byPart[part], nil); err != nil {
+				return err
+			}
+		}
+	}
+	if err := rm.InstallReplicaBaseline(snaps); err != nil {
+		return err
+	}
+	if err := rm.SetEpoch(meta.Epoch); err != nil {
+		return err
+	}
+	if _, err := rm.Checkpoint(); err != nil {
+		return err
+	}
+	s.repl.mu.Lock()
+	s.repl.applied = meta.Cursor
+	s.repl.planSeq = meta.PlanSeq
+	s.repl.baseline = meta.Baseline
+	s.repl.ready = true
+	s.repl.mu.Unlock()
+	return nil
+}
+
+// handleReplShip applies one shipped WAL batch. The guards, in order:
+// role (a non-replica fences the sender — the zombie-primary case), epoch
+// (a batch under any other term is fenced), readiness (retryable until the
+// sync snapshot is installed), baseline (the primary installed data outside
+// the WAL since sync — only a fresh sync can continue), and position (a
+// batch not starting at the applied cursor gets a Gap ack carrying where to
+// rewind to; duplicates land here too and re-apply as no-ops thanks to
+// per-bucket LSN dedup).
+func (s *Server) handleReplShip(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "server: POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	batch, err := wire.ReadShipBatch(r.Body)
+	if err != nil {
+		writeNodeError(w, fmt.Errorf("%w: %v", errBadNodeRequest, err))
+		return
+	}
+	rm, err := s.nodeRecovery()
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	st := &s.repl
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.replica {
+		writeNodeError(w, fmt.Errorf("%w: node is not a replica (epoch %d)", wire.ErrFenced, rm.Epoch()))
+		return
+	}
+	if epoch := rm.Epoch(); batch.Epoch != epoch {
+		writeNodeError(w, fmt.Errorf("%w: batch epoch %d, replica epoch %d", wire.ErrFenced, batch.Epoch, epoch))
+		return
+	}
+	if !st.ready {
+		writeNodeError(w, fmt.Errorf("%w: replica sync incomplete", store.ErrStopped))
+		return
+	}
+	if batch.Baseline != st.baseline {
+		writeJSON(w, wire.ShipAck{Epoch: rm.Epoch(), Applied: st.applied, Resync: true})
+		return
+	}
+	if batch.From != st.applied {
+		writeJSON(w, wire.ShipAck{Epoch: rm.Epoch(), Applied: st.applied, Gap: true})
+		return
+	}
+	for i := range batch.Records {
+		rec := &batch.Records[i]
+		if rec.IsPlan() {
+			if rec.PlanSeq <= st.planSeq {
+				continue
+			}
+			if err := s.applyShippedPlan(rec); err != nil {
+				writeNodeError(w, err)
+				return
+			}
+			st.planSeq = rec.PlanSeq
+			continue
+		}
+		head := rm.LogHead(rec.Bucket)
+		if rec.LSN <= head {
+			continue // already applied (snapshot overlap or duplicate batch)
+		}
+		if rec.LSN > head+1 {
+			writeNodeError(w, fmt.Errorf("server: ship record %d skips bucket %d from lsn %d to %d", i, rec.Bucket, head, rec.LSN))
+			return
+		}
+		var args any
+		if len(rec.Args) > 0 && string(rec.Args) != "null" {
+			if s.cfg.DecodeArgs == nil {
+				writeNodeError(w, fmt.Errorf("server: shipped %q carries args but no codec is configured", rec.Txn))
+				return
+			}
+			if args, err = s.cfg.DecodeArgs(rec.Txn, rec.Args); err != nil {
+				writeNodeError(w, fmt.Errorf("server: decoding shipped %q args: %v", rec.Txn, err))
+				return
+			}
+		}
+		id, ok := s.handles[rec.Txn]
+		if !ok {
+			writeNodeError(w, fmt.Errorf("%w: shipped %q", store.ErrUnknownTxn, rec.Txn))
+			return
+		}
+		if _, err := s.cfg.Engine.ExecuteID(id, rec.Key, args); err != nil {
+			// A procedure-level error is a deterministic outcome the primary
+			// logged too — its partial effects replicate exactly. Anything
+			// else (partition down, engine stopped) is an infrastructure
+			// failure: fail the batch without advancing, the shipper retries.
+			if wire.CodeOf(err) != wire.CodeTxn {
+				writeNodeError(w, err)
+				return
+			}
+		}
+	}
+	st.applied = batch.Next
+	writeJSON(w, wire.ShipAck{Epoch: rm.Epoch(), Applied: st.applied})
+}
+
+// applyShippedPlan re-runs a primary-side plan change locally: changed
+// buckets move between partitions this node hosts (a real local migration,
+// so rows follow ownership), leave hosted partitions when their new owner
+// lives elsewhere (that node's own WAL covers them now), or merely flip
+// ownership when neither side is hosted here. An inbound migration from
+// another node has no row source in the WAL at all — the primary received
+// those rows out-of-band, bumped its baseline, and this replica resyncs.
+func (s *Server) applyShippedPlan(rec *wire.ShipRecord) error {
+	eng := s.cfg.Engine
+	cur := eng.Plan()
+	if len(rec.Plan) != len(cur) {
+		return fmt.Errorf("server: shipped plan covers %d buckets, engine has %d", len(rec.Plan), len(cur))
+	}
+	type hop struct{ from, to int }
+	groups := make(map[hop][]int)
+	for b := range cur {
+		if cur[b] != rec.Plan[b] {
+			h := hop{int(cur[b]), int(rec.Plan[b])}
+			groups[h] = append(groups[h], b)
+		}
+	}
+	for h, buckets := range groups {
+		fromHosted := eng.Hosted(eng.MachineOfPartition(h.from))
+		toHosted := eng.Hosted(eng.MachineOfPartition(h.to))
+		switch {
+		case fromHosted && toHosted:
+			if _, err := eng.MoveBuckets(buckets, h.from, h.to, 0, 0); err != nil {
+				return err
+			}
+		case fromHosted:
+			if _, err := eng.ExtractBuckets(buckets, h.from, h.to, 0, 0, false); err != nil {
+				return err
+			}
+		default:
+			if err := eng.ApplyOwnership(buckets, h.to); err != nil {
+				return err
+			}
+		}
+	}
+	if rec.Active > 0 && rec.Active != eng.ActiveMachines() {
+		return eng.SetActiveMachines(rec.Active)
+	}
+	return nil
+}
+
+// handleReplPromote turns a replica into a primary under a strictly higher
+// epoch, persisted before the role flips so the fence survives a restart.
+// Promoting a node that is already primary at (or above) the requested
+// epoch is idempotent success — the coordinator may retry.
+func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
+	var req wire.ReplPromote
+	if !decodeNodeJSON(w, r, &req) {
+		return
+	}
+	rm, err := s.nodeRecovery()
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	st := &s.repl
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.replica {
+		if !st.ready {
+			writeNodeError(w, fmt.Errorf("%w: replica sync incomplete; cannot promote", store.ErrStopped))
+			return
+		}
+		if req.Epoch <= rm.Epoch() {
+			writeNodeError(w, fmt.Errorf("%w: promote epoch %d not above current %d", wire.ErrFenced, req.Epoch, rm.Epoch()))
+			return
+		}
+	}
+	if req.Epoch > rm.Epoch() {
+		if err := rm.SetEpoch(req.Epoch); err != nil {
+			writeNodeError(w, err)
+			return
+		}
+	}
+	st.replica = false
+	writeJSON(w, s.replStatusLocked(rm))
+}
+
+// handleReplStatus reports the node's replication self-description.
+func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	rm, err := s.nodeRecovery()
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	st := &s.repl
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	writeJSON(w, s.replStatusLocked(rm))
+}
+
+// replStatusLocked builds a ReplStatus; the caller holds s.repl.mu.
+func (s *Server) replStatusLocked(rm *recovery.Manager) wire.ReplStatus {
+	out := wire.ReplStatus{
+		Epoch:    rm.Epoch(),
+		Baseline: rm.BaselineSeq(),
+		Applied:  s.repl.applied,
+		PlanSeq:  s.repl.planSeq,
+	}
+	if s.repl.replica {
+		out.Role = "replica"
+	} else {
+		out.Role = "primary"
+	}
+	if rm.Durable() {
+		if end, err := rm.ShipEnd(); err == nil {
+			out.Durable = wireCursor(end)
+		}
+	}
+	return out
+}

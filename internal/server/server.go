@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"pstore/internal/metrics"
+	"pstore/internal/recovery"
 	"pstore/internal/store"
 	"pstore/internal/wire"
 )
@@ -69,6 +70,11 @@ type Config struct {
 	// cluster: the /v1/node/* endpoints are served and transactions for
 	// partitions hosted elsewhere are forwarded to their hosting peer.
 	Node *NodeConfig
+	// Recovery, when set, is surfaced by /v1/healthz: a latched WAL
+	// fail-stop error turns the health probe into a 503, so a node that
+	// silently lost durability reads as dead to its coordinator. Defaults
+	// to Node.Recovery in node mode.
+	Recovery *recovery.Manager
 }
 
 // Counters are the server's cumulative wire-level counts.
@@ -124,6 +130,9 @@ type Server struct {
 
 	// fwd relays not-owned transactions to hosting peers in node mode.
 	fwd *http.Client
+
+	// repl is the node's replication role and applied-ship position.
+	repl replState
 }
 
 // New builds a server over a started engine. The engine's transaction
@@ -165,6 +174,10 @@ func New(cfg Config) (*Server, error) {
 			Transport: &http.Transport{MaxIdleConnsPerHost: 16, IdleConnTimeout: 30 * time.Second},
 		}
 		s.registerNodeHandlers(mux)
+		s.repl.replica = cfg.Node.ReplicaOf != ""
+		if s.cfg.Recovery == nil {
+			s.cfg.Recovery = cfg.Node.Recovery
+		}
 	}
 	s.httpSrv = &http.Server{
 		Handler:           mux,
@@ -226,6 +239,12 @@ func (s *Server) Counters() Counters {
 // failure, is a Response. hops is how many node-to-node forwards the request
 // has already taken (0 for a client-originated request).
 func (s *Server) execute(ctx context.Context, req wire.Request, hops int) wire.Response {
+	if s.isReplica() {
+		// A warm replica applies only its primary's shipped WAL; a client
+		// transaction executed here would fork the replicated history.
+		return s.errResponse(wire.CodeNotOwned,
+			"server: node is a warm replica; submit to its primary", downRetryMs)
+	}
 	id, ok := s.handles[req.Txn]
 	if !ok {
 		return s.failure(req, fmt.Errorf("%w: %q", store.ErrUnknownTxn, req.Txn))
@@ -307,7 +326,7 @@ func (s *Server) errResponse(code, msg string, retryMs int64) wire.Response {
 		}
 	case wire.CodeDeadline:
 		s.deadline504.Add(1)
-	case wire.CodePartitionDown, wire.CodeStopped:
+	case wire.CodePartitionDown, wire.CodeStopped, wire.CodeNotOwned:
 		s.down503.Add(1)
 	case wire.CodeUnknownTxn, wire.CodeBadRequest:
 		s.badRequests.Add(1)
@@ -463,9 +482,22 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(info)
 }
 
-// handleHealth reports liveness.
+// handleHealth reports liveness. A process whose WAL has latched a
+// fail-stop error still serves from memory, but it can no longer promise
+// durability — it reports unhealthy so probes (and the coordinator's
+// failure detector) treat it as dead.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if rm := s.cfg.Recovery; rm != nil {
+		if err := rm.Err(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(struct {
+				OK    bool   `json:"ok"`
+				Error string `json:"error"`
+			}{OK: false, Error: err.Error()})
+			return
+		}
+	}
 	fmt.Fprintln(w, `{"ok":true}`)
 }
 

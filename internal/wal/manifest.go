@@ -42,6 +42,10 @@ type Manifest struct {
 	// was logged); Active is the active machine count alongside it.
 	Plan   []int32 `json:"plan,omitempty"`
 	Active int     `json:"active,omitempty"`
+	// Epoch is the replication fencing term. A promoted follower raises it;
+	// a zombie primary still on the old epoch has its ship batches rejected,
+	// and the raise is durable here so fencing survives restarts.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // DecodeManifest parses and validates manifest bytes. It never panics;

@@ -1,0 +1,245 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path/filepath"
+)
+
+// WAL shipping: a primary streams its durable record stream — commands and
+// plan records alike — to a follower by cursor. A cursor addresses a point
+// in the stream as (segment sequence, records consumed within it); segments
+// are single gob streams, so a ship read always decodes a segment from byte
+// zero and skips the consumed prefix. The byte offset rides along purely for
+// lag accounting.
+//
+// Retention interacts with shipping through PinShip: Checkpoint normally
+// deletes sealed segments once images cover them, which would tear the ship
+// stream out from under a slow follower. The shipper pins the oldest segment
+// its follower has not acknowledged; a cursor pointing into a segment that
+// was compacted anyway (pin set too late, or no shipper at all) gets
+// ErrShipGone and the follower must full-resync.
+
+// ErrShipGone reports that a ship cursor points at log records that no
+// longer exist — the segment was compacted. The only recovery is a full
+// resync from a fresh snapshot.
+var ErrShipGone = errors.New("wal: shipped records compacted")
+
+// ShipCursor addresses a point in the durable record stream.
+type ShipCursor struct {
+	// Seg is the segment sequence number (1-based; 0 means "start of log").
+	Seg int
+	// Rec is how many records of the segment are already consumed.
+	Rec int
+	// Off is the byte offset after the consumed records, for lag accounting.
+	Off int64
+}
+
+// ShipRecord is one shipped record: either a command (Txn != "") or a plan
+// change (PlanSeq > 0) — the same union a segment stores.
+type ShipRecord struct {
+	// Command fields.
+	Bucket int
+	LSN    uint64
+	Txn    string
+	Key    string
+	Args   any
+	// Plan fields.
+	PlanSeq uint64
+	Plan    []int32
+	Active  int
+}
+
+// IsPlan reports whether the record is a plan change.
+func (r *ShipRecord) IsPlan() bool { return r.PlanSeq > 0 }
+
+// ShipEnd returns the cursor addressing the durable end of the log: shipping
+// from here yields nothing until new records are appended. Taken before a
+// snapshot, it bounds exactly what the snapshot may already include.
+func (l *Log) ShipEnd() ShipCursor {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return ShipCursor{Seg: l.activeSeq, Rec: l.durableRecs, Off: l.activeSize}
+}
+
+// PinShip keeps segments with sequence >= seg out of compaction, protecting
+// a follower's unacknowledged records. seg <= 0 clears the pin.
+func (l *Log) PinShip(seg int) {
+	l.mu.Lock()
+	if seg < 0 {
+		seg = 0
+	}
+	l.shipPin = seg
+	l.mu.Unlock()
+}
+
+// ShipLag returns how many durable log bytes lie beyond the cursor — the
+// follower's replication lag in bytes.
+func (l *Log) ShipLag(cur ShipCursor) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var lag int64
+	for _, s := range l.segs {
+		if s.seq > cur.Seg {
+			lag += s.size
+		} else if s.seq == cur.Seg {
+			lag += s.size - cur.Off
+		}
+	}
+	if l.activeSeq > cur.Seg {
+		lag += l.activeSize
+	} else if l.activeSeq == cur.Seg {
+		lag += l.activeSize - cur.Off
+	}
+	if lag < 0 {
+		lag = 0
+	}
+	return lag
+}
+
+// PlanSeq returns the current plan-change sequence number.
+func (l *Log) PlanSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.planSeq
+}
+
+// Epoch returns the replication fencing term.
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// SetEpoch raises the fencing term and persists it in the manifest before
+// returning, so a promotion survives a restart. Lowering the term is
+// refused — that is exactly the zombie-primary case fencing exists for.
+func (l *Log) SetEpoch(e uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if e < l.epoch {
+		return fmt.Errorf("wal: epoch %d below current %d", e, l.epoch)
+	}
+	if e == l.epoch {
+		return nil
+	}
+	prev := l.epoch
+	l.epoch = e
+	if err := l.writeManifest(); err != nil {
+		l.epoch = prev
+		return err
+	}
+	l.manifestPlanSeq = l.planSeq
+	return nil
+}
+
+// ReadShip returns up to maxRecords durable records beyond the cursor, in
+// log order, and the cursor addressing the position after them. Like
+// LoadTails it snapshots the durable extent under the lock and reads segment
+// files outside it, so it never blocks the append path for the duration of
+// the I/O. An empty result with a nil error means the cursor is caught up.
+func (l *Log) ReadShip(cur ShipCursor, maxRecords int) ([]ShipRecord, ShipCursor, error) {
+	if maxRecords <= 0 {
+		maxRecords = 512
+	}
+	type ext struct {
+		seq  int
+		name string
+		size int64
+		recs int
+	}
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return nil, cur, err
+	}
+	exts := make([]ext, 0, len(l.segs)+1)
+	for _, s := range l.segs {
+		exts = append(exts, ext{s.seq, s.name, s.size, s.recs})
+	}
+	exts = append(exts, ext{l.activeSeq, l.activeName, l.activeSize, l.durableRecs})
+	l.mu.Unlock()
+
+	if cur.Seg == 0 {
+		cur = ShipCursor{Seg: exts[0].seq}
+	}
+	i := -1
+	for j := range exts {
+		if exts[j].seq == cur.Seg {
+			i = j
+			break
+		}
+	}
+	if i < 0 {
+		return nil, cur, fmt.Errorf("%w: segment %d is not retained", ErrShipGone, cur.Seg)
+	}
+	var out []ShipRecord
+	for ; i < len(exts); i++ {
+		e := exts[i]
+		if cur.Rec > e.recs {
+			return nil, cur, fmt.Errorf("wal: ship cursor %d records into segment %d, which holds %d", cur.Rec, e.seq, e.recs)
+		}
+		if cur.Rec < e.recs {
+			data, err := readAll(l.fs, filepath.Join(l.dir, e.name))
+			if err != nil {
+				return nil, cur, err
+			}
+			if int64(len(data)) > e.size {
+				data = data[:e.size] // ignore bytes synced after the snapshot
+			}
+			srs, _, derr := decodeSegRecords(data)
+			if len(srs) < e.recs {
+				// The snapshotted durable extent must decode cleanly.
+				if derr == nil {
+					derr = fmt.Errorf("holds %d records, expected %d", len(srs), e.recs)
+				}
+				return nil, cur, fmt.Errorf("wal: ship read of %s: %w", e.name, derr)
+			}
+			end := e.recs
+			if take := maxRecords - len(out); end-cur.Rec > take {
+				end = cur.Rec + take
+			}
+			for k := cur.Rec; k < end; k++ {
+				sr := &srs[k]
+				if sr.Kind == recPlan {
+					out = append(out, ShipRecord{PlanSeq: sr.PlanSeq, Plan: sr.Plan, Active: int(sr.Active)})
+				} else {
+					out = append(out, ShipRecord{
+						Bucket: int(sr.Bucket), LSN: sr.LSN, Txn: sr.Txn, Key: sr.Key, Args: sr.Args,
+					})
+				}
+			}
+			cur.Rec = end
+			cur.Off = frameEnd(data, end)
+			if len(out) >= maxRecords {
+				break
+			}
+		}
+		// This segment's durable extent is consumed; step into the next one.
+		if i+1 >= len(exts) {
+			break
+		}
+		if exts[i+1].seq != e.seq+1 {
+			return nil, cur, fmt.Errorf("%w: segments %d..%d were compacted", ErrShipGone, e.seq+1, exts[i+1].seq-1)
+		}
+		cur = ShipCursor{Seg: exts[i+1].seq}
+	}
+	return out, cur, nil
+}
+
+// frameEnd returns the byte offset after the first n frames of a segment.
+// The caller has already decoded at least n records, so the headers are
+// known-valid.
+func frameEnd(data []byte, n int) int64 {
+	off := int64(0)
+	for k := 0; k < n; k++ {
+		length := binary.BigEndian.Uint32(data[off : off+4])
+		off += frameHeaderSize + int64(length)
+	}
+	return off
+}

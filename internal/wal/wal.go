@@ -103,7 +103,9 @@ type Recovered struct {
 // segment is one sealed (immutable) segment's compaction bookkeeping.
 type segment struct {
 	name       string
+	seq        int
 	size       int64
+	recs       int            // record count; ship cursors address (seq, rec)
 	maxLSN     map[int]uint64 // bucket -> largest LSN in this segment
 	maxPlanSeq uint64
 }
@@ -127,12 +129,14 @@ type Log struct {
 	syncing              bool
 	err                  error // first fatal I/O error; latched
 
-	active     File
-	activeName string
-	activeSeq  int
-	activeSize int64          // durable bytes in the active segment
-	activeMax  map[int]uint64 // active segment's bucket -> max LSN
-	activePlan uint64         // active segment's max plan seq
+	active      File
+	activeName  string
+	activeSeq   int
+	activeSize  int64          // durable bytes in the active segment
+	activeRecs  int            // records encoded into the active segment
+	durableRecs int            // records durable in the active segment
+	activeMax   map[int]uint64 // active segment's bucket -> max LSN
+	activePlan  uint64         // active segment's max plan seq
 
 	segs  []segment      // sealed segments, oldest first
 	bases map[int]uint64 // bucket -> image LSN
@@ -141,6 +145,12 @@ type Log struct {
 	lastPlan        []int32
 	lastActive      int
 	manifestPlanSeq uint64
+
+	// epoch is the replication fencing term (persisted in the manifest);
+	// shipPin, when non-zero, keeps segments with seq >= shipPin out of
+	// compaction so a follower's unacked records stay shippable.
+	epoch   uint64
+	shipPin int
 
 	appends   atomic.Int64
 	diskBytes atomic.Int64 // durable segment bytes; kept lock-free for stats
@@ -207,6 +217,7 @@ func (l *Log) recover() (*Recovered, error) {
 		rec.Plan, rec.Active, rec.PlanSeq = m.Plan, m.Active, m.PlanSeq
 		l.planSeq, l.manifestPlanSeq = m.PlanSeq, m.PlanSeq
 		l.lastPlan, l.lastActive = m.Plan, m.Active
+		l.epoch = m.Epoch
 	} else if errors.Is(err, os.ErrNotExist) {
 		if err := l.writeManifest(); err != nil {
 			return nil, err
@@ -286,7 +297,7 @@ func (l *Log) recover() (*Recovered, error) {
 			rec.TornBytes = l.tornBytes
 			data = data[:valid]
 		}
-		seg := segment{name: segName(seq), size: int64(len(data)), maxLSN: make(map[int]uint64)}
+		seg := segment{name: segName(seq), seq: seq, size: int64(len(data)), recs: len(srs), maxLSN: make(map[int]uint64)}
 		for i := range srs {
 			sr := &srs[i]
 			switch sr.Kind {
@@ -341,6 +352,8 @@ func (l *Log) openActive() error {
 	}
 	l.active = f
 	l.activeSize = 0
+	l.activeRecs = 0
+	l.durableRecs = 0
 	l.activeMax = make(map[int]uint64)
 	l.activePlan = 0
 	l.enc = newSegEncoder()
@@ -415,6 +428,7 @@ func (l *Log) append(sr *segRecord) error {
 	}
 	l.appendSeq++
 	seq := l.appendSeq
+	l.activeRecs++
 	l.appends.Add(1)
 
 	for l.syncedSeq < seq && l.err == nil {
@@ -427,6 +441,7 @@ func (l *Log) append(sr *segRecord) error {
 		batch := l.buf
 		l.buf = nil
 		target := l.appendSeq
+		targetRecs := l.activeRecs
 		file := l.active
 		l.mu.Unlock()
 
@@ -444,6 +459,7 @@ func (l *Log) append(sr *segRecord) error {
 		} else {
 			l.syncedSeq = target
 			l.activeSize += int64(len(batch))
+			l.durableRecs = targetRecs
 			l.syncs.Add(1)
 			l.appBytes.Add(int64(len(batch)))
 			l.diskBytes.Add(int64(len(batch)))
@@ -461,7 +477,7 @@ func (l *Log) rotateLocked() error {
 		return fmt.Errorf("wal: closing segment %s: %w", l.activeName, err)
 	}
 	l.segs = append(l.segs, segment{
-		name: l.activeName, size: l.activeSize,
+		name: l.activeName, seq: l.activeSeq, size: l.activeSize, recs: l.durableRecs,
 		maxLSN: l.activeMax, maxPlanSeq: l.activePlan,
 	})
 	l.rotations.Add(1)
@@ -608,6 +624,11 @@ func (l *Log) Checkpoint() error {
 // segCoveredLocked reports whether a sealed segment carries any record the
 // recovery path could still need.
 func (l *Log) segCoveredLocked(s *segment) bool {
+	if l.shipPin > 0 && s.seq >= l.shipPin {
+		// A follower has not acknowledged this segment's records yet;
+		// compacting it would force a full resync.
+		return false
+	}
 	if s.maxPlanSeq > l.manifestPlanSeq {
 		return false
 	}
@@ -628,6 +649,7 @@ func (l *Log) writeManifest() error {
 		PlanSeq:  l.planSeq,
 		Plan:     l.lastPlan,
 		Active:   l.lastActive,
+		Epoch:    l.epoch,
 	}
 	data, err := encodeManifest(m)
 	if err != nil {

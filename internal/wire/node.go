@@ -125,6 +125,13 @@ type NodeStatus struct {
 	TotalRows            int            `json:"total_rows"`
 	Counters             store.Counters `json:"counters"`
 	MaxSojournNs         int64          `json:"max_sojourn_ns"`
+	// Epoch and Role mirror the replication plane (see ReplStatus);
+	// WALError surfaces the durable log's latched fail-stop error, so a
+	// coordinator treats a node whose disk died as unhealthy even though
+	// its engine still answers from memory.
+	Epoch    uint64 `json:"epoch,omitempty"`
+	Role     string `json:"role,omitempty"`
+	WALError string `json:"wal_error,omitempty"`
 }
 
 // ChunkMeta heads a chunk stream: the total row count and the number of

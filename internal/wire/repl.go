@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file is the replication vocabulary: the messages a primary node and
+// its warm follower exchange to ship the primary's WAL, and the control
+// surface a coordinator uses to promote the follower after a failure. Ship
+// batches travel as one length-prefixed frame (the same framing and 1 MiB
+// cap as the batch path), so the decoder inherits the truncation-vs-EOF
+// discipline and is fuzzable in isolation (FuzzShipFrame).
+
+// Replication endpoint paths served by a `pstore serve -node` process.
+const (
+	// PathReplSync bootstraps a follower: the primary replies with one
+	// ReplSyncMeta frame followed by Meta.Buckets BucketFrame frames — a
+	// fuzzy snapshot of every hosted bucket — and starts shipping from
+	// Meta.Cursor. Body: ReplSync JSON.
+	PathReplSync = "/v1/repl/sync"
+	// PathReplShip applies one ship batch on the follower. Body: one
+	// ShipBatch frame; reply: ShipAck JSON.
+	PathReplShip = "/v1/repl/ship"
+	// PathReplPromote turns a follower into a primary under a new, higher
+	// epoch. Body: ReplPromote JSON; reply: ReplStatus.
+	PathReplPromote = "/v1/repl/promote"
+	// PathReplStatus reports a node's replication role, epoch and cursors.
+	PathReplStatus = "/v1/repl/status"
+	// PathNodePeer repoints one peer slot's base URL on a node — the
+	// coordinator's rewiring step after promoting a follower, so forwarded
+	// transactions reach the new primary. Body: NodePeer JSON.
+	PathNodePeer = "/v1/node/peer"
+)
+
+// CodeFenced: the request carried a stale replication epoch (a zombie
+// primary shipping to a promoted follower) or targeted a role the node no
+// longer has. HTTP 409; not retryable — the sender must stand down.
+const CodeFenced = "fenced"
+
+// ErrFenced is the client-side sentinel for CodeFenced.
+var ErrFenced = errors.New("wire: fenced: stale replication epoch")
+
+// MaxShipRecords bounds one ship batch. Records are procedure inputs (a few
+// hundred bytes), so this keeps a batch frame comfortably under MaxFrame.
+const MaxShipRecords = 512
+
+// ShipCursor addresses a point in the primary's WAL: segment sequence,
+// records consumed within the segment, and the byte offset after them (lag
+// accounting only — Seg/Rec are the authoritative position).
+type ShipCursor struct {
+	Seg int   `json:"seg"`
+	Rec int   `json:"rec"`
+	Off int64 `json:"off"`
+}
+
+// ShipRecord is one replicated WAL record: a command (Txn != "") or a plan
+// change (PlanSeq > 0). Command args travel as raw JSON and are decoded
+// follower-side by the workload's registered args codec, exactly like a
+// client Request.
+type ShipRecord struct {
+	Bucket int             `json:"bucket,omitempty"`
+	LSN    uint64          `json:"lsn,omitempty"`
+	Txn    string          `json:"txn,omitempty"`
+	Key    string          `json:"key,omitempty"`
+	Args   json.RawMessage `json:"args,omitempty"`
+
+	PlanSeq uint64  `json:"plan_seq,omitempty"`
+	Plan    []int32 `json:"plan,omitempty"`
+	Active  int     `json:"active,omitempty"`
+}
+
+// IsPlan reports whether the record is a plan change.
+func (r *ShipRecord) IsPlan() bool { return r.PlanSeq > 0 }
+
+// ShipBatch is one shipped slice of the primary's WAL: the records between
+// the From and Next cursors, stamped with the primary's fencing epoch and
+// baseline. Seq is the batch ordinal since sync — the fault injector's
+// deterministic key.
+type ShipBatch struct {
+	Epoch    uint64       `json:"epoch"`
+	Baseline uint64       `json:"baseline"`
+	Seq      uint64       `json:"seq"`
+	From     ShipCursor   `json:"from"`
+	Next     ShipCursor   `json:"next"`
+	Records  []ShipRecord `json:"records,omitempty"`
+}
+
+// ShipAck is the follower's reply to a batch. Applied is its authoritative
+// cursor: on success it equals the batch's Next; on Gap it is where the
+// shipper must rewind to. Resync means the follower's baseline no longer
+// matches (the primary installed data outside the WAL) and shipping cannot
+// continue without a fresh sync.
+type ShipAck struct {
+	Epoch   uint64     `json:"epoch"`
+	Applied ShipCursor `json:"applied"`
+	Gap     bool       `json:"gap,omitempty"`
+	Resync  bool       `json:"resync,omitempty"`
+}
+
+// ReplSync is a follower's bootstrap request. FollowerURL is where the
+// primary should ship batches once the snapshot is streamed.
+type ReplSync struct {
+	FollowerURL string `json:"follower_url"`
+}
+
+// ReplSyncMeta heads a sync response stream: the primary's epoch, baseline
+// and plan, the cursor shipping starts from, and the number of BucketFrame
+// frames that follow. Snapshot/cursor overlap is resolved by the follower's
+// per-bucket LSN dedup: the cursor is taken before the snapshot, so any
+// record the snapshot already covers arrives with LSN <= the bucket's image
+// LSN and is skipped.
+type ReplSyncMeta struct {
+	Epoch    uint64     `json:"epoch"`
+	Baseline uint64     `json:"baseline"`
+	Cursor   ShipCursor `json:"cursor"`
+	PlanSeq  uint64     `json:"plan_seq"`
+	Plan     []int32    `json:"plan,omitempty"`
+	Active   int        `json:"active"`
+	Buckets  int        `json:"buckets"`
+}
+
+// ReplPromote asks a follower to become primary under the given epoch,
+// which must exceed every epoch the cluster has seen.
+type ReplPromote struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// ReplStatus is a node's replication self-description.
+type ReplStatus struct {
+	// Role is "primary" or "replica".
+	Role  string `json:"role"`
+	Epoch uint64 `json:"epoch"`
+	// Baseline counts out-of-WAL data installs (migrated-in chunks); a
+	// follower synced under an older baseline must resync.
+	Baseline uint64 `json:"baseline"`
+	// Durable is the durable end of the node's own WAL.
+	Durable ShipCursor `json:"durable"`
+	// Applied is a replica's applied-ship cursor; comparing it against the
+	// primary's Durable cursor measures replication lag.
+	Applied ShipCursor `json:"applied"`
+	// PlanSeq is a replica's last applied plan sequence.
+	PlanSeq uint64 `json:"plan_seq,omitempty"`
+}
+
+// NodePeer repoints the base URL a node uses to forward to peer `Node`.
+type NodePeer struct {
+	Node int    `json:"node"`
+	URL  string `json:"url"`
+}
+
+// WriteShipBatch writes a batch as one frame.
+func WriteShipBatch(w io.Writer, b *ShipBatch) error {
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("wire: encoding ship batch: %w", err)
+	}
+	return WriteFrame(w, payload)
+}
+
+// ReadShipBatch reads and validates one ship-batch frame. It never panics:
+// garbage, truncation, or out-of-bounds shapes return an error (the
+// FuzzShipFrame contract). A clean EOF before any byte returns io.EOF.
+func ReadShipBatch(r io.Reader) (*ShipBatch, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	var b ShipBatch
+	if err := json.Unmarshal(payload, &b); err != nil {
+		return nil, fmt.Errorf("wire: decoding ship batch: %w", err)
+	}
+	if len(b.Records) > MaxShipRecords {
+		return nil, fmt.Errorf("wire: ship batch carries %d records, max %d", len(b.Records), MaxShipRecords)
+	}
+	if err := validCursor(b.From); err != nil {
+		return nil, fmt.Errorf("wire: ship batch from-cursor: %w", err)
+	}
+	if err := validCursor(b.Next); err != nil {
+		return nil, fmt.Errorf("wire: ship batch next-cursor: %w", err)
+	}
+	for i := range b.Records {
+		rec := &b.Records[i]
+		switch {
+		case rec.IsPlan():
+			if rec.Txn != "" || rec.LSN != 0 {
+				return nil, fmt.Errorf("wire: ship record %d mixes plan and command fields", i)
+			}
+			if rec.Active < 0 {
+				return nil, fmt.Errorf("wire: ship record %d has negative active count", i)
+			}
+		case rec.Txn != "":
+			if rec.Bucket < 0 || rec.LSN == 0 {
+				return nil, fmt.Errorf("wire: ship record %d has bucket %d lsn %d", i, rec.Bucket, rec.LSN)
+			}
+		default:
+			return nil, fmt.Errorf("wire: ship record %d is neither command nor plan", i)
+		}
+	}
+	return &b, nil
+}
+
+func validCursor(c ShipCursor) error {
+	if c.Seg < 0 || c.Rec < 0 || c.Off < 0 {
+		return fmt.Errorf("negative field in cursor %+v", c)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestShipBatchRoundTrip checks the ship frame codec: a batch with commands
+// and a plan record survives Write → Read with every field intact.
+func TestShipBatchRoundTrip(t *testing.T) {
+	b := &ShipBatch{
+		Epoch: 3, Baseline: 1, Seq: 7,
+		From: ShipCursor{Seg: 2, Rec: 10, Off: 512},
+		Next: ShipCursor{Seg: 3, Rec: 1, Off: 64},
+		Records: []ShipRecord{
+			{Bucket: 5, LSN: 12, Txn: "put", Key: "k", Args: json.RawMessage(`"v"`)},
+			{Bucket: 5, LSN: 13, Txn: "del", Key: "k"},
+			{PlanSeq: 2, Plan: []int32{0, 0, 1, 1}, Active: 2},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteShipBatch(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadShipBatch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || got.Baseline != 1 || got.Seq != 7 || got.From != b.From || got.Next != b.Next {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Records) != 3 {
+		t.Fatalf("records: %+v", got.Records)
+	}
+	if r := got.Records[0]; r.Txn != "put" || r.LSN != 12 || string(r.Args) != `"v"` {
+		t.Fatalf("command record: %+v", r)
+	}
+	if r := got.Records[2]; !r.IsPlan() || r.PlanSeq != 2 || r.Active != 2 || len(r.Plan) != 4 {
+		t.Fatalf("plan record: %+v", r)
+	}
+}
+
+// TestReadShipBatchRejects pins the validation surface: records must be
+// exactly a command or exactly a plan change, cursors non-negative, and the
+// record count bounded.
+func TestReadShipBatchRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		b    ShipBatch
+		want string
+	}{
+		{"empty record", ShipBatch{Records: []ShipRecord{{}}}, "neither command nor plan"},
+		{"mixed record", ShipBatch{Records: []ShipRecord{{Txn: "put", LSN: 1, PlanSeq: 2}}}, "mixes plan and command"},
+		{"zero lsn", ShipBatch{Records: []ShipRecord{{Txn: "put"}}}, "lsn 0"},
+		{"negative bucket", ShipBatch{Records: []ShipRecord{{Txn: "put", LSN: 1, Bucket: -1}}}, "bucket -1"},
+		{"negative cursor", ShipBatch{From: ShipCursor{Seg: -1}}, "from-cursor"},
+		{"negative active", ShipBatch{Records: []ShipRecord{{PlanSeq: 1, Active: -2}}}, "negative active"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			payload, err := json.Marshal(&tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, payload); err != nil {
+				t.Fatal(err)
+			}
+			_, err = ReadShipBatch(&buf)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+
+	// Over-long batch: MaxShipRecords+1 valid commands.
+	long := ShipBatch{}
+	for i := 0; i < MaxShipRecords+1; i++ {
+		long.Records = append(long.Records, ShipRecord{Bucket: 0, LSN: uint64(i + 1), Txn: "put", Key: "k"})
+	}
+	payload, _ := json.Marshal(&long)
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShipBatch(&buf); err == nil || !strings.Contains(err.Error(), "max") {
+		t.Fatalf("oversized batch: %v", err)
+	}
+}
+
+// TestFencedStatus pins the HTTP mapping for the fencing code: 409, with a
+// client-side sentinel.
+func TestFencedStatus(t *testing.T) {
+	if got := StatusOf(CodeFenced); got != 409 {
+		t.Fatalf("StatusOf(CodeFenced) = %d, want 409", got)
+	}
+	if SentinelOf(CodeFenced) != ErrFenced {
+		t.Fatal("SentinelOf(CodeFenced) != ErrFenced")
+	}
+}

@@ -123,6 +123,8 @@ func CodeOf(err error) string {
 		return CodeStopped
 	case errors.Is(err, store.ErrNotOwned):
 		return CodeNotOwned
+	case errors.Is(err, ErrFenced):
+		return CodeFenced
 	default:
 		return CodeTxn
 	}
@@ -143,6 +145,8 @@ func StatusOf(code string) int {
 		return 400
 	case CodeTxn:
 		return 422
+	case CodeFenced:
+		return 409
 	default:
 		return 500
 	}
@@ -166,6 +170,8 @@ func SentinelOf(code string) error {
 		return store.ErrStopped
 	case CodeNotOwned:
 		return store.ErrNotOwned
+	case CodeFenced:
+		return ErrFenced
 	default:
 		return nil
 	}

@@ -1004,6 +1004,11 @@ type benchRecoveryResult struct {
 	// unshipped WAL window behind it and time the coordinator's detect ->
 	// promote -> first-transaction path onto the warm follower.
 	Failover []benchFailoverScenario `json:"failover"`
+	// SyncCommit compares asynchronous shipping with the follower-durability
+	// barrier under the same mid-burst primary kill: the throughput and p99
+	// tax, and each mode's acked-transaction loss (zero, for sync, by
+	// contract).
+	SyncCommit []benchSyncCommitRow `json:"sync_commit"`
 }
 
 type benchRecoveryScenario struct {
@@ -1157,6 +1162,9 @@ func runBenchRecovery(out string) error {
 	if res.Failover, err = runBenchFailover(rows); err != nil {
 		return err
 	}
+	if res.SyncCommit, err = runBenchSyncCommit(); err != nil {
+		return err
+	}
 
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -1177,5 +1185,8 @@ func runBenchRecovery(out string) error {
 	lastFo := res.Failover[len(res.Failover)-1]
 	fmt.Printf("bench: failover: detect %.1f ms + promote %.1f ms + first txn %.1f ms with %s of unshipped WAL behind the kill\n",
 		lastFo.DetectionMs, lastFo.PromotionMs, lastFo.FirstTxnMs, byteCount(lastFo.ShipLagBytes))
+	async, syncRow := res.SyncCommit[0], res.SyncCommit[1]
+	fmt.Printf("bench: sync commit: %.0f tps / p99 %.2f ms vs %.0f tps / p99 %.2f ms async; acked txns lost at the kill: %d vs %d\n",
+		syncRow.Tps, syncRow.P99Ms, async.Tps, async.P99Ms, syncRow.AckedLost, async.AckedLost)
 	return nil
 }

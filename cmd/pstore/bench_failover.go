@@ -75,6 +75,12 @@ func startBenchReplNode(dir, replicaOf string) (*benchReplNode, error) {
 	}); err != nil {
 		return nil, err
 	}
+	if err := eng.Register("get", func(tx *store.Tx) (any, error) {
+		_, ok, err := tx.Get("kv", tx.Key)
+		return ok, err
+	}); err != nil {
+		return nil, err
+	}
 	rm, err := recovery.New(eng, recovery.Config{DataDir: dir})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstore/internal/transport"
+)
+
+// benchSyncCommitRow is one row of the sync_commit column in
+// BENCH_recovery.json: the commit path's throughput and tail latency with
+// and without the follower-durability barrier, and — after a primary death
+// raced into the middle of a write burst — how many transactions the client
+// saw acknowledged that the follower does not hold. That last number is the
+// mode's RPO over acked work: it may be positive for async shipping (the
+// unshipped WAL window dies with the primary) and must be zero for
+// synchronous commit.
+type benchSyncCommitRow struct {
+	Mode      string  `json:"mode"`
+	Txns      int     `json:"txns"`
+	Acked     int     `json:"acked"`
+	Tps       float64 `json:"tps"`
+	P99Ms     float64 `json:"p99_ms"`
+	AckedLost int     `json:"acked_lost"`
+}
+
+const (
+	benchSyncTimedTxns  = 4000
+	benchSyncBurstTxns  = 4000
+	benchSyncSubmitters = 12
+)
+
+// benchSyncCommitRun measures one commit mode against a live primary /
+// follower pair: a timed pass for throughput and p99, then a burst with the
+// primary killed at its midpoint. The kill instant is the dead flag: writes
+// completing after it are acks no real client of a dead process would have
+// seen, so only pre-kill successes count as acked — and each acked key is
+// then looked up on the follower to count losses exactly.
+func benchSyncCommitRun(syncMode bool) (benchSyncCommitRow, error) {
+	mode := "async"
+	if syncMode {
+		mode = "sync"
+	}
+	row := benchSyncCommitRow{Mode: mode, Txns: benchSyncTimedTxns + benchSyncBurstTxns}
+	pdir, err := os.MkdirTemp("", "pstore-bench-sync-p-*")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(pdir)
+	fdir, err := os.MkdirTemp("", "pstore-bench-sync-f-*")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(fdir)
+	primary, err := startBenchReplNode(pdir, "")
+	if err != nil {
+		return row, err
+	}
+	defer primary.close()
+	follower, err := startBenchReplNode(fdir, primary.url)
+	if err != nil {
+		return row, err
+	}
+	defer follower.close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	meta, frames, err := primary.peer.ReplSync(ctx, "")
+	if err != nil {
+		return row, err
+	}
+	if err := follower.srv.InstallReplicaState(meta, frames); err != nil {
+		return row, err
+	}
+	sh, err := transport.NewShipper(transport.ShipperConfig{
+		RM:       primary.rm,
+		Follower: follower.peer,
+		FromNode: 0, ToNode: -1,
+		Start:      meta.Cursor,
+		Interval:   time.Millisecond,
+		SyncCommit: syncMode,
+	})
+	if err != nil {
+		return row, err
+	}
+	sctx, scancel := context.WithCancel(context.Background())
+	defer scancel()
+	shipDone := make(chan struct{})
+	go func() { defer close(shipDone); _ = sh.Run(sctx) }()
+
+	key := func(i int) string { return fmt.Sprintf("sc-key-%06d", i) }
+
+	// Timed pass: concurrent submitters over distinct keys, so the disk
+	// store's group commit (and, in sync mode, batch shipping) amortizes the
+	// way live traffic would. Everything here completes before the kill.
+	lat := make([]time.Duration, benchSyncTimedTxns)
+	errs := make(chan error, benchSyncSubmitters)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < benchSyncSubmitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < benchSyncTimedTxns; i += benchSyncSubmitters {
+				t0 := time.Now()
+				if _, err := primary.eng.Execute("put", key(i), i); err != nil {
+					errs <- err
+					return
+				}
+				lat[i] = time.Since(t0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return row, err
+	}
+	elapsed := time.Since(start)
+	row.Tps = float64(benchSyncTimedTxns) / elapsed.Seconds()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	row.P99Ms = float64(lat[benchSyncTimedTxns*99/100].Microseconds()) / 1000
+
+	// Kill pass: the primary dies mid-burst. The dead flag is the kill
+	// instant; it is raised before the shipper is torn down, so a write that
+	// sneaks past the disarmed barrier afterwards is never counted as acked
+	// (a real client of the dead process would not have seen it either). In
+	// sync mode, writes in flight at the teardown fail with ErrSyncAborted
+	// rather than ack — that refusal is the RPO-zero contract.
+	acked := make([]atomic.Bool, benchSyncBurstTxns)
+	var issued atomic.Int64
+	var dead atomic.Bool
+	var killOnce sync.Once
+	kill := func() {
+		killOnce.Do(func() {
+			dead.Store(true)
+			scancel()
+			<-shipDone
+		})
+	}
+	for w := 0; w < benchSyncSubmitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < benchSyncBurstTxns; i += benchSyncSubmitters {
+				if dead.Load() {
+					return
+				}
+				if issued.Add(1) == benchSyncBurstTxns/2 {
+					go kill()
+				}
+				if _, err := primary.eng.Execute("put", key(benchSyncTimedTxns+i), i); err == nil && !dead.Load() {
+					acked[i].Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	kill()
+
+	// Count the acked work the follower holds. The timed pass is acked in
+	// full; burst acks are whatever beat the kill.
+	row.Acked = benchSyncTimedTxns
+	for i := range acked {
+		if acked[i].Load() {
+			row.Acked++
+		}
+	}
+	missing := 0
+	for i := 0; i < benchSyncTimedTxns+benchSyncBurstTxns; i++ {
+		if i >= benchSyncTimedTxns && !acked[i-benchSyncTimedTxns].Load() {
+			continue
+		}
+		found, err := follower.eng.Execute("get", key(i), nil)
+		if err != nil {
+			return row, fmt.Errorf("follower lookup of %s: %w", key(i), err)
+		}
+		if ok, _ := found.(bool); !ok {
+			missing++
+		}
+	}
+	row.AckedLost = missing
+	if err := follower.rm.Err(); err != nil {
+		return row, fmt.Errorf("follower log latched an error: %w", err)
+	}
+	if syncMode && missing != 0 {
+		return row, fmt.Errorf("sync commit lost %d acked transactions; the RPO-zero contract is broken", missing)
+	}
+	return row, nil
+}
+
+// runBenchSyncCommit measures the sync_commit column: the same load and the
+// same mid-burst kill under asynchronous shipping and under the
+// follower-durability barrier, so the report shows what RPO zero costs.
+func runBenchSyncCommit() ([]benchSyncCommitRow, error) {
+	var rows []benchSyncCommitRow
+	for _, syncMode := range []bool{false, true} {
+		r, err := benchSyncCommitRun(syncMode)
+		if err != nil {
+			return nil, fmt.Errorf("sync-commit bench (%s): %w", r.Mode, err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}

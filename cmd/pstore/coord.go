@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -46,7 +47,7 @@ func runCoord(args []string) error {
 	failover := fs.Int("failover", -1, "watch node N for failure and run one recovery action (-promote or -restart-cmd) when it fires; -migrate becomes optional")
 	probe := fs.Duration("probe", 100*time.Millisecond, "failover health-probe period")
 	failAfter := fs.Int("fail-after", 3, "consecutive failed probes that declare the watched node dead")
-	promoteURL := fs.String("promote", "", "failover action: promote the warm follower at this base URL and rewire the survivors to it")
+	promoteURL := fs.String("promote", "", "failover action: promote the warm follower at this base URL and rewire the survivors to it (with -restart-cmd: then restart the dead node and rejoin it as the promoted node's follower)")
 	restartCmd := fs.String("restart-cmd", "", "failover action: shell command that cold-restarts the dead node from its own -data-dir")
 	failoverWait := fs.Duration("failover-wait", 2*time.Minute, "give up if the watched node has not failed after this long")
 	if helped, err := parseFlags(fs, args); helped || err != nil {
@@ -242,18 +243,39 @@ type coordFailoverConfig struct {
 	connectWait time.Duration
 }
 
+// coordFailoverOutcome is the machine-readable summary a failover watch
+// prints as one JSON line ("coord: failover-outcome {...}") after its
+// recovery action completes, so scripts and CI assert on structure instead
+// of scraping prose. Millisecond fields are zero when the action skipped
+// that stage.
+type coordFailoverOutcome struct {
+	// Action is "promote", "restart", or "promote+rejoin" (both flags
+	// given: promote the follower, then restart the dead node and fold it
+	// back in as a follower of the promoted one).
+	Action string `json:"action"`
+	// Node is the watched (failed) node id.
+	Node int `json:"node"`
+	// Epoch is the promoted node's epoch after the failover (promote paths).
+	Epoch     uint64  `json:"epoch,omitempty"`
+	DetectMs  float64 `json:"detect_ms"`
+	PromoteMs float64 `json:"promote_ms,omitempty"`
+	RestartMs float64 `json:"restart_ms,omitempty"`
+	RejoinMs  float64 `json:"rejoin_ms,omitempty"`
+}
+
 // runCoordFailover is the coordinator's failure-detection loop: probe one
 // node's health endpoint until a deterministic number of consecutive
-// probes fail, then run exactly one recovery action — promote the dead
-// node's warm follower (fenced under a fresh epoch, survivors rewired) or
-// cold-restart the process from its own data directory.
+// probes fail, then run one recovery action — promote the dead node's warm
+// follower (fenced under a fresh epoch, survivors rewired), cold-restart
+// the process from its own data directory, or both in sequence: promote,
+// restart the zombie, and rejoin it as the new primary's follower.
 func runCoordFailover(cfg coordFailoverConfig) error {
 	urls := strings.Split(cfg.peers, ",")
 	if cfg.watch >= len(urls) {
 		return fmt.Errorf("-failover %d out of range for %d peers", cfg.watch, len(urls))
 	}
-	if (cfg.promoteURL == "") == (cfg.restartCmd == "") {
-		return errors.New("-failover needs exactly one recovery action: -promote or -restart-cmd")
+	if cfg.promoteURL == "" && cfg.restartCmd == "" {
+		return errors.New("-failover needs a recovery action: -promote, -restart-cmd, or both")
 	}
 	peers := make([]*transport.Peer, len(urls))
 	for i, u := range urls {
@@ -269,15 +291,27 @@ func runCoordFailover(cfg coordFailoverConfig) error {
 	if err != nil {
 		return fmt.Errorf("failure detection: %w", err)
 	}
+	out := coordFailoverOutcome{
+		Node:     cfg.watch,
+		DetectMs: float64(det.Microseconds()) / 1000,
+	}
 	fmt.Printf("coord: node %d declared dead after %v\n", cfg.watch, det.Round(time.Millisecond))
 
-	if cfg.restartCmd != "" {
+	// The recovery actions run on their own clock: detection may have eaten
+	// most of the watch budget, and a restart + rejoin legitimately takes a
+	// while on a large log.
+	actx, acancel := context.WithTimeout(context.Background(), cfg.connectWait+5*time.Minute)
+	defer acancel()
+
+	if cfg.promoteURL == "" {
+		out.Action = "restart"
 		start := time.Now()
-		if err := cluster.RestartNode(ctx, peers[cfg.watch], cfg.restartCmd, cfg.connectWait); err != nil {
+		if err := cluster.RestartNode(actx, peers[cfg.watch], cfg.restartCmd, cfg.connectWait); err != nil {
 			return err
 		}
+		out.RestartMs = float64(time.Since(start).Microseconds()) / 1000
 		fmt.Printf("coord: node %d restarted and healthy in %v\n", cfg.watch, time.Since(start).Round(time.Millisecond))
-		return nil
+		return printFailoverOutcome(out)
 	}
 
 	replica := transport.NewPeer(strings.TrimSpace(cfg.promoteURL))
@@ -287,8 +321,9 @@ func runCoordFailover(cfg coordFailoverConfig) error {
 			survivors[i] = p
 		}
 	}
+	out.Action = "promote"
 	start := time.Now()
-	st, err := cluster.Promote(ctx, cluster.PromoteConfig{
+	st, err := cluster.Promote(actx, cluster.PromoteConfig{
 		Replica:    replica,
 		ReplicaURL: replica.Addr(),
 		FailedNode: cfg.watch,
@@ -297,8 +332,43 @@ func runCoordFailover(cfg coordFailoverConfig) error {
 	if err != nil {
 		return err
 	}
+	out.Epoch = st.Epoch
+	out.PromoteMs = float64(time.Since(start).Microseconds()) / 1000
 	fmt.Printf("coord: follower %s promoted to %s at epoch %d in %v (%d survivors rewired)\n",
 		replica.Addr(), st.Role, st.Epoch, time.Since(start).Round(time.Millisecond), len(survivors))
+
+	if cfg.restartCmd != "" {
+		out.Action = "promote+rejoin"
+		start = time.Now()
+		if err := cluster.RestartNode(actx, peers[cfg.watch], cfg.restartCmd, cfg.connectWait); err != nil {
+			return err
+		}
+		out.RestartMs = float64(time.Since(start).Microseconds()) / 1000
+		fmt.Printf("coord: node %d restarted and healthy in %v\n", cfg.watch, time.Since(start).Round(time.Millisecond))
+		start = time.Now()
+		zst, err := cluster.Rejoin(actx, cluster.RejoinConfig{
+			Zombie:     peers[cfg.watch],
+			Primary:    replica,
+			PrimaryURL: replica.Addr(),
+		})
+		if err != nil {
+			return err
+		}
+		out.RejoinMs = float64(time.Since(start).Microseconds()) / 1000
+		fmt.Printf("coord: node %d rejoined as %s of %s at epoch %d in %v (applied segment %d record %d)\n",
+			cfg.watch, zst.Role, replica.Addr(), zst.Epoch, time.Since(start).Round(time.Millisecond),
+			zst.Applied.Seg, zst.Applied.Rec)
+	}
+	return printFailoverOutcome(out)
+}
+
+// printFailoverOutcome emits the one-line JSON summary of a failover watch.
+func printFailoverOutcome(out coordFailoverOutcome) error {
+	b, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("coord: failover-outcome %s\n", b)
 	return nil
 }
 

@@ -35,6 +35,11 @@ type serveNodeConfig struct {
 	replicaOf     string
 	advertise     string
 	shipFaults    string
+	// syncCommit holds every transaction ack until the follower has durably
+	// appended its WAL record; followerCkptEvery makes a replica checkpoint
+	// its own log every N applied records.
+	syncCommit        bool
+	followerCkptEvery int
 }
 
 // advertiseURL derives the base URL peers use to reach this process: the
@@ -188,11 +193,12 @@ func runServeNode(cfg serveNodeConfig) error {
 		info.Overload = olCfg.String()
 	}
 	nodeCfg := &server.NodeConfig{
-		ID:        cfg.node,
-		Nodes:     cfg.nodes,
-		Recovery:  rm,
-		DecodeRow: b2w.DecodeRow,
-		ReplicaOf: cfg.replicaOf,
+		ID:                      cfg.node,
+		Nodes:                   cfg.nodes,
+		Recovery:                rm,
+		DecodeRow:               b2w.DecodeRow,
+		ReplicaOf:               cfg.replicaOf,
+		FollowerCheckpointEvery: cfg.followerCkptEvery,
 	}
 	// The peer table is mutable: after a failover the coordinator rewires
 	// the dead node's slot to its promoted replica via /v1/node/peer.
@@ -222,30 +228,113 @@ func runServeNode(cfg serveNodeConfig) error {
 			fmt.Fprintf(os.Stderr, "serve: ship-fault plane armed: %s\n", sfc)
 		}
 	}
+	if cfg.syncCommit {
+		fmt.Fprintf(os.Stderr, "serve: synchronous commit armed: acks wait for follower durability once a follower syncs\n")
+	}
 	// When a follower syncs against this node, start (or restart) the WAL
 	// shipper that streams records from the sync cursor to it.
 	var shipMu sync.Mutex
 	var shipCancel context.CancelFunc
-	defer func() {
+	stopShipper := func() {
 		shipMu.Lock()
 		if shipCancel != nil {
 			shipCancel()
+			shipCancel = nil
 		}
 		shipMu.Unlock()
-	}()
+	}
+	defer stopShipper()
+	// The self-healing hooks run against the server handle, which does not
+	// exist until the listener is up; they reach it through this holder.
+	var srvMu sync.Mutex
+	var srvPtr *server.Server
+	// rejoinMu serialises self-demotions: the coordinator's demote order and
+	// the shipper's own fenced exit can race toward the same rejoin.
+	var rejoinMu sync.Mutex
+	rejoinAsFollower := func(primaryURL string) {
+		rejoinMu.Lock()
+		defer rejoinMu.Unlock()
+		srvMu.Lock()
+		srv := srvPtr
+		srvMu.Unlock()
+		if srv == nil || srv.IsReplica() {
+			return
+		}
+		// Stop shipping and fail any sync-commit waiters parked on the dead
+		// stream: their records may sit past the divergence point, and
+		// nothing will ever confirm them.
+		stopShipper()
+		rm.AbortSync()
+		rm.SetSyncCommit(false)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		primary := transport.NewPeer(primaryURL)
+		if err := primary.WaitHealthy(ctx, time.Minute); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: FATAL: rejoin: new primary %s unreachable: %v\n", primaryURL, err)
+			os.Exit(1)
+		}
+		pst, err := primary.ReplStatus(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: FATAL: rejoin: new primary %s status: %v\n", primaryURL, err)
+			os.Exit(1)
+		}
+		warm, err := srv.DemoteToFollower(pst)
+		if err != nil {
+			if errors.Is(err, wire.ErrFenced) {
+				// A stale order: the named primary does not outrank us.
+				fmt.Fprintf(os.Stderr, "serve: rejoin refused: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "serve: warm rejoin failed (%v); falling back to a full resync\n", err)
+			warm = false
+		}
+		if warm {
+			if _, err := primary.ReplResume(ctx, cfg.advertiseURL(), pst.Rejoin.Cursor); err == nil {
+				fmt.Fprintf(os.Stderr, "serve: rejoined %s as warm follower: epoch %d, resuming at segment %d record %d\n",
+					primaryURL, pst.Epoch, pst.Rejoin.Cursor.Seg, pst.Rejoin.Cursor.Rec)
+				return
+			} else {
+				fmt.Fprintf(os.Stderr, "serve: resume stream refused (%v); falling back to a full resync\n", err)
+			}
+		}
+		// Full resync: wipe the local log and rebuild from a fresh snapshot
+		// stream, exactly like a first-boot replica.
+		srv.PrepareFullResync()
+		meta, frames, err := primary.ReplSync(ctx, cfg.advertiseURL())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: FATAL: rejoin full resync from %s: %v\n", primaryURL, err)
+			os.Exit(1)
+		}
+		if err := srv.InstallReplicaState(meta, frames); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: FATAL: rejoin install from %s: %v\n", primaryURL, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serve: rejoined %s by full resync: epoch %d, %d buckets, cursor segment %d record %d\n",
+			primaryURL, meta.Epoch, meta.Buckets, meta.Cursor.Seg, meta.Cursor.Rec)
+	}
+	nodeCfg.OnDemote = rejoinAsFollower
 	nodeCfg.OnReplicaSync = func(url string, cur wire.ShipCursor) {
 		shipMu.Lock()
 		defer shipMu.Unlock()
 		if shipCancel != nil {
 			shipCancel() // the follower resynced; the old stream is dead
 		}
+		// Under synchronous commit the ship poll period is the floor on
+		// commit latency (a waiting ack cannot be released faster than the
+		// shipper notices the new records), so poll tighter than the default.
+		interval := time.Duration(0)
+		if cfg.syncCommit {
+			interval = time.Millisecond
+		}
 		sh, err := transport.NewShipper(transport.ShipperConfig{
-			RM:       rm,
-			Follower: transport.NewPeer(url),
-			FromNode: cfg.node,
-			ToNode:   -1,
-			Faults:   shipInj,
-			Start:    cur,
+			RM:         rm,
+			Follower:   transport.NewPeer(url),
+			FromNode:   cfg.node,
+			ToNode:     -1,
+			Faults:     shipInj,
+			Start:      cur,
+			Interval:   interval,
+			SyncCommit: cfg.syncCommit,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve: cannot ship to follower %s: %v\n", url, err)
@@ -255,9 +344,26 @@ func runServeNode(cfg serveNodeConfig) error {
 		shipCancel = cancel
 		fmt.Fprintf(os.Stderr, "serve: shipping WAL to follower %s from segment %d record %d\n", url, cur.Seg, cur.Rec)
 		go func() {
-			if err := sh.Run(sctx); err != nil && sctx.Err() == nil {
-				fmt.Fprintf(os.Stderr, "serve: WAL shipper to %s stopped: %v\n", url, err)
+			err := sh.Run(sctx)
+			if err == nil || sctx.Err() != nil {
+				return
 			}
+			if errors.Is(err, wire.ErrFenced) {
+				// The follower we were feeding outranks us: it has been
+				// promoted and refused our batch. Fence immediately — a
+				// zombie serving writes is a split brain — and rejoin as
+				// its follower.
+				fmt.Fprintf(os.Stderr, "serve: WAL shipper fenced by %s; rejoining as its follower\n", url)
+				srvMu.Lock()
+				srv := srvPtr
+				srvMu.Unlock()
+				if srv != nil {
+					srv.MarkFenced()
+				}
+				rejoinAsFollower(url)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "serve: WAL shipper to %s stopped: %v\n", url, err)
 		}()
 	}
 	scfg := server.Config{
@@ -268,9 +374,11 @@ func runServeNode(cfg serveNodeConfig) error {
 		Node:            nodeCfg,
 	}
 	start := time.Now()
-	var started func(*server.Server)
-	if cfg.replicaOf != "" {
-		started = func(srv *server.Server) {
+	started := func(srv *server.Server) {
+		srvMu.Lock()
+		srvPtr = srv
+		srvMu.Unlock()
+		if cfg.replicaOf != "" {
 			go func() {
 				if err := bootstrapReplica(srv, cfg); err != nil {
 					fmt.Fprintf(os.Stderr, "serve: FATAL: replica sync from %s failed: %v\n", cfg.replicaOf, err)

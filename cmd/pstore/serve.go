@@ -75,15 +75,20 @@ func runServe(args []string) error {
 	peerList := fs.String("peers", "", "comma-separated node base URLs in node-id order, for forwarding transactions to the hosting node")
 	replicaOf := fs.String("replica-of", "", "node mode: start as a warm follower of the primary at this base URL — sync a snapshot, apply its shipped WAL, refuse client transactions until promoted via /v1/repl/promote")
 	advertise := fs.String("advertise", "", "node mode: base URL the primary and peers use to reach this process (default derives from -listen)")
-	shipFaults := fs.String("ship-faults", "", "replication-stream fault spec applied by this node's WAL shipper, e.g. seed=42,ship-drop=0.05,ship-dup=0.1,ship-reorder=0.05,ship-delay=0.1,ship-partition=0.02")
+	shipFaults := fs.String("ship-faults", "", "replication-stream fault spec applied by this node's WAL shipper, e.g. seed=42,ship-drop=0.05,ship-dup=0.1,ship-reorder=0.05,ship-delay=0.1,ship-partition=0.02,heal-after=500ms")
+	syncCommit := fs.Bool("sync-commit", false, "node mode: acknowledge a transaction only after its WAL record is durable on the follower too (RPO zero for acked transactions; adds one ship round trip to commit latency)")
+	followerCkpt := fs.Int("follower-checkpoint-every", 0, "node mode: as a replica, checkpoint the local WAL every N applied records so a promotion starts from a compact log (0 = off)")
 	if helped, err := parseFlags(fs, args); helped || err != nil {
 		return err
 	}
 	if *days < 1 || *initial < 1 || *maxM < *initial || *cycleMin < 1 || *minute <= 0 {
 		return errors.New("invalid sizing flags")
 	}
-	if *node < 0 && (*replicaOf != "" || *shipFaults != "") {
-		return errors.New("-replica-of and -ship-faults require node mode (-node)")
+	if *node < 0 && (*replicaOf != "" || *shipFaults != "" || *syncCommit || *followerCkpt != 0) {
+		return errors.New("-replica-of, -ship-faults, -sync-commit and -follower-checkpoint-every require node mode (-node)")
+	}
+	if *followerCkpt < 0 {
+		return errors.New("-follower-checkpoint-every must be non-negative")
 	}
 	if *node >= 0 {
 		if *faultSpec != "" || *crashSpec != "" {
@@ -97,6 +102,7 @@ func runServe(args []string) error {
 			listen: *listen, serveFor: *serveFor,
 			dataDir:   *dataDir,
 			replicaOf: *replicaOf, advertise: *advertise, shipFaults: *shipFaults,
+			syncCommit: *syncCommit, followerCkptEvery: *followerCkpt,
 		})
 	}
 

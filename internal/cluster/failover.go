@@ -116,6 +116,66 @@ func Promote(ctx context.Context, cfg PromoteConfig) (wire.ReplStatus, error) {
 	return promoted, nil
 }
 
+// RejoinConfig parameterizes folding a fenced ex-primary back into the
+// cluster as a warm follower of the promoted node.
+type RejoinConfig struct {
+	// Zombie is the deposed primary (restarted or still live but fenced);
+	// Primary the promoted node it must follow, at PrimaryURL.
+	Zombie     *transport.Peer
+	Primary    *transport.Peer
+	PrimaryURL string
+	// Poll is the convergence-poll period (default 50ms); Timeout bounds the
+	// whole rejoin (default 60s).
+	Poll    time.Duration
+	Timeout time.Duration
+}
+
+// Rejoin demotes the zombie into the promoted primary's followership and
+// waits until it has converged: role flipped to replica and its applied
+// cursor caught up to the primary's durable end as sampled at the moment the
+// demotion was ordered (records written after that keep shipping; chasing
+// them would make convergence a moving target). Returns the zombie's status
+// at convergence.
+func Rejoin(ctx context.Context, cfg RejoinConfig) (wire.ReplStatus, error) {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 50 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	target, err := cfg.Primary.ReplStatus(ctx)
+	if err != nil {
+		return wire.ReplStatus{}, fmt.Errorf("cluster: primary status: %w", err)
+	}
+	st, err := cfg.Zombie.ReplDemote(ctx, cfg.PrimaryURL)
+	if err != nil {
+		return st, fmt.Errorf("cluster: demoting zombie: %w", err)
+	}
+	caughtUp := func(s wire.ReplStatus) bool {
+		if s.Role != "replica" {
+			return false
+		}
+		a, d := s.Applied, target.Durable
+		return a.Seg > d.Seg || (a.Seg == d.Seg && a.Rec >= d.Rec)
+	}
+	t := time.NewTicker(cfg.Poll)
+	defer t.Stop()
+	for !caughtUp(st) {
+		select {
+		case <-ctx.Done():
+			return st, fmt.Errorf("cluster: rejoin did not converge (role %q, applied %+v, target %+v): %w",
+				st.Role, st.Applied, target.Durable, ctx.Err())
+		case <-t.C:
+		}
+		if st, err = cfg.Zombie.ReplStatus(ctx); err != nil {
+			return st, fmt.Errorf("cluster: zombie status: %w", err)
+		}
+	}
+	return st, nil
+}
+
 // RestartNode cold-restarts a dead node by running command (via the shell,
 // so the coordinator can be handed the exact serve invocation) and waiting
 // until the relaunched process answers its status endpoint — at which point

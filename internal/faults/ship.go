@@ -41,6 +41,14 @@ type ShipConfig struct {
 	// delivery attempt: the send fails like a network error, and the shipper
 	// retries.
 	Partition float64
+	// HealAfter, when positive, turns partitions into bounded outages: the
+	// first partition the hash fires for a pair opens an episode during
+	// which every delivery attempt fails, and once HealAfter has elapsed the
+	// pair heals permanently. Which batch opens the episode is decided by
+	// the same seed+pair hash, so a schedule's outage is reproducible — and
+	// guaranteed to end, which failover tests need to assert convergence
+	// after the blip.
+	HealAfter time.Duration
 }
 
 // Validate reports configuration errors.
@@ -55,6 +63,9 @@ func (c ShipConfig) Validate() error {
 	}
 	if c.DelayFor < 0 {
 		return fmt.Errorf("faults: ship-delay-for must be non-negative")
+	}
+	if c.HealAfter < 0 {
+		return fmt.Errorf("faults: heal-after must be non-negative")
 	}
 	return nil
 }
@@ -89,9 +100,15 @@ type ShipInjector struct {
 
 	mu       sync.Mutex
 	attempts map[chunkKey]uint64
+	// outage is each pair's open heal-after episode (start time); healed
+	// marks pairs whose episode ended — they never partition again.
+	outage map[pairKey]time.Time
+	healed map[pairKey]bool
 
 	offered, drops, partitions, dups, reorders, delays atomic.Int64
 }
+
+type pairKey struct{ from, to int }
 
 // NewShip builds a ship injector for the given schedule.
 func NewShip(cfg ShipConfig) (*ShipInjector, error) {
@@ -101,7 +118,12 @@ func NewShip(cfg ShipConfig) (*ShipInjector, error) {
 	if cfg.DelayFor == 0 {
 		cfg.DelayFor = 2 * time.Millisecond
 	}
-	return &ShipInjector{cfg: cfg, attempts: make(map[chunkKey]uint64)}, nil
+	return &ShipInjector{
+		cfg:      cfg,
+		attempts: make(map[chunkKey]uint64),
+		outage:   make(map[pairKey]time.Time),
+		healed:   make(map[pairKey]bool),
+	}, nil
 }
 
 // Config returns the injector's schedule.
@@ -142,7 +164,11 @@ func (n *ShipInjector) OnBatch(fromNode, toNode int, batch uint64) ShipDecision 
 	n.mu.Unlock()
 
 	roll := rollSeed(n.cfg.Seed, key, attempt)
-	if roll(saltShipPart) < n.cfg.Partition {
+	part := roll(saltShipPart) < n.cfg.Partition
+	if n.cfg.HealAfter > 0 {
+		part = n.healEpisode(pairKey{from: fromNode, to: toNode}, part)
+	}
+	if part {
 		n.partitions.Add(1)
 		dec.Partitioned = true
 		return dec
@@ -168,11 +194,35 @@ func (n *ShipInjector) OnBatch(fromNode, toNode int, batch uint64) ShipDecision 
 	return dec
 }
 
+// healEpisode folds a partition roll through the heal-after state machine:
+// a healed pair never partitions, an open episode partitions every attempt
+// until HealAfter has elapsed (then heals the pair for good), and the first
+// rolled partition opens the episode.
+func (n *ShipInjector) healEpisode(pk pairKey, rolled bool) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.healed[pk] {
+		return false
+	}
+	if start, open := n.outage[pk]; open {
+		if time.Since(start) < n.cfg.HealAfter {
+			return true
+		}
+		delete(n.outage, pk)
+		n.healed[pk] = true
+		return false
+	}
+	if rolled {
+		n.outage[pk] = time.Now()
+	}
+	return rolled
+}
+
 // ParseShip builds a ShipConfig from a comma-separated spec string, the
 // format of the pstore `--ship-faults` flag:
 //
 //	seed=42,ship-drop=0.05,ship-dup=0.1,ship-reorder=0.05,
-//	ship-delay=0.1,ship-delay-for=2ms,ship-partition=0.02
+//	ship-delay=0.1,ship-delay-for=2ms,ship-partition=0.02,heal-after=500ms
 //
 // An empty spec is an empty schedule.
 func ParseShip(spec string) (ShipConfig, error) {
@@ -202,6 +252,8 @@ func ParseShip(spec string) (ShipConfig, error) {
 			cfg.DelayFor, err = time.ParseDuration(v)
 		case "ship-partition":
 			cfg.Partition, err = strconv.ParseFloat(v, 64)
+		case "heal-after":
+			cfg.HealAfter, err = time.ParseDuration(v)
 		default:
 			return cfg, fmt.Errorf("faults: unknown key %q", k)
 		}
@@ -232,6 +284,9 @@ func (c ShipConfig) String() string {
 	}
 	if c.Partition > 0 {
 		parts = append(parts, fmt.Sprintf("ship-partition=%v", c.Partition))
+	}
+	if c.HealAfter > 0 {
+		parts = append(parts, fmt.Sprintf("heal-after=%v", c.HealAfter))
 	}
 	return strings.Join(parts, ",")
 }

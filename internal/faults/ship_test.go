@@ -108,9 +108,42 @@ func TestShipPrecedence(t *testing.T) {
 	}
 }
 
+// TestShipHealAfter checks the heal-after episode machine: the first rolled
+// partition opens an outage during which every attempt fails, and once the
+// window elapses the pair is healed for good.
+func TestShipHealAfter(t *testing.T) {
+	inj, err := NewShip(ShipConfig{Seed: 9, Partition: 1, HealAfter: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.OnBatch(0, 1, 0).Partitioned {
+		t.Fatal("p=1 schedule did not open an outage")
+	}
+	// Inside the window, even attempts whose own roll would pass fail: the
+	// link is down, not lossy.
+	for i := uint64(1); i < 5; i++ {
+		if !inj.OnBatch(0, 1, i).Partitioned {
+			t.Fatalf("batch %d delivered during the outage", i)
+		}
+	}
+	// An independent pair runs its own episode.
+	if !inj.OnBatch(1, 2, 0).Partitioned {
+		t.Fatal("second pair did not open its own outage")
+	}
+	time.Sleep(60 * time.Millisecond)
+	for i := uint64(5); i < 10; i++ {
+		if inj.OnBatch(0, 1, i).Partitioned {
+			t.Fatalf("batch %d partitioned after the pair healed", i)
+		}
+	}
+	if _, err := NewShip(ShipConfig{Partition: 0.5, HealAfter: -time.Second}); err == nil {
+		t.Fatal("accepted negative heal-after")
+	}
+}
+
 // TestParseShipRoundTrip checks the flag spec round-trips through String.
 func TestParseShipRoundTrip(t *testing.T) {
-	spec := "seed=42,ship-drop=0.05,ship-dup=0.1,ship-reorder=0.05,ship-delay=0.1,ship-delay-for=5ms,ship-partition=0.02"
+	spec := "seed=42,ship-drop=0.05,ship-dup=0.1,ship-reorder=0.05,ship-delay=0.1,ship-delay-for=5ms,ship-partition=0.02,heal-after=500ms"
 	cfg, err := ParseShip(spec)
 	if err != nil {
 		t.Fatal(err)

@@ -72,6 +72,70 @@ func (m *Manager) PinShip(seg int) {
 	}
 }
 
+// TruncateShip discards the durable suffix past the divergence cursor — the
+// records a fenced ex-primary acked under its old term that the promoted
+// follower never saw — and lowers the per-bucket LSN counters to match, so
+// shipped records applied afterwards continue the survivor's numbering.
+// wal.ErrNeedResync means surgical truncation would leave an inconsistent
+// prefix and the caller must ResetReplica + full-resync instead.
+func (m *Manager) TruncateShip(cur wal.ShipCursor) (wal.TruncateResult, error) {
+	if m.wal == nil {
+		return wal.TruncateResult{}, ErrNotDurable
+	}
+	res, err := m.wal.TruncateTo(cur)
+	if err != nil {
+		return res, err
+	}
+	if ds, ok := m.log.(*diskStore); ok {
+		ds.truncate(res)
+	}
+	return res, nil
+}
+
+// ResetReplica wipes the durable record stream and every checkpoint image,
+// keeping the log's identity (manifest, epoch). A replica must call this
+// before installing a full snapshot baseline over a non-empty data dir:
+// without it, diverged records above the incoming images' LSNs would replay
+// on a future cold start, and stale high LSN heads would break ship dedup.
+func (m *Manager) ResetReplica() error {
+	if m.wal == nil {
+		return ErrNotDurable
+	}
+	if err := m.wal.Reset(); err != nil {
+		return err
+	}
+	if ds, ok := m.log.(*diskStore); ok {
+		ds.reset()
+	}
+	return nil
+}
+
+// SetSyncCommit arms or disarms synchronous commit: while armed, appends
+// return only once the follower's ack (SetRemoteAck) covers them. A no-op
+// without a durable store.
+func (m *Manager) SetSyncCommit(on bool) {
+	if m.wal != nil {
+		m.wal.SetSyncCommit(on)
+	}
+}
+
+// SetRemoteAck feeds the follower's acknowledged ship cursor to the
+// sync-commit barrier.
+func (m *Manager) SetRemoteAck(cur wal.ShipCursor) {
+	if m.wal != nil {
+		m.wal.SetRemoteAck(cur)
+	}
+}
+
+// AbortSync fails every append blocked on the sync-commit barrier — called
+// when the shipper dies or the node is fenced, so submitters learn their
+// writes were never confirmed instead of hanging (or worse, being acked).
+func (m *Manager) AbortSync() {
+	if m.wal != nil {
+		m.wal.AbortSync()
+	}
+}
+
 // InstallReplicaBaseline installs a primary's snapshot frames as the local
 // recovery baseline and advances each bucket's LSN head to the snapshot LSN,
 // so subsequently applied ship records continue the primary's numbering and

@@ -53,6 +53,17 @@ type NodeConfig struct {
 	// server cannot own the shipper itself — the ship client lives in
 	// internal/transport, which imports this package.
 	OnReplicaSync func(followerURL string, cur wire.ShipCursor)
+	// OnDemote is invoked (on its own goroutine) when /v1/repl/demote orders
+	// this fenced ex-primary to stand down and rejoin the primary at the
+	// given URL as a follower. The rejoin protocol lives with the serving
+	// process for the same reason OnReplicaSync does: it needs the transport
+	// client, which imports this package.
+	OnDemote func(primaryURL string)
+	// FollowerCheckpointEvery, when > 0, has a replica run a checkpoint of
+	// its own WAL every time that many shipped command records have been
+	// applied — bounding a long-lived follower's own cold start. Compaction
+	// is PinShip-aware, so a later promotion's rejoin window is preserved.
+	FollowerCheckpointEvery int
 }
 
 func (nc *NodeConfig) validate() error {
@@ -90,6 +101,7 @@ func (s *Server) registerNodeHandlers(mux *http.ServeMux) {
 	mux.HandleFunc(wire.PathReplShip, s.handleReplShip)
 	mux.HandleFunc(wire.PathReplPromote, s.handleReplPromote)
 	mux.HandleFunc(wire.PathReplStatus, s.handleReplStatus)
+	mux.HandleFunc(wire.PathReplDemote, s.handleReplDemote)
 }
 
 // handleNodePeer repoints one peer slot's base URL — after a failover the

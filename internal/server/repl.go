@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
 
@@ -44,6 +45,18 @@ type replState struct {
 	applied  wire.ShipCursor
 	planSeq  uint64
 	baseline uint64
+	// fenced marks a zombie: a node still configured as primary that has
+	// seen proof of a higher epoch. It refuses transactions and waits to be
+	// demoted into the new primary's followership.
+	fenced bool
+	// rejoin, on a promoted primary, is the standing offer to its deposed
+	// predecessor (see wire.ReplRejoin).
+	rejoin *wire.ReplRejoin
+	// appliedRecs counts shipped command records applied since the last
+	// follower-side checkpoint; checkpointing guards against overlapping
+	// async checkpoints.
+	appliedRecs   int
+	checkpointing bool
 }
 
 func (s *Server) isReplica() bool {
@@ -51,6 +64,11 @@ func (s *Server) isReplica() bool {
 	defer s.repl.mu.Unlock()
 	return s.repl.replica
 }
+
+// IsReplica reports whether the node is currently in replica role, so an
+// embedding process can tell a demote order aimed at a primary from one that
+// already took effect.
+func (s *Server) IsReplica() bool { return s.isReplica() }
 
 func (s *Server) replRole() string {
 	if s.isReplica() {
@@ -61,6 +79,28 @@ func (s *Server) replRole() string {
 
 func wireCursor(c wal.ShipCursor) wire.ShipCursor {
 	return wire.ShipCursor{Seg: c.Seg, Rec: c.Rec, Off: c.Off}
+}
+
+func walShipCursor(c wire.ShipCursor) wal.ShipCursor {
+	return wal.ShipCursor{Seg: c.Seg, Rec: c.Rec, Off: c.Off}
+}
+
+// MarkFenced records that this node, still configured as a primary, has seen
+// proof of a higher epoch — its shipper was refused with CodeFenced. A
+// fenced node refuses client transactions (a zombie serving writes is a
+// split brain) until it is demoted into the new primary's followership.
+func (s *Server) MarkFenced() {
+	s.repl.mu.Lock()
+	if !s.repl.replica {
+		s.repl.fenced = true
+	}
+	s.repl.mu.Unlock()
+}
+
+func (s *Server) isFenced() bool {
+	s.repl.mu.Lock()
+	defer s.repl.mu.Unlock()
+	return s.repl.fenced
 }
 
 // handleReplSync seeds a follower: one ReplSyncMeta frame, then one
@@ -89,6 +129,36 @@ func (s *Server) handleReplSync(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	eng := s.cfg.Engine
+	if req.Resume != nil {
+		// A warm rejoin: the follower's state already matches ours up to the
+		// resume cursor (a truncated zombie, or a follower reconnecting after
+		// our restart). Validate the cursor is still retained, pin it, and
+		// ship from there — no snapshot stream.
+		cur := walShipCursor(*req.Resume)
+		if _, _, err := rm.ReadShip(cur, 1); err != nil {
+			writeNodeError(w, err)
+			return
+		}
+		rm.PinShip(cur.Seg)
+		meta := wire.ReplSyncMeta{
+			Epoch:    rm.Epoch(),
+			Baseline: rm.BaselineSeq(),
+			Cursor:   *req.Resume,
+			PlanSeq:  rm.PlanSeq(),
+			Active:   eng.ActiveMachines(),
+		}
+		var buf bytes.Buffer
+		if err := wire.EncodeFrame(&buf, meta); err != nil {
+			writeNodeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", wire.ContentTypeChunk)
+		_, _ = w.Write(buf.Bytes())
+		if cb := s.cfg.Node.OnReplicaSync; cb != nil && req.FollowerURL != "" {
+			go cb(req.FollowerURL, meta.Cursor)
+		}
+		return
+	}
 	planSeq := rm.PlanSeq()
 	plan := eng.Plan()
 	active := eng.ActiveMachines()
@@ -214,6 +284,16 @@ func (s *Server) InstallReplicaState(meta wire.ReplSyncMeta, frames []wire.Bucke
 			}
 		}
 	}
+	// Discard whatever record stream this node's own WAL holds before the
+	// snapshot becomes the baseline: a resyncing ex-primary (or a replica
+	// resyncing mid-life) would otherwise keep diverged records above the
+	// incoming images' LSNs that replay on a future cold start, and stale
+	// high LSN heads that break ship dedup.
+	if rm.Durable() {
+		if err := rm.ResetReplica(); err != nil {
+			return err
+		}
+	}
 	if err := rm.InstallReplicaBaseline(snaps); err != nil {
 		return err
 	}
@@ -228,6 +308,9 @@ func (s *Server) InstallReplicaState(meta wire.ReplSyncMeta, frames []wire.Bucke
 	s.repl.planSeq = meta.PlanSeq
 	s.repl.baseline = meta.Baseline
 	s.repl.ready = true
+	s.repl.fenced = false
+	s.repl.rejoin = nil
+	s.repl.appliedRecs = 0
 	s.repl.mu.Unlock()
 	return nil
 }
@@ -278,6 +361,7 @@ func (s *Server) handleReplShip(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, wire.ShipAck{Epoch: rm.Epoch(), Applied: st.applied, Gap: true})
 		return
 	}
+	fresh := 0
 	for i := range batch.Records {
 		rec := &batch.Records[i]
 		if rec.IsPlan() {
@@ -325,9 +409,39 @@ func (s *Server) handleReplShip(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		fresh++
 	}
 	st.applied = batch.Next
+	s.maybeFollowerCheckpointLocked(rm, fresh)
 	writeJSON(w, wire.ShipAck{Epoch: rm.Epoch(), Applied: st.applied})
+}
+
+// maybeFollowerCheckpointLocked kicks off an async checkpoint of the
+// replica's own WAL once FollowerCheckpointEvery freshly applied command
+// records have accumulated, so a long-lived follower's cold start stays
+// bounded. The checkpoint is fuzzy (same machinery as the primary's) and
+// runs off the ship path; at most one is in flight. Caller holds s.repl.mu.
+func (s *Server) maybeFollowerCheckpointLocked(rm *recovery.Manager, fresh int) {
+	every := s.cfg.Node.FollowerCheckpointEvery
+	if every <= 0 {
+		return
+	}
+	st := &s.repl
+	st.appliedRecs += fresh
+	if st.appliedRecs < every || st.checkpointing {
+		return
+	}
+	st.appliedRecs = 0
+	st.checkpointing = true
+	go func() {
+		_, err := rm.Checkpoint()
+		st.mu.Lock()
+		st.checkpointing = false
+		st.mu.Unlock()
+		if err != nil {
+			log.Printf("server: follower checkpoint failed: %v", err)
+		}
+	}()
 }
 
 // applyShippedPlan re-runs a primary-side plan change locally: changed
@@ -408,8 +522,155 @@ func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if st.replica {
+		// Capture the standing rejoin offer for the deposed primary: shipping
+		// to it resumes at this node's current durable end (no transaction
+		// can land between here and the role flip — the replica refusal is
+		// still up), truncated-to state must match st.applied (left intact
+		// below precisely so the zombie can read its divergence point from
+		// our status), and plan/baseline must not have drifted. Pin the
+		// cursor so our own checkpoints keep the rejoin window shippable.
+		if end, err := rm.ShipEnd(); err == nil {
+			rm.PinShip(end.Seg)
+			st.rejoin = &wire.ReplRejoin{
+				Cursor:   wireCursor(end),
+				PlanSeq:  st.planSeq,
+				Baseline: rm.BaselineSeq(),
+			}
+		}
+	}
 	st.replica = false
+	st.fenced = false
 	writeJSON(w, s.replStatusLocked(rm))
+}
+
+// handleReplDemote orders this fenced ex-primary to stand down and rejoin
+// the given primary as a follower. The demotion itself runs on the serving
+// process (NodeConfig.OnDemote — it needs the transport client); this
+// handler validates and fires it, replying with the current status so the
+// coordinator can poll for convergence.
+func (s *Server) handleReplDemote(w http.ResponseWriter, r *http.Request) {
+	var req wire.ReplDemote
+	if !decodeNodeJSON(w, r, &req) {
+		return
+	}
+	if req.PrimaryURL == "" {
+		writeNodeError(w, fmt.Errorf("%w: demote needs a primary URL", errBadNodeRequest))
+		return
+	}
+	rm, err := s.nodeRecovery()
+	if err != nil {
+		writeNodeError(w, err)
+		return
+	}
+	st := &s.repl
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.replica {
+		if s.cfg.Node.OnDemote == nil {
+			writeNodeError(w, errors.New("server: node has no demote hook; restart it as a replica"))
+			return
+		}
+		st.fenced = true // stop serving writes immediately, not when the rejoin lands
+		go s.cfg.Node.OnDemote(req.PrimaryURL)
+	}
+	writeJSON(w, s.replStatusLocked(rm))
+}
+
+// DemoteToFollower turns this (possibly fenced) ex-primary into a warm
+// follower of the node whose ReplStatus is given: fence local execution,
+// shed the WAL suffix past the divergence point (the new primary's Applied
+// cursor — a cursor into *this* node's WAL), adopt the new epoch, and
+// rebuild memory from the truncated log so the node holds exactly the state
+// the new primary acknowledged. On success (true) the node is a ready
+// replica positioned at pst.Rejoin.Cursor: the caller resumes shipping via
+// a Resume sync against the new primary.
+//
+// False with a nil error means a warm rejoin is impossible — the rejoin
+// offer is missing or stale, or truncation was refused (wal.ErrNeedResync) —
+// and the node is left a fenced non-replica; the caller must run a full
+// snapshot resync (InstallReplicaState), which wipes and rebuilds the WAL.
+//
+// The caller must have stopped this node's own shipper and released any
+// sync-commit waiters (recovery.AbortSync) first: fencing the engine blocks
+// on in-flight transactions, and a waiter parked on the barrier would never
+// drain.
+func (s *Server) DemoteToFollower(pst wire.ReplStatus) (bool, error) {
+	rm, err := s.nodeRecovery()
+	if err != nil {
+		return false, err
+	}
+	if !rm.Durable() {
+		return false, errors.New("server: demotion requires a durable store (-data-dir)")
+	}
+	eng := s.cfg.Engine
+	st := &s.repl
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.replica {
+		return false, errors.New("server: node is already a replica")
+	}
+	if pst.Epoch <= rm.Epoch() {
+		return false, fmt.Errorf("%w: demote toward epoch %d, ours is %d", wire.ErrFenced, pst.Epoch, rm.Epoch())
+	}
+	st.fenced = true
+	// Fence: every hosted machine goes down, so nothing interleaves with the
+	// truncation and the rebuild below replays onto empty partitions.
+	for _, m := range eng.HostedMachines() {
+		if !eng.MachineDown(m) {
+			if err := rm.Crash(m); err != nil {
+				return false, err
+			}
+		}
+	}
+	warm := pst.Rejoin != nil &&
+		pst.Rejoin.PlanSeq == rm.PlanSeq() &&
+		pst.Rejoin.Baseline == rm.BaselineSeq()
+	if warm {
+		if _, err := rm.TruncateShip(walShipCursor(pst.Applied)); err != nil {
+			if !errors.Is(err, wal.ErrNeedResync) {
+				return false, err
+			}
+			warm = false
+		}
+	}
+	if !warm {
+		return false, nil
+	}
+	if err := rm.SetEpoch(pst.Epoch); err != nil {
+		return false, err
+	}
+	// Rebuild memory at the divergence point: the truncated suffix already
+	// executed here, so images + replay of the retained log are the only
+	// correct source of state now.
+	for _, m := range eng.HostedMachines() {
+		if _, err := rm.Restore(m); err != nil {
+			return false, err
+		}
+	}
+	if _, err := rm.Checkpoint(); err != nil {
+		return false, err
+	}
+	st.replica = true
+	st.ready = true
+	st.fenced = false
+	st.rejoin = nil
+	st.appliedRecs = 0
+	st.applied = pst.Rejoin.Cursor
+	st.planSeq = pst.Rejoin.PlanSeq
+	st.baseline = pst.Rejoin.Baseline
+	return true, nil
+}
+
+// PrepareFullResync flips a node that failed a warm rejoin into replica
+// role so InstallReplicaState (which requires it) can rebuild it from a
+// fresh snapshot stream.
+func (s *Server) PrepareFullResync() {
+	s.repl.mu.Lock()
+	s.repl.replica = true
+	s.repl.ready = false
+	s.repl.applied = wire.ShipCursor{}
+	s.repl.mu.Unlock()
 }
 
 // handleReplStatus reports the node's replication self-description.
@@ -432,6 +693,8 @@ func (s *Server) replStatusLocked(rm *recovery.Manager) wire.ReplStatus {
 		Baseline: rm.BaselineSeq(),
 		Applied:  s.repl.applied,
 		PlanSeq:  s.repl.planSeq,
+		Fenced:   s.repl.fenced,
+		Rejoin:   s.repl.rejoin,
 	}
 	if s.repl.replica {
 		out.Role = "replica"

@@ -245,6 +245,13 @@ func (s *Server) execute(ctx context.Context, req wire.Request, hops int) wire.R
 		return s.errResponse(wire.CodeNotOwned,
 			"server: node is a warm replica; submit to its primary", downRetryMs)
 	}
+	if s.isFenced() {
+		// A fenced zombie serving writes would fork the history the promoted
+		// follower now owns; refuse retryably until the demotion completes
+		// and forwarding is rewired.
+		return s.errResponse(wire.CodeNotOwned,
+			"server: node is fenced pending demotion; submit to the new primary", downRetryMs)
+	}
 	id, ok := s.handles[req.Txn]
 	if !ok {
 		return s.failure(req, fmt.Errorf("%w: %q", store.ErrUnknownTxn, req.Txn))

@@ -24,8 +24,24 @@ import (
 // ReplSync bootstraps this peer as the follower's source: the peer streams
 // back its sync meta frame and one BucketFrame per hosted bucket.
 func (p *Peer) ReplSync(ctx context.Context, followerURL string) (wire.ReplSyncMeta, []wire.BucketFrame, error) {
+	return p.replSync(ctx, wire.ReplSync{FollowerURL: followerURL})
+}
+
+// ReplResume asks the peer (the new primary) to resume shipping to this
+// follower from cur — a warm rejoin, no snapshot stream. The peer refuses
+// if cur is no longer retained in its WAL; the caller falls back to a full
+// ReplSync.
+func (p *Peer) ReplResume(ctx context.Context, followerURL string, cur wire.ShipCursor) (wire.ReplSyncMeta, error) {
+	meta, frames, err := p.replSync(ctx, wire.ReplSync{FollowerURL: followerURL, Resume: &cur})
+	if err == nil && len(frames) > 0 {
+		return meta, fmt.Errorf("transport: resume sync streamed %d unexpected bucket frames", len(frames))
+	}
+	return meta, err
+}
+
+func (p *Peer) replSync(ctx context.Context, req wire.ReplSync) (wire.ReplSyncMeta, []wire.BucketFrame, error) {
 	var meta wire.ReplSyncMeta
-	body, err := p.do(ctx, http.MethodPost, wire.PathReplSync, wire.ReplSync{FollowerURL: followerURL})
+	body, err := p.do(ctx, http.MethodPost, wire.PathReplSync, req)
 	if err != nil {
 		return meta, nil, err
 	}
@@ -76,6 +92,16 @@ func (p *Peer) Ship(ctx context.Context, b *wire.ShipBatch) (wire.ShipAck, error
 func (p *Peer) Promote(ctx context.Context, epoch uint64) (wire.ReplStatus, error) {
 	var st wire.ReplStatus
 	err := p.postJSON(ctx, wire.PathReplPromote, wire.ReplPromote{Epoch: epoch}, &st)
+	return st, err
+}
+
+// ReplDemote orders the peer (a fenced ex-primary) to stand down and rejoin
+// the primary at primaryURL as a follower. The reply is the peer's current
+// status — the demotion completes asynchronously; poll ReplStatus for
+// role "replica" and a converged applied cursor.
+func (p *Peer) ReplDemote(ctx context.Context, primaryURL string) (wire.ReplStatus, error) {
+	var st wire.ReplStatus
+	err := p.postJSON(ctx, wire.PathReplDemote, wire.ReplDemote{PrimaryURL: primaryURL}, &st)
 	return st, err
 }
 
@@ -136,6 +162,14 @@ type ShipperConfig struct {
 	Interval time.Duration
 	// Start is the cursor shipping begins from (the sync response's cursor).
 	Start wire.ShipCursor
+	// SyncCommit arms the WAL's remote-ack barrier for the shipper's
+	// lifetime: the primary's appends return only once the follower has
+	// durably applied them. Follower acks feed the barrier; when the shipper
+	// stops or latches a terminal error, in-flight waiters are failed
+	// (recovery.AbortSync) and the barrier is disarmed — writes degrade to
+	// local durability rather than hanging, and the degradation is loud in
+	// the caller's log via the Run error.
+	SyncCommit bool
 }
 
 // Shipper streams a primary's WAL to one follower: read records beyond the
@@ -173,6 +207,12 @@ func NewShipper(cfg ShipperConfig) (*Shipper, error) {
 	start := walCursor(cfg.Start)
 	s := &Shipper{cfg: cfg, cur: start, acked: start}
 	s.cfg.RM.PinShip(start.Seg)
+	if cfg.SyncCommit {
+		// Everything up to the start cursor is already on the follower (it
+		// just synced to it), so the barrier opens exactly there.
+		s.cfg.RM.SetRemoteAck(start)
+		s.cfg.RM.SetSyncCommit(true)
+	}
 	return s, nil
 }
 
@@ -367,13 +407,24 @@ func (s *Shipper) deliverLocked(ctx context.Context, b *wire.ShipBatch) (int, er
 	}
 	s.acked = walCursor(ack.Applied)
 	s.cfg.RM.PinShip(s.acked.Seg)
+	if s.cfg.SyncCommit {
+		s.cfg.RM.SetRemoteAck(s.acked)
+	}
 	return applied, nil
 }
 
 // Run ships until ctx is done or a terminal error latches, polling at the
 // configured interval while caught up. Transient delivery errors back off
-// one interval and retry.
+// one interval and retry. In sync-commit mode, exiting for any reason fails
+// every append still waiting on the barrier and disarms it: no confirmation
+// is coming, and blocking writers forever is worse than degrading loudly.
 func (s *Shipper) Run(ctx context.Context) error {
+	if s.cfg.SyncCommit {
+		defer func() {
+			s.cfg.RM.AbortSync()
+			s.cfg.RM.SetSyncCommit(false)
+		}()
+	}
 	t := time.NewTicker(s.cfg.Interval)
 	defer t.Stop()
 	for {

@@ -108,6 +108,11 @@ type segment struct {
 	recs       int            // record count; ship cursors address (seq, rec)
 	maxLSN     map[int]uint64 // bucket -> largest LSN in this segment
 	maxPlanSeq uint64
+	// ackBase maps a ship cursor into this segment onto the append-sequence
+	// space: record k of the segment is append sequence ackBase+k. Segments
+	// recovered from a previous life carry -1 — none of their records were
+	// appended (or awaited) in this life.
+	ackBase int64
 }
 
 // Log is an open write-ahead log. All methods are safe for concurrent use.
@@ -151,6 +156,18 @@ type Log struct {
 	// compaction so a follower's unacked records stay shippable.
 	epoch   uint64
 	shipPin int
+
+	// Synchronous commit: when armed, append also waits until the follower's
+	// acknowledged cursor covers the record (remoteAckSeq, in append-sequence
+	// space). activeAckBase is appendSeq at the moment the active segment
+	// opened, so a ship cursor into it maps onto append sequences.
+	syncCommit    bool
+	remoteAckSeq  uint64
+	activeAckBase uint64
+	// (discardLo, discardHi] is the append-sequence window whose sync-commit
+	// waiters must fail instead of ack: their records were truncated away or
+	// their shipper died before the follower confirmed them.
+	discardLo, discardHi uint64
 
 	appends   atomic.Int64
 	diskBytes atomic.Int64 // durable segment bytes; kept lock-free for stats
@@ -297,7 +314,7 @@ func (l *Log) recover() (*Recovered, error) {
 			rec.TornBytes = l.tornBytes
 			data = data[:valid]
 		}
-		seg := segment{name: segName(seq), seq: seq, size: int64(len(data)), recs: len(srs), maxLSN: make(map[int]uint64)}
+		seg := segment{name: segName(seq), seq: seq, size: int64(len(data)), recs: len(srs), maxLSN: make(map[int]uint64), ackBase: -1}
 		for i := range srs {
 			sr := &srs[i]
 			switch sr.Kind {
@@ -356,6 +373,7 @@ func (l *Log) openActive() error {
 	l.durableRecs = 0
 	l.activeMax = make(map[int]uint64)
 	l.activePlan = 0
+	l.activeAckBase = l.appendSeq
 	l.enc = newSegEncoder()
 	return nil
 }
@@ -466,6 +484,24 @@ func (l *Log) append(sr *segRecord) error {
 		}
 		l.cond.Broadcast()
 	}
+	// Synchronous commit: the record is durable here; with the barrier armed,
+	// also wait until the follower's ack covers it. The whole fsync batch
+	// ships as (at most) one batch and is released by one ack, so the round
+	// trip amortizes exactly like the fsync does. Disarming releases waiters.
+	for l.err == nil && !l.closed && l.syncCommit && l.remoteAckSeq < seq {
+		if seq > l.discardLo && seq <= l.discardHi {
+			return ErrSyncAborted
+		}
+		l.cond.Wait()
+	}
+	if l.err == nil && l.syncCommit && l.remoteAckSeq < seq {
+		if seq > l.discardLo && seq <= l.discardHi {
+			return ErrSyncAborted
+		}
+		if l.closed {
+			return errors.New("wal: log closed before the follower acknowledged the record")
+		}
+	}
 	return l.err
 }
 
@@ -478,7 +514,7 @@ func (l *Log) rotateLocked() error {
 	}
 	l.segs = append(l.segs, segment{
 		name: l.activeName, seq: l.activeSeq, size: l.activeSize, recs: l.durableRecs,
-		maxLSN: l.activeMax, maxPlanSeq: l.activePlan,
+		maxLSN: l.activeMax, maxPlanSeq: l.activePlan, ackBase: int64(l.activeAckBase),
 	})
 	l.rotations.Add(1)
 	return l.openActive()
@@ -690,6 +726,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.cond.Broadcast() // release sync-commit waiters; durability is local-only now
 	if l.active != nil {
 		return l.active.Close()
 	}

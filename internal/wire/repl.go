@@ -33,6 +33,10 @@ const (
 	// coordinator's rewiring step after promoting a follower, so forwarded
 	// transactions reach the new primary. Body: NodePeer JSON.
 	PathNodePeer = "/v1/node/peer"
+	// PathReplDemote tells a fenced ex-primary to stand down and rejoin the
+	// given primary as a follower — the self-healing entry point. Body:
+	// ReplDemote JSON; reply: ReplStatus once the demotion is underway.
+	PathReplDemote = "/v1/repl/demote"
 )
 
 // CodeFenced: the request carried a stale replication epoch (a zombie
@@ -101,9 +105,34 @@ type ShipAck struct {
 }
 
 // ReplSync is a follower's bootstrap request. FollowerURL is where the
-// primary should ship batches once the snapshot is streamed.
+// primary should ship batches once the snapshot is streamed. A non-nil
+// Resume skips the snapshot entirely: the follower's WAL already agrees
+// with the primary's up to that cursor (a truncated zombie rejoining warm),
+// so the primary just validates the cursor is still retained, pins it, and
+// starts shipping from there — replying with a ReplSyncMeta whose Buckets
+// is 0.
 type ReplSync struct {
-	FollowerURL string `json:"follower_url"`
+	FollowerURL string      `json:"follower_url"`
+	Resume      *ShipCursor `json:"resume,omitempty"`
+}
+
+// ReplDemote orders a fenced ex-primary to demote itself and rejoin
+// PrimaryURL as a follower, shedding whatever WAL suffix the new primary
+// never saw.
+type ReplDemote struct {
+	PrimaryURL string `json:"primary_url"`
+}
+
+// ReplRejoin is the rejoin contract a node captures at the moment it is
+// promoted: Cursor is the durable end of the *new* primary's own WAL at
+// promotion (pinned against compaction) — where shipping to a warm-rejoined
+// predecessor resumes — and PlanSeq/Baseline are the state the predecessor
+// must still match, after truncating to the new primary's Applied cursor,
+// for a warm rejoin to be sound.
+type ReplRejoin struct {
+	Cursor   ShipCursor `json:"cursor"`
+	PlanSeq  uint64     `json:"plan_seq"`
+	Baseline uint64     `json:"baseline"`
 }
 
 // ReplSyncMeta heads a sync response stream: the primary's epoch, baseline
@@ -143,6 +172,13 @@ type ReplStatus struct {
 	Applied ShipCursor `json:"applied"`
 	// PlanSeq is a replica's last applied plan sequence.
 	PlanSeq uint64 `json:"plan_seq,omitempty"`
+	// Fenced reports a zombie: the node believes it is (or was) primary but
+	// has seen proof of a higher epoch. A fenced node refuses transactions
+	// and is waiting to be demoted into the new primary's followership.
+	Fenced bool `json:"fenced,omitempty"`
+	// Rejoin, on a promoted primary, is the standing offer to its deposed
+	// predecessor: truncate to Rejoin.Cursor and resume shipping from there.
+	Rejoin *ReplRejoin `json:"rejoin,omitempty"`
 }
 
 // NodePeer repoints the base URL a node uses to forward to peer `Node`.
